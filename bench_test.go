@@ -1,0 +1,158 @@
+// Package templar hosts the repository-level benchmark harness: one
+// testing.B benchmark per table and figure in the paper's evaluation
+// (§VII). Each bench regenerates its artifact and prints it once, so
+// `go test -bench=. -benchmem` leaves a full reproduction transcript in
+// its output (see EXPERIMENTS.md for paper-vs-measured commentary).
+package templar
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/eval"
+	"templar/internal/fragment"
+)
+
+var defaultOpts = eval.Options{K: 5, Lambda: 0.8, Obscurity: fragment.NoConstOp}
+
+// printOnce guards are per-artifact so each table/figure prints exactly one
+// copy regardless of b.N.
+var (
+	onceTableII  sync.Once
+	onceTableIII sync.Once
+	onceTableIV  sync.Once
+	onceFig5     sync.Once
+	onceFig6     sync.Once
+	onceObsc     sync.Once
+	onceDesign   sync.Once
+	onceSession  sync.Once
+)
+
+// BenchmarkTableII regenerates the dataset statistics table (§VII-A4).
+func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := eval.TableII(datasets.All())
+		onceTableII.Do(func() { fmt.Print("\n", out, "\n") })
+	}
+}
+
+// BenchmarkTableIII regenerates the four-system KW/FQ accuracy comparison
+// (NaLIR, NaLIR+, Pipeline, Pipeline+ at NoConstOp, κ=5, λ=0.8).
+func BenchmarkTableIII(b *testing.B) {
+	all := datasets.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eval.TableIII(all, defaultOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onceTableIII.Do(func() { fmt.Print("\n", out, "\n") })
+	}
+}
+
+// BenchmarkTableIV regenerates the LogJoin ablation on Pipeline+.
+func BenchmarkTableIV(b *testing.B) {
+	all := datasets.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eval.TableIV(all, defaultOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onceTableIV.Do(func() { fmt.Print("\n", out, "\n") })
+	}
+}
+
+// BenchmarkFigure5 regenerates the κ sweep (accuracy of Pipeline+ per
+// benchmark for κ in 1..10, λ fixed at 0.8).
+func BenchmarkFigure5(b *testing.B) {
+	all := datasets.All()
+	order := []string{"MAS", "Yelp", "IMDB"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := eval.Figure5(all, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, defaultOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onceFig5.Do(func() {
+			fmt.Print("\n", eval.RenderSweep("Figure 5: Pipeline+ FQ accuracy vs kappa (lambda=0.8)", "kappa", series, order), "\n")
+		})
+	}
+}
+
+// BenchmarkFigure6 regenerates the λ sweep (accuracy of Pipeline+ per
+// benchmark for λ in 0..1, κ fixed at 5).
+func BenchmarkFigure6(b *testing.B) {
+	all := datasets.All()
+	order := []string{"MAS", "Yelp", "IMDB"}
+	lambdas := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := eval.Figure6(all, lambdas, defaultOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onceFig6.Do(func() {
+			fmt.Print("\n", eval.RenderSweep("Figure 6: Pipeline+ FQ accuracy vs lambda (kappa=5)", "lambda", series, order), "\n")
+		})
+	}
+}
+
+// BenchmarkObscurityAblation regenerates the Full/NoConst/NoConstOp
+// comparison behind §VII-B's claim that all obscurity levels improve on the
+// baseline, with NoConstOp best.
+func BenchmarkObscurityAblation(b *testing.B) {
+	all := datasets.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eval.ObscurityAblation(all, defaultOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onceObsc.Do(func() { fmt.Print("\n", out, "\n") })
+	}
+}
+
+// BenchmarkDesignAblation regenerates the scoring/weighting design
+// ablation (geometric vs arithmetic mean, FROM inclusion, Dice vs raw-count
+// join weights) called out in DESIGN.md §6.
+func BenchmarkDesignAblation(b *testing.B) {
+	all := datasets.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eval.DesignAblation(all, defaultOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onceDesign.Do(func() { fmt.Print("\n", out, "\n") })
+	}
+}
+
+// BenchmarkSessionExperiment regenerates the session-aware QFG experiment
+// (the paper's §VIII future work, implemented via qfg.AddSession).
+func BenchmarkSessionExperiment(b *testing.B) {
+	all := datasets.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eval.SessionExperiment(all, []float64{0, 0.5}, defaultOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onceSession.Do(func() { fmt.Print("\n", out, "\n") })
+	}
+}
+
+// BenchmarkEvaluateSingleDataset measures the cost of one cross-validated
+// four-system evaluation (the unit of work behind every table cell).
+func BenchmarkEvaluateSingleDataset(b *testing.B) {
+	ds := datasets.Yelp()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Evaluate(ds, eval.AllSystems(), defaultOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command qfg-inspect builds a Query Fragment Graph from a SQL log and
+// prints its most frequent fragments and strongest co-occurrences — a
+// direct view of the Figure 3 construction in the paper.
+//
+// Usage:
+//
+//	qfg-inspect -log queries.sql                 # top fragments
+//	qfg-inspect -log queries.sql -top 20
+//	qfg-inspect -log queries.sql -fragment 'publication.title' -context SELECT
+//	qfg-inspect -dataset mas                     # use a benchmark's gold SQL as the log
+//	echo "SELECT j.name FROM journal j" | qfg-inspect
+//
+// Log lines may carry a "Nx:" repetition prefix as in the paper's Figure 3a.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"templar/internal/datasets"
+	"templar/internal/fragment"
+	"templar/internal/qfg"
+	"templar/internal/sqlparse"
+)
+
+func main() {
+	var (
+		logPath   = flag.String("log", "", "path to a SQL log file ('-' or empty reads stdin)")
+		dataset   = flag.String("dataset", "", "use a benchmark's gold SQL as the log (mas, yelp, imdb)")
+		obscurity = flag.String("obscurity", "NoConstOp", "obscurity level (Full, NoConst, NoConstOp)")
+		top       = flag.Int("top", 15, "number of fragments to list")
+		frag      = flag.String("fragment", "", "show co-occurrence neighbors of this fragment expression")
+		context   = flag.String("context", "SELECT", "clause context of -fragment (SELECT, FROM, WHERE)")
+	)
+	flag.Parse()
+
+	ob, err := parseObscurity(*obscurity)
+	if err != nil {
+		fatal(err)
+	}
+
+	var logText string
+	switch {
+	case *dataset != "":
+		var ds *datasets.Dataset
+		for _, d := range datasets.All() {
+			if strings.EqualFold(d.Name, *dataset) {
+				ds = d
+			}
+		}
+		if ds == nil {
+			fatal(fmt.Errorf("unknown dataset %q", *dataset))
+		}
+		var b strings.Builder
+		for _, t := range ds.Tasks {
+			b.WriteString(t.Gold)
+			b.WriteByte('\n')
+		}
+		logText = b.String()
+	case *logPath == "" || *logPath == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		logText = string(data)
+	default:
+		data, err := os.ReadFile(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		logText = string(data)
+	}
+
+	entries, err := sqlparse.ParseLog(logText)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := qfg.Build(entries, ob)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("QFG at %s: %d queries, %d fragments, %d co-occurrence edges\n\n",
+		ob, g.Queries(), g.Vertices(), g.Edges())
+
+	if *frag != "" {
+		ctx, err := parseContext(*context)
+		if err != nil {
+			fatal(err)
+		}
+		f := fragment.Fragment{Context: ctx, Expr: *frag}
+		fmt.Printf("nv%v = %d\n", f, g.Occurrences(f))
+		fmt.Println("Neighbors by Dice:")
+		for i, nb := range g.Neighbors(f) {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("  %-50s ne=%-5d Dice=%.3f\n", nb.Fragment, nb.Count, nb.Dice)
+		}
+		return
+	}
+	fmt.Println("Most frequent fragments:")
+	for _, e := range g.Top(*top) {
+		fmt.Printf("  %5dx %s\n", e.Count, e.Fragment)
+	}
+}
+
+func parseObscurity(s string) (fragment.Obscurity, error) {
+	for _, ob := range fragment.Levels() {
+		if strings.EqualFold(ob.String(), s) {
+			return ob, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown obscurity %q", s)
+}
+
+func parseContext(s string) (fragment.Context, error) {
+	switch strings.ToUpper(s) {
+	case "SELECT":
+		return fragment.Select, nil
+	case "FROM":
+		return fragment.From, nil
+	case "WHERE":
+		return fragment.Where, nil
+	case "GROUP BY", "GROUPBY":
+		return fragment.GroupBy, nil
+	case "ORDER BY", "ORDERBY":
+		return fragment.OrderBy, nil
+	default:
+		return 0, fmt.Errorf("unknown context %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qfg-inspect:", err)
+	os.Exit(1)
+}

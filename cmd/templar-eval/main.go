@@ -1,0 +1,179 @@
+// Command templar-eval regenerates the paper's evaluation artifacts: the
+// dataset statistics (Table II), the four-system accuracy comparison
+// (Table III), the LogJoin ablation (Table IV), the κ and λ parameter
+// sweeps (Figures 5 and 6), and the obscurity-level ablation described in
+// §VII-B.
+//
+// Usage:
+//
+//	templar-eval -table 2         # Table II
+//	templar-eval -table 3         # Table III (NaLIR, NaLIR+, Pipeline, Pipeline+)
+//	templar-eval -table 4         # Table IV (LogJoin N/Y)
+//	templar-eval -figure 5        # accuracy vs kappa
+//	templar-eval -figure 6        # accuracy vs lambda
+//	templar-eval -ablation obscurity
+//	templar-eval -all             # everything
+//
+// Flags -kappa, -lambda, -obscurity and -dataset adjust the operating point
+// and restrict the benchmark set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"templar/internal/datasets"
+	"templar/internal/eval"
+	"templar/internal/fragment"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate a table (2, 3 or 4)")
+		figure    = flag.Int("figure", 0, "regenerate a figure (5 or 6)")
+		ablation  = flag.String("ablation", "", "run an ablation (obscurity, design, sessions)")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		kappa     = flag.Int("kappa", 5, "kappa: candidate mappings kept per keyword")
+		lambda    = flag.Float64("lambda", 0.8, "lambda: similarity weight vs log-driven weight")
+		obscurity = flag.String("obscurity", "NoConstOp", "QFG obscurity level (Full, NoConst, NoConstOp)")
+		dataset   = flag.String("dataset", "", "restrict to one dataset (MAS, Yelp, IMDB)")
+		breakdown = flag.String("breakdown", "", "per-template breakdown for one system (Pipeline, Pipeline+, NaLIR, NaLIR+)")
+		headline  = flag.Bool("headline", false, "print the abstract's 'up to N%' improvement claim")
+	)
+	flag.Parse()
+
+	ob, err := parseObscurity(*obscurity)
+	if err != nil {
+		fatal(err)
+	}
+	opts := eval.Options{K: *kappa, Lambda: *lambda, Obscurity: ob}
+
+	sets := datasets.All()
+	if *dataset != "" {
+		var filtered []*datasets.Dataset
+		for _, ds := range sets {
+			if strings.EqualFold(ds.Name, *dataset) {
+				filtered = append(filtered, ds)
+			}
+		}
+		if len(filtered) == 0 {
+			fatal(fmt.Errorf("unknown dataset %q", *dataset))
+		}
+		sets = filtered
+	}
+	order := make([]string, len(sets))
+	for i, ds := range sets {
+		order[i] = ds.Name
+	}
+
+	ran := false
+	if *all || *table == 2 {
+		fmt.Print(eval.TableII(sets))
+		fmt.Println()
+		ran = true
+	}
+	if *all || *table == 3 {
+		out, err := eval.TableIII(sets, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Println()
+		ran = true
+	}
+	if *all || *table == 4 {
+		out, err := eval.TableIV(sets, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Println()
+		ran = true
+	}
+	if *all || *figure == 5 {
+		series, err := eval.Figure5(sets, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(eval.RenderSweep("Figure 5: Pipeline+ FQ accuracy vs kappa (lambda=0.8)", "kappa", series, order))
+		fmt.Print(eval.RenderChart("Figure 5 (chart)", "kappa", series, order))
+		fmt.Println()
+		ran = true
+	}
+	if *all || *figure == 6 {
+		series, err := eval.Figure6(sets, []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(eval.RenderSweep("Figure 6: Pipeline+ FQ accuracy vs lambda (kappa=5)", "lambda", series, order))
+		fmt.Print(eval.RenderChart("Figure 6 (chart)", "lambda", series, order))
+		fmt.Println()
+		ran = true
+	}
+	if *all || *ablation == "obscurity" {
+		out, err := eval.ObscurityAblation(sets, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Println()
+		ran = true
+	}
+	if *all || *ablation == "design" {
+		out, err := eval.DesignAblation(sets, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Println()
+		ran = true
+	}
+	if *all || *ablation == "sessions" {
+		out, err := eval.SessionExperiment(sets, []float64{0, 0.25, 0.5, 0.75}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		ran = true
+	}
+	if *all || *headline {
+		imps, err := eval.Headline(sets, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(eval.RenderHeadline(imps))
+		fmt.Println()
+		ran = true
+	}
+	if *breakdown != "" {
+		for _, ds := range sets {
+			out, err := eval.TemplateBreakdown(ds, eval.SystemName(*breakdown), opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+			fmt.Println()
+		}
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseObscurity(s string) (fragment.Obscurity, error) {
+	for _, ob := range fragment.Levels() {
+		if strings.EqualFold(ob.String(), s) {
+			return ob, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown obscurity %q (want Full, NoConst or NoConstOp)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "templar-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Command templar-translate translates benchmark NLQs to SQL with any of
+// the four evaluated systems, showing the ranked keyword configurations,
+// the inferred join path, and the final SQL — the paper's §III-F example
+// execution, end to end.
+//
+// Usage:
+//
+//	templar-translate -dataset mas -list                 # list task ids
+//	templar-translate -dataset mas -task mas/papersInDomain/00
+//	templar-translate -dataset mas -task ... -system Pipeline
+//	templar-translate -dataset yelp -keywords "customers:select;Golden Cactus Grill:where"
+//
+// The QFG is built from the gold SQL of every benchmark task EXCEPT the one
+// being translated (leave-one-out), so the demonstrated translation never
+// relies on its own gold query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"templar/internal/datasets"
+	"templar/internal/embedding"
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+	"templar/internal/nlidb"
+	"templar/internal/qfg"
+	"templar/internal/sqlparse"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "mas", "benchmark dataset (mas, yelp, imdb)")
+		list     = flag.Bool("list", false, "list task ids and exit")
+		taskID   = flag.String("task", "", "benchmark task id to translate")
+		system   = flag.String("system", "Pipeline+", "system (Pipeline, Pipeline+, NaLIR, NaLIR+)")
+		keywords = flag.String("keywords", "", "ad-hoc keywords: 'text:context[:op|:agg]' separated by ';'")
+		kappa    = flag.Int("kappa", 5, "kappa")
+		lambda   = flag.Float64("lambda", 0.8, "lambda")
+	)
+	flag.Parse()
+
+	var ds *datasets.Dataset
+	for _, d := range datasets.All() {
+		if strings.EqualFold(d.Name, *dataset) {
+			ds = d
+		}
+	}
+	if ds == nil {
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+	if *list {
+		for _, t := range ds.Tasks {
+			fmt.Printf("%-36s %s\n", t.ID, t.NLQ)
+		}
+		return
+	}
+
+	var kws []keyword.Keyword
+	var nlq string
+	var gold string
+	hazard := false
+	switch {
+	case *taskID != "":
+		for _, t := range ds.Tasks {
+			if t.ID == *taskID {
+				kws, nlq, gold, hazard = t.Keywords, t.NLQ, t.GoldCanonical, t.Hazard
+			}
+		}
+		if kws == nil {
+			fatal(fmt.Errorf("unknown task %q (use -list)", *taskID))
+		}
+	case *keywords != "":
+		var err error
+		kws, err = keyword.ParseSpec(*keywords)
+		if err != nil {
+			fatal(err)
+		}
+		nlq = *keywords
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	graph, err := buildQFG(ds, *taskID)
+	if err != nil {
+		fatal(err)
+	}
+	opts := keyword.Options{K: *kappa, Lambda: *lambda, Obscurity: fragment.NoConstOp}
+	model := embedding.New()
+	var sys *nlidb.System
+	switch strings.ToLower(*system) {
+	case "pipeline":
+		sys = nlidb.NewPipeline(ds.DB, model, opts)
+	case "pipeline+":
+		sys = nlidb.NewPipelinePlus(ds.DB, model, graph, true, opts)
+	case "nalir":
+		sys = nlidb.NewNaLIR(ds.DB, nlidb.DefaultNaLIRNoise(), opts)
+	case "nalir+":
+		sys = nlidb.NewNaLIRPlus(ds.DB, model, graph, nlidb.DefaultNaLIRNoise(), opts)
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+
+	fmt.Printf("NLQ:      %s\n", nlq)
+	fmt.Printf("System:   %s\n", sys.Name())
+	configs, err := sys.TopMappings(nlq, hazard, kws)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Top keyword-mapping configurations:")
+	for i, cfg := range configs {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  #%d score=%.3f (sim=%.3f qfg=%.3f)\n", i+1, cfg.Score, cfg.SimScore, cfg.QFGScore)
+		for _, m := range cfg.Mappings {
+			fmt.Printf("     %s\n", m)
+		}
+	}
+	tr, err := sys.Translate(nlq, hazard, kws)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Join path: %s (weight %.3f)\n", tr.Path, tr.Path.TotalWeight)
+	fmt.Printf("SQL:       %s\n", tr.Rendered)
+	if tr.Tie {
+		fmt.Println("WARNING: another query tied for the top rank")
+	}
+	if gold != "" {
+		verdict := "MISMATCH"
+		if tr.SQL == gold && !tr.Tie {
+			verdict = "MATCH"
+		}
+		fmt.Printf("Gold:      %s\nVerdict:   %s\n", gold, verdict)
+	}
+}
+
+// buildQFG folds every benchmark gold query except the held-out task.
+func buildQFG(ds *datasets.Dataset, holdout string) (*qfg.Graph, error) {
+	var entries []sqlparse.LogEntry
+	for _, t := range ds.Tasks {
+		if t.ID == holdout {
+			continue
+		}
+		q, err := sqlparse.Parse(t.Gold)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
+	}
+	return qfg.Build(entries, fragment.NoConstOp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "templar-translate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,326 @@
+package datasets
+
+import (
+	"fmt"
+
+	"templar/internal/db"
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+)
+
+// IMDB builds the movie benchmark with the Table II shape (16 relations,
+// 65 attributes, 20 FK-PK edges) and a 128-task workload.
+//
+// Two structural ambiguities drive the evaluation: movie reaches genre via
+// classification OR via its series (equal length), and reaches company via
+// copyright OR via its series (equal length) — uniform weights tie, the log
+// breaks the tie.
+func IMDB() *Dataset {
+	b := newSchemaBuilder()
+	b.rel("actor", pk("aid"), text("name"), text("gender"), num("birth_year"), text("birth_city"), text("nationality"))
+	b.rel("movie", pk("mid"), text("title"), num("release_year"), num("rating"), num("budget"), num("gross"), num("runtime"), text("mpaa_rating"), num("sid"))
+	b.rel("tv_series", pk("sid"), text("title"), num("release_year"), num("end_year"), num("num_of_seasons"), num("num_of_episodes"), num("rating"), num("cid"), num("gid"))
+	b.rel("director", pk("did"), text("name"), num("birth_year"), text("nationality"), num("cid"))
+	b.rel("producer", pk("pid"), text("name"), num("birth_year"), text("nationality"), num("cid"))
+	b.rel("writer", pk("wid"), text("name"), num("birth_year"), text("nationality"), num("cid"))
+	b.rel("company", pk("cid"), text("name"), text("country"), num("founded_year"))
+	b.rel("genre", pk("gid"), text("genre"), text("description"))
+	b.rel("keyword", pk("kid"), text("keyword"), num("popularity"))
+	b.rel("cast", num("aid"), num("msid"), text("role"), num("credit_order"))
+	b.rel("directed_by", num("did"), num("msid"))
+	b.rel("made_by", num("pid"), num("msid"))
+	b.rel("written_by", num("wid"), num("msid"))
+	b.rel("classification", num("gid"), num("msid"))
+	b.rel("tags", num("kid"), num("msid"))
+	b.rel("copyright", num("cid"), num("msid"))
+
+	b.fk("movie", "sid", "tv_series", "sid")
+	b.fk("tv_series", "cid", "company", "cid")
+	b.fk("tv_series", "gid", "genre", "gid")
+	b.fk("director", "cid", "company", "cid")
+	b.fk("producer", "cid", "company", "cid")
+	b.fk("writer", "cid", "company", "cid")
+	b.fk("cast", "aid", "actor", "aid")
+	b.fk("cast", "msid", "movie", "mid")
+	b.fk("directed_by", "did", "director", "did")
+	b.fk("directed_by", "msid", "movie", "mid")
+	b.fk("made_by", "pid", "producer", "pid")
+	b.fk("made_by", "msid", "movie", "mid")
+	b.fk("written_by", "wid", "writer", "wid")
+	b.fk("written_by", "msid", "movie", "mid")
+	b.fk("classification", "gid", "genre", "gid")
+	b.fk("classification", "msid", "movie", "mid")
+	b.fk("tags", "kid", "keyword", "kid")
+	b.fk("tags", "msid", "movie", "mid")
+	b.fk("copyright", "cid", "company", "cid")
+	b.fk("copyright", "msid", "movie", "mid")
+	g := b.build()
+
+	d := db.New(g)
+	r := newRNG(0x494D4442) // "IMDB"
+	pools := populateIMDB(d, r)
+	tasks := imdbTasks(pools)
+	return &Dataset{Name: "IMDB", SizeGB: 1.3, DB: d, Tasks: tasks.tasks}
+}
+
+type imdbPools struct {
+	movies    []string
+	actors    []string
+	directors []string
+	genres    []string
+	companies []string
+}
+
+func populateIMDB(d *db.Database, r *rng) imdbPools {
+	var p imdbPools
+	p.genres = []string{
+		"Film Noir", "Space Opera", "Courtroom Drama", "Heist Caper",
+		"Psychological Thriller", "Road Adventure", "Coming of Age",
+		"Political Satire", "Survival Epic", "Gothic Horror",
+		"Screwball Comedy", "Sports Underdog", "Spy Intrigue", "Western Frontier",
+	}
+	for i, gname := range p.genres {
+		d.MustInsert("genre", []db.Value{
+			db.Num(float64(i + 1)), db.Str(gname), db.Str("Stories in the " + gname + " tradition."),
+		})
+	}
+	p.companies = []string{
+		"Meridian Pictures", "Larkspur Studios", "Quarry Gate Films",
+		"Harborline Media", "Vantage Reel Works", "Bluewater Stagecraft",
+		"Ironwood Features", "Northlight Cinema", "Foxglove Productions",
+		"Crescent Frame House", "Saltmarsh Screenworks", "Gilded Lantern Films",
+	}
+	countries := []string{"United States", "United Kingdom", "Canada", "France", "Germany", "Japan"}
+	for i, c := range p.companies {
+		d.MustInsert("company", []db.Value{
+			db.Num(float64(i + 1)), db.Str(c), db.Str(countries[r.intn(len(countries))]),
+			db.Num(float64(1920 + r.intn(80))),
+		})
+	}
+	seriesTitles := []string{
+		"Harborview Nights", "The Cartographers", "Ashfall County",
+		"Signal and Static", "The Long Meridian", "Paper Lanterns",
+		"Quarter Moon Diner", "The Archivists", "Redline Dispatch", "Winter Palace Road",
+	}
+	for i, s := range seriesTitles {
+		d.MustInsert("tv_series", []db.Value{
+			db.Num(float64(i + 1)), db.Str(s),
+			db.Num(float64(1990 + r.intn(25))), db.Num(float64(1995 + r.intn(21))),
+			db.Num(float64(r.intn(9) + 1)), db.Num(float64(10 + r.intn(150))),
+			db.Num(float64(40+r.intn(60)) / 10),
+			db.Num(float64(r.intn(len(p.companies)) + 1)), db.Num(float64(r.intn(len(p.genres)) + 1)),
+		})
+	}
+	movieHeads := []string{
+		"The Silent", "A Distant", "The Last", "Beneath the", "Beyond the",
+		"The Crimson", "An Uncommon", "The Forgotten", "Chasing the", "The Eleventh",
+	}
+	movieTails := []string{
+		"Harvest", "Orchard", "Lighthouse", "Overture", "Crossing", "Meridian",
+		"Labyrinth", "Regatta", "Monsoon", "Aqueduct", "Gambit", "Parallel",
+		"Sonata", "Expedition", "Reckoning", "Carousel",
+	}
+	mpaa := []string{"G", "PG", "PG-13", "R"}
+	for i := 0; i < 140; i++ {
+		// head × tail is unique for 140 rows and digit-free (titles used
+		// as keywords must not trigger the numeric branch).
+		title := movieHeads[i%len(movieHeads)] + " " + movieTails[(i/len(movieHeads))%len(movieTails)]
+		p.movies = append(p.movies, title)
+		d.MustInsert("movie", []db.Value{
+			db.Num(float64(i + 1)), db.Str(title),
+			db.Num(float64(1975 + r.intn(41))),
+			db.Num(float64(30+r.intn(70)) / 10),
+			db.Num(float64(1000000 * (1 + r.intn(200)))),
+			db.Num(float64(1000000 * (1 + r.intn(900)))),
+			db.Num(float64(80 + r.intn(100))),
+			db.Str(mpaa[r.intn(len(mpaa))]),
+			db.Num(float64(r.intn(len(seriesTitles)) + 1)),
+		})
+	}
+	actorFirst := []string{
+		"Rosalind", "Caspian", "Imogen", "Thaddeus", "Seraphina", "Barnaby",
+		"Ottilie", "Leopold", "Clementine", "Ignatius", "Wilhelmina", "Percival",
+		"Henrietta", "Montgomery", "Araminta", "Bartholomew",
+	}
+	actorLast := []string{
+		"Ashcombe", "Beaumont", "Carrow", "Davenport", "Everhart", "Fenwick",
+		"Glenister", "Hargreaves", "Illingworth", "Jessop", "Kensington", "Lytton",
+	}
+	for i := 0; i < 90; i++ {
+		name := actorFirst[i%len(actorFirst)] + " " + actorLast[(i/len(actorFirst)+i)%len(actorLast)]
+		p.actors = append(p.actors, name)
+		gender := "female"
+		if i%2 == 1 {
+			gender = "male"
+		}
+		d.MustInsert("actor", []db.Value{
+			db.Num(float64(i + 1)), db.Str(name), db.Str(gender),
+			db.Num(float64(1930 + r.intn(65))), db.Str("Springfield"), db.Str(countries[r.intn(len(countries))]),
+		})
+	}
+	directorLast := []string{
+		"Maresca", "Oyelowo", "Brandt", "Castellano", "Duval", "Eriksen",
+		"Fontaine", "Giordano", "Havel", "Iwata", "Janssen", "Kovacs",
+		"Laurent", "Moravec", "Nakagawa", "Oliveira", "Paquette", "Quispe",
+	}
+	for i := 0; i < 36; i++ {
+		name := actorFirst[(i*3)%len(actorFirst)] + " " + directorLast[i%len(directorLast)]
+		p.directors = append(p.directors, name)
+		d.MustInsert("director", []db.Value{
+			db.Num(float64(i + 1)), db.Str(name),
+			db.Num(float64(1930 + r.intn(60))), db.Str(countries[r.intn(len(countries))]),
+			db.Num(float64(r.intn(len(p.companies)) + 1)),
+		})
+	}
+	for i := 0; i < 24; i++ {
+		d.MustInsert("producer", []db.Value{
+			db.Num(float64(i + 1)), db.Str("Producer " + directorLast[i%len(directorLast)] + fmt.Sprint(i)),
+			db.Num(float64(1930 + r.intn(60))), db.Str(countries[r.intn(len(countries))]),
+			db.Num(float64(r.intn(len(p.companies)) + 1)),
+		})
+		d.MustInsert("writer", []db.Value{
+			db.Num(float64(i + 1)), db.Str("Writer " + actorLast[i%len(actorLast)] + fmt.Sprint(i)),
+			db.Num(float64(1930 + r.intn(60))), db.Str(countries[r.intn(len(countries))]),
+			db.Num(float64(r.intn(len(p.companies)) + 1)),
+		})
+	}
+	tagWords := []string{
+		"time travel", "double identity", "lost letter", "night train",
+		"underwater city", "chess duel", "desert rescue", "radio silence",
+		"glass bridge", "masked ball", "forged painting", "final broadcast",
+	}
+	for i, k := range tagWords {
+		d.MustInsert("keyword", []db.Value{db.Num(float64(i + 1)), db.Str(k), db.Num(float64(r.intn(100)))})
+	}
+	roles := []string{"lead", "support", "cameo", "narrator"}
+	for i := 0; i < 320; i++ {
+		d.MustInsert("cast", []db.Value{
+			db.Num(float64(r.intn(90) + 1)), db.Num(float64(r.intn(140) + 1)),
+			db.Str(roles[r.intn(len(roles))]), db.Num(float64(r.intn(12) + 1)),
+		})
+	}
+	for i := 0; i < 150; i++ {
+		d.MustInsert("directed_by", []db.Value{db.Num(float64(r.intn(36) + 1)), db.Num(float64(r.intn(140) + 1))})
+	}
+	for i := 0; i < 120; i++ {
+		d.MustInsert("made_by", []db.Value{db.Num(float64(r.intn(24) + 1)), db.Num(float64(r.intn(140) + 1))})
+		d.MustInsert("written_by", []db.Value{db.Num(float64(r.intn(24) + 1)), db.Num(float64(r.intn(140) + 1))})
+	}
+	for i := 0; i < 160; i++ {
+		d.MustInsert("classification", []db.Value{db.Num(float64(r.intn(len(p.genres)) + 1)), db.Num(float64(r.intn(140) + 1))})
+	}
+	for i := 0; i < 140; i++ {
+		d.MustInsert("tags", []db.Value{db.Num(float64(r.intn(len(tagWords)) + 1)), db.Num(float64(r.intn(140) + 1))})
+		d.MustInsert("copyright", []db.Value{db.Num(float64(r.intn(len(p.companies)) + 1)), db.Num(float64(r.intn(140) + 1))})
+	}
+	return p
+}
+
+func imdbTasks(p imdbPools) *taskBuilder {
+	tb := newTaskBuilder("imdb")
+
+	// I1 moviesByActor (20).
+	for i := 0; i < 20; i++ {
+		v := p.actors[i%len(p.actors)]
+		gold := fmt.Sprintf("SELECT m.title FROM movie m, cast c, actor a WHERE a.name = '%s' AND c.aid = a.aid AND c.msid = m.mid", sqlQuote(v))
+		tb.add("moviesByActor",
+			fmt.Sprintf("Find films starring %s", v),
+			[]keyword.Keyword{kwSelect("films"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("movie.title"), fragPredStr("actor.name", "=", v)},
+			false)
+	}
+
+	// I2 moviesByDirector (18).
+	for i := 0; i < 18; i++ {
+		v := p.directors[i%len(p.directors)]
+		gold := fmt.Sprintf("SELECT m.title FROM movie m, directed_by x, director d WHERE d.name = '%s' AND x.did = d.did AND x.msid = m.mid", sqlQuote(v))
+		tb.add("moviesByDirector",
+			fmt.Sprintf("Show movies directed by %s", v),
+			[]keyword.Keyword{kwSelect("movies"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("movie.title"), fragPredStr("director.name", "=", v)},
+			false)
+	}
+
+	// I3 moviesInGenre (20): equal-length tie — classification vs the
+	// series shortcut (movie.sid → tv_series.gid → genre).
+	for i := 0; i < 20; i++ {
+		v := p.genres[i%len(p.genres)]
+		if i < 10 {
+			v = p.genres[i%4] // hot genres: value skew gives Full obscurity its gains
+		}
+		gold := fmt.Sprintf("SELECT m.title FROM movie m, classification x, genre g WHERE g.genre = '%s' AND x.gid = g.gid AND x.msid = m.mid", sqlQuote(v))
+		tb.add("moviesInGenre",
+			fmt.Sprintf("Find %s films", v),
+			[]keyword.Keyword{kwSelect("films"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("movie.title"), fragPredStr("genre.genre", "=", v)},
+			false)
+	}
+
+	// I4 moviesOfCompany (15): equal-length tie — copyright vs the series
+	// shortcut (movie.sid → tv_series.cid → company).
+	for i := 0; i < 15; i++ {
+		v := p.companies[i%len(p.companies)]
+		gold := fmt.Sprintf("SELECT m.title FROM movie m, copyright x, company c WHERE c.name = '%s' AND x.cid = c.cid AND x.msid = m.mid", sqlQuote(v))
+		tb.add("moviesOfCompany",
+			fmt.Sprintf("List films released by %s", v),
+			[]keyword.Keyword{kwSelect("films"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("movie.title"), fragPredStr("company.name", "=", v)},
+			false)
+	}
+
+	// I5 moviesAfterYear (15): numeric ambiguity across release_year,
+	// end_year, birth_year, founded_year.
+	for i := 0; i < 15; i++ {
+		y := 1982 + (i*5)%28
+		gold := fmt.Sprintf("SELECT m.title FROM movie m WHERE m.release_year > %d", y)
+		tb.add("moviesAfterYear",
+			fmt.Sprintf("Find films released after %d", y),
+			[]keyword.Keyword{kwSelect("films"), kwWhereOp(fmt.Sprintf("after %d", y), ">")},
+			gold,
+			[]fragment.Fragment{fragAttr("movie.title"), fragPredNum("movie.release_year", ">", float64(y))},
+			false)
+	}
+
+	// I6 actorsInMovie (15).
+	for i := 0; i < 15; i++ {
+		v := p.movies[(i*7+3)%len(p.movies)]
+		gold := fmt.Sprintf("SELECT a.name FROM actor a, cast c, movie m WHERE m.title = '%s' AND c.aid = a.aid AND c.msid = m.mid", sqlQuote(v))
+		tb.add("actorsInMovie",
+			fmt.Sprintf("Who acted in %s", v),
+			[]keyword.Keyword{kwSelect("actors"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("actor.name"), fragPredStr("movie.title", "=", v)},
+			false)
+	}
+
+	// I7 moviesWithTwoActors (12, hazard): self-join through two cast
+	// instances.
+	for i := 0; i < 12; i++ {
+		v1 := p.actors[(2*i)%len(p.actors)]
+		v2 := p.actors[(2*i+37)%len(p.actors)]
+		gold := fmt.Sprintf("SELECT m.title FROM movie m, cast c1, cast c2, actor a1, actor a2 WHERE a1.name = '%s' AND a2.name = '%s' AND c1.aid = a1.aid AND c1.msid = m.mid AND c2.aid = a2.aid AND c2.msid = m.mid", sqlQuote(v1), sqlQuote(v2))
+		tb.add("moviesWithTwoActors",
+			fmt.Sprintf("Find films with both %s and %s", v1, v2),
+			[]keyword.Keyword{kwSelect("films"), kwWhere(v1), kwWhere(v2)},
+			gold,
+			[]fragment.Fragment{fragAttr("movie.title"), fragPredStr("actor.name", "=", v1), fragPredStr("actor.name", "=", v2)},
+			true)
+	}
+
+	// I8 countMoviesByDirector (13, hazard): aggregation.
+	for i := 0; i < 13; i++ {
+		v := p.directors[(i*2+7)%len(p.directors)]
+		gold := fmt.Sprintf("SELECT COUNT(m.title) FROM movie m, directed_by x, director d WHERE d.name = '%s' AND x.did = d.did AND x.msid = m.mid", sqlQuote(v))
+		tb.add("countMoviesByDirector",
+			fmt.Sprintf("How many movies has %s directed", v),
+			[]keyword.Keyword{kwSelectAgg("movies", "COUNT"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAgg("movie.title", "COUNT"), fragPredStr("director.name", "=", v)},
+			true)
+	}
+	return tb
+}

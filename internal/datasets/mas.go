@@ -1,0 +1,375 @@
+package datasets
+
+import (
+	"fmt"
+
+	"templar/internal/db"
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+)
+
+// MAS builds the Microsoft Academic Search benchmark: the Figure 1 schema
+// extended to the Table II shape (17 relations, 53 attributes, 19 FK-PK
+// edges) and a 194-task workload.
+//
+// The workload reproduces the paper's running example: "papers" is
+// deliberately ambiguous between journal.name and publication.title, and
+// the intended publication–domain join path runs through the keyword
+// junctions (4 edges), losing to the 3-edge conference/journal paths under
+// uniform weights.
+func MAS() *Dataset {
+	b := newSchemaBuilder()
+	b.rel("author", pk("aid"), text("name"), text("homepage"), num("oid"))
+	b.rel("organization", pk("oid"), text("name"), text("homepage"), num("continent_id"))
+	b.rel("continent", pk("continent_id"), text("name"))
+	b.rel("publication", pk("pid"), text("title"), text("abstract"), num("year"), num("citation_num"), num("reference_num"), num("cid"), num("jid"))
+	b.rel("journal", pk("jid"), text("name"), text("full_name"), text("homepage"))
+	b.rel("conference", pk("cid"), text("name"), text("full_name"), text("homepage"))
+	b.rel("conference_instance", pk("ciid"), num("cid"), num("year"), text("location"), num("attendees"))
+	b.rel("domain", pk("did"), text("name"))
+	b.rel("keyword", pk("kid"), text("keyword"))
+	b.rel("award", pk("awid"), text("name"), num("year"), num("prize_amount"))
+	b.rel("writes", num("aid"), num("pid"))
+	b.rel("cite", num("citing"), num("cited"))
+	b.rel("publication_keyword", num("pid"), num("kid"))
+	b.rel("author_award", num("aid"), num("awid"))
+	b.rel("domain_conference", num("cid"), num("did"))
+	b.rel("domain_journal", num("jid"), num("did"))
+	b.rel("domain_keyword", num("did"), num("kid"))
+
+	b.fk("author", "oid", "organization", "oid")
+	b.fk("organization", "continent_id", "continent", "continent_id")
+	b.fk("publication", "cid", "conference", "cid")
+	b.fk("publication", "jid", "journal", "jid")
+	b.fk("conference_instance", "cid", "conference", "cid")
+	b.fk("writes", "aid", "author", "aid")
+	b.fk("writes", "pid", "publication", "pid")
+	b.fk("cite", "citing", "publication", "pid")
+	b.fk("cite", "cited", "publication", "pid")
+	b.fk("publication_keyword", "pid", "publication", "pid")
+	b.fk("publication_keyword", "kid", "keyword", "kid")
+	b.fk("author_award", "aid", "author", "aid")
+	b.fk("author_award", "awid", "award", "awid")
+	b.fk("domain_conference", "cid", "conference", "cid")
+	b.fk("domain_conference", "did", "domain", "did")
+	b.fk("domain_journal", "jid", "journal", "jid")
+	b.fk("domain_journal", "did", "domain", "did")
+	b.fk("domain_keyword", "did", "domain", "did")
+	b.fk("domain_keyword", "kid", "keyword", "kid")
+	g := b.build()
+
+	d := db.New(g)
+	r := newRNG(0x4D5A53) // "MAS"
+	pools := populateMAS(d, r)
+	tasks := masTasks(pools, r)
+	return &Dataset{Name: "MAS", SizeGB: 3.2, DB: d, Tasks: tasks.tasks}
+}
+
+// masPools holds the value vocabularies the workload draws from.
+type masPools struct {
+	authors     []string
+	orgs        []string
+	domains     []string
+	keywords    []string
+	journals    []string
+	conferences []string
+	years       []int
+}
+
+func populateMAS(d *db.Database, r *rng) masPools {
+	var p masPools
+	continents := []string{"North America", "Europe", "Asia", "South America", "Africa", "Oceania"}
+	for i, c := range continents {
+		d.MustInsert("continent", []db.Value{db.Num(float64(i + 1)), db.Str(c)})
+	}
+	places := []string{
+		"Michigan", "Toronto", "Edinburgh", "Melbourne", "Heidelberg", "Kyoto",
+		"Waterloo", "Zurich", "Singapore", "Lund", "Bologna", "Tsinghua",
+		"Aarhus", "Princeton", "Leuven", "Coimbra", "Santiago", "Bergen",
+		"Ljubljana", "Dresden", "Grenoble", "Uppsala", "Salento", "Tartu",
+	}
+	for i, pl := range places {
+		p.orgs = append(p.orgs, "University of "+pl)
+		d.MustInsert("organization", []db.Value{
+			db.Num(float64(i + 1)), db.Str("University of " + pl),
+			db.Str("http://www." + pl + ".edu"), db.Num(float64(r.intn(len(continents)) + 1)),
+		})
+	}
+	first := []string{
+		"Greta", "Marcus", "Yuki", "Priya", "Tomas", "Ingrid", "Rafael", "Mei",
+		"Anders", "Sofia", "Dmitri", "Leila", "Hugo", "Nadia", "Viktor", "Carmen",
+		"Oskar", "Amara", "Felix", "Zara",
+	}
+	last := []string{
+		"Lindqvist", "Okafor", "Tanaka", "Novak", "Bergmann", "Castillo",
+		"Ivanova", "Moreau", "Petrov", "Silva", "Haugen", "Kowalski",
+		"Rossi", "Vargas", "Nilsen", "Dubois",
+	}
+	for i := 0; i < 80; i++ {
+		name := first[i%len(first)] + " " + last[(i/len(first)+i)%len(last)]
+		p.authors = append(p.authors, name)
+		d.MustInsert("author", []db.Value{
+			db.Num(float64(i + 1)), db.Str(name),
+			db.Str(fmt.Sprintf("http://people.example/%d", i+1)),
+			db.Num(float64(r.intn(len(places)) + 1)),
+		})
+	}
+	p.domains = []string{
+		"Databases", "Machine Learning", "Computer Vision", "Operating Systems",
+		"Computer Networks", "Information Retrieval", "Software Engineering",
+		"Computer Graphics", "Theory of Computation", "Computational Biology",
+		"Computer Security", "Distributed Computing", "Natural Language Processing",
+		"Human Computer Interaction", "Programming Languages", "Data Mining",
+		"Computer Architecture", "Robotics", "Embedded Systems", "Quantum Computing",
+		"Formal Verification", "Compiler Construction", "Wireless Communication",
+		"Cloud Computing", "Game Theory", "Cryptography", "Knowledge Representation",
+		"Parallel Computing", "Signal Processing", "Multimedia Systems",
+		"Recommender Systems", "Semantic Web", "Social Computing",
+		"Spatial Computing", "Ubiquitous Computing", "Visual Analytics",
+	}
+	for i, dm := range p.domains {
+		d.MustInsert("domain", []db.Value{db.Num(float64(i + 1)), db.Str(dm)})
+	}
+	p.keywords = []string{
+		"query optimization", "index tuning", "concurrency control", "crash recovery",
+		"skyline evaluation", "cardinality estimation", "schema matching", "entity resolution",
+		"stream joining", "graph traversal", "lock escalation", "buffer eviction",
+		"cost modeling", "plan caching", "histogram maintenance", "view materialization",
+		"transaction batching", "log shipping", "partition pruning", "vectorized execution",
+		"adaptive sampling", "workload forecasting", "latch contention", "checkpoint tuning",
+		"replica placement", "quorum voting", "gossip dissemination", "failure detection",
+		"sketch summarization", "bloom filtering", "trie compaction", "suffix indexing",
+		"hash partitioning", "range scanning", "bitmap encoding", "delta compression",
+		"write amplification", "read repair", "snapshot isolation", "version pruning",
+	}
+	for i, k := range p.keywords {
+		d.MustInsert("keyword", []db.Value{db.Num(float64(i + 1)), db.Str(k)})
+	}
+	p.journals = []string{
+		"TKDE", "TMC", "TODS", "VLDBJ", "TOIS", "TOCS", "TOPLAS", "TOSEM",
+		"TISSEC", "TWEB", "TALG", "TECS", "TOMM", "TIST", "TKDD", "TSLP",
+		"TACO", "TRETS", "TOCE", "TIOT",
+	}
+	for i, j := range p.journals {
+		d.MustInsert("journal", []db.Value{
+			db.Num(float64(i + 1)), db.Str(j),
+			db.Str("Transactions Series " + fmt.Sprint(i+1)),
+			db.Str("http://journals.example/" + j),
+		})
+	}
+	p.conferences = []string{
+		"VLDB", "SIGMOD", "ICDE", "EDBT", "CIDR", "PODS", "KDD", "WSDM",
+		"NeurIPS", "ICML", "ACL", "EMNLP", "OSDI", "SOSP", "NSDI", "EuroSys",
+		"PLDI", "POPL", "CAV", "CCS",
+	}
+	for i, c := range p.conferences {
+		d.MustInsert("conference", []db.Value{
+			db.Num(float64(i + 1)), db.Str(c),
+			db.Str("International Meeting Series " + fmt.Sprint(i+1)),
+			db.Str("http://conf.example/" + c),
+		})
+		d.MustInsert("conference_instance", []db.Value{
+			db.Num(float64(i + 1)), db.Num(float64(i + 1)),
+			db.Num(float64(1995 + r.intn(20))), db.Str(places[r.intn(len(places))]),
+			db.Num(float64(100 + r.intn(800))),
+		})
+	}
+	titleHeads := []string{
+		"Scalable", "Adaptive", "Incremental", "Robust", "Efficient", "Learned",
+		"Approximate", "Distributed", "Secure", "Interactive",
+	}
+	titleCores := []string{
+		"Join Processing", "Index Maintenance", "Query Planning", "Data Cleaning",
+		"Schema Evolution", "Transaction Scheduling", "Graph Summarization",
+		"Stream Aggregation", "Storage Layouts", "Provenance Tracking",
+		"Workload Replay", "Cache Admission", "Sampling Strategies", "Log Analysis",
+		"Sharding Policies",
+	}
+	for i := 0; i < 150; i++ {
+		year := 1990 + r.intn(26)
+		// head × core is unique for 150 rows; no digits, so a title used
+		// as a keyword never trips the numeric-predicate branch.
+		title := titleHeads[i%len(titleHeads)] + " " + titleCores[(i/len(titleHeads))%len(titleCores)]
+		d.MustInsert("publication", []db.Value{
+			db.Num(float64(i + 1)), db.Str(title),
+			db.Str("We study " + titleCores[(i/len(titleHeads))%len(titleCores)] + " at scale."),
+			db.Num(float64(year)), db.Num(float64(r.intn(3000))), db.Num(float64(r.intn(80))),
+			db.Num(float64(r.intn(len(p.conferences)) + 1)), db.Num(float64(r.intn(len(p.journals)) + 1)),
+		})
+		p.years = append(p.years, year)
+	}
+	awards := []string{
+		"Turing Prize", "Codd Innovations Prize", "Dijkstra Prize", "Kanellakis Prize",
+		"Athena Lecturer Prize", "Gray Dissertation Prize", "Hopper Prize",
+		"Lovelace Medal", "Shannon Medal", "Hamming Medal", "Wilkes Medal", "Babbage Medal",
+	}
+	for i, a := range awards {
+		d.MustInsert("award", []db.Value{
+			db.Num(float64(i + 1)), db.Str(a),
+			db.Num(float64(1990 + r.intn(26))), db.Num(float64(500 + r.intn(1400))),
+		})
+	}
+	// Junction rows: random but deterministic links.
+	for i := 0; i < 300; i++ {
+		d.MustInsert("writes", []db.Value{db.Num(float64(r.intn(80) + 1)), db.Num(float64(r.intn(150) + 1))})
+	}
+	for i := 0; i < 200; i++ {
+		d.MustInsert("cite", []db.Value{db.Num(float64(r.intn(150) + 1)), db.Num(float64(r.intn(150) + 1))})
+	}
+	for i := 0; i < 250; i++ {
+		d.MustInsert("publication_keyword", []db.Value{db.Num(float64(r.intn(150) + 1)), db.Num(float64(r.intn(len(p.keywords)) + 1))})
+	}
+	for i := 0; i < 30; i++ {
+		d.MustInsert("author_award", []db.Value{db.Num(float64(r.intn(80) + 1)), db.Num(float64(r.intn(len(awards)) + 1))})
+	}
+	for i := 0; i < 40; i++ {
+		d.MustInsert("domain_conference", []db.Value{db.Num(float64(r.intn(len(p.conferences)) + 1)), db.Num(float64(r.intn(len(p.domains)) + 1))})
+		d.MustInsert("domain_journal", []db.Value{db.Num(float64(r.intn(len(p.journals)) + 1)), db.Num(float64(r.intn(len(p.domains)) + 1))})
+	}
+	for i := 0; i < 60; i++ {
+		d.MustInsert("domain_keyword", []db.Value{db.Num(float64(r.intn(len(p.domains)) + 1)), db.Num(float64(r.intn(len(p.keywords)) + 1))})
+	}
+	return p
+}
+
+// masTasks generates the 194-task workload.
+func masTasks(p masPools, r *rng) *taskBuilder {
+	tb := newTaskBuilder("mas")
+
+	// T1 papersInDomain (30): the running example. Gold path goes through
+	// the keyword junctions; keyword "papers" is the journal/publication
+	// ambiguity. Half the tasks hit a hot set of five domains — real
+	// query logs are value-skewed, which is what gives the Full obscurity
+	// level its (smaller) gains.
+	for i := 0; i < 30; i++ {
+		v := p.domains[i%len(p.domains)]
+		if i < 15 {
+			v = p.domains[i%3]
+		}
+		gold := fmt.Sprintf("SELECT p.title FROM publication p, publication_keyword pk, keyword k, domain_keyword dk, domain d WHERE d.name = '%s' AND pk.pid = p.pid AND pk.kid = k.kid AND dk.kid = k.kid AND dk.did = d.did", sqlQuote(v))
+		tb.add("papersInDomain",
+			fmt.Sprintf("Find papers in the %s domain", v),
+			[]keyword.Keyword{kwSelect("papers"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("publication.title"), fragPredStr("domain.name", "=", v)},
+			false)
+	}
+
+	// T2 papersAfterYear (33): numeric predicate with attribute ambiguity
+	// (publication.year vs citation_num vs award.year vs
+	// conference_instance.year all satisfy "> Y").
+	for i := 0; i < 33; i++ {
+		y := 1992 + (i*7)%18
+		gold := fmt.Sprintf("SELECT p.title FROM publication p WHERE p.year > %d", y)
+		tb.add("papersAfterYear",
+			fmt.Sprintf("Return the papers after %d", y),
+			[]keyword.Keyword{kwSelect("papers"), kwWhereOp(fmt.Sprintf("after %d", y), ">")},
+			gold,
+			[]fragment.Fragment{fragAttr("publication.title"), fragPredNum("publication.year", ">", float64(y))},
+			false)
+	}
+
+	// T3 papersInJournal (20): direct join publication–journal.
+	for i := 0; i < 20; i++ {
+		v := p.journals[i%len(p.journals)]
+		gold := fmt.Sprintf("SELECT p.title FROM publication p, journal j WHERE j.name = '%s' AND p.jid = j.jid", sqlQuote(v))
+		tb.add("papersInJournal",
+			fmt.Sprintf("Show publications in %s", v),
+			[]keyword.Keyword{kwSelect("publications"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("publication.title"), fragPredStr("journal.name", "=", v)},
+			false)
+	}
+
+	// T4 papersInConference (20): direct join publication–conference.
+	for i := 0; i < 20; i++ {
+		v := p.conferences[i%len(p.conferences)]
+		gold := fmt.Sprintf("SELECT p.title FROM publication p, conference c WHERE c.name = '%s' AND p.cid = c.cid", sqlQuote(v))
+		tb.add("papersInConference",
+			fmt.Sprintf("Show articles appearing in %s", v),
+			[]keyword.Keyword{kwSelect("articles"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("publication.title"), fragPredStr("conference.name", "=", v)},
+			false)
+	}
+
+	// T5 authorsOfOrg (20).
+	for i := 0; i < 20; i++ {
+		v := p.orgs[i%len(p.orgs)]
+		gold := fmt.Sprintf("SELECT a.name FROM author a, organization o WHERE o.name = '%s' AND a.oid = o.oid", sqlQuote(v))
+		tb.add("authorsOfOrg",
+			fmt.Sprintf("List researchers at the %s", v),
+			[]keyword.Keyword{kwSelect("researchers"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("author.name"), fragPredStr("organization.name", "=", v)},
+			false)
+	}
+
+	// T6 countPapersByAuthor (20, hazard): aggregation; NaLIR's parser
+	// frequently mangles these (§VII-C).
+	for i := 0; i < 20; i++ {
+		v := p.authors[i%len(p.authors)]
+		gold := fmt.Sprintf("SELECT COUNT(p.title) FROM publication p, writes w, author a WHERE a.name = '%s' AND w.aid = a.aid AND w.pid = p.pid", sqlQuote(v))
+		tb.add("countPapersByAuthor",
+			fmt.Sprintf("How many papers does %s have", v),
+			[]keyword.Keyword{kwSelectAgg("papers", "COUNT"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAgg("publication.title", "COUNT"), fragPredStr("author.name", "=", v)},
+			true)
+	}
+
+	// T7 papersOnKeyword (20).
+	for i := 0; i < 20; i++ {
+		v := p.keywords[i%len(p.keywords)]
+		gold := fmt.Sprintf("SELECT p.title FROM publication p, publication_keyword pk, keyword k WHERE k.keyword = '%s' AND pk.pid = p.pid AND pk.kid = k.kid", sqlQuote(v))
+		tb.add("papersOnKeyword",
+			fmt.Sprintf("Find paper titles about %s", v),
+			[]keyword.Keyword{kwSelect("paper titles"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("publication.title"), fragPredStr("keyword.keyword", "=", v)},
+			false)
+	}
+
+	// T8 papersByTwoAuthors (15, hazard): self-joins (Example 7).
+	for i := 0; i < 15; i++ {
+		v1 := p.authors[(2*i)%len(p.authors)]
+		v2 := p.authors[(2*i+41)%len(p.authors)]
+		gold := fmt.Sprintf("SELECT p.title FROM publication p, writes w1, writes w2, author a1, author a2 WHERE a1.name = '%s' AND a2.name = '%s' AND w1.aid = a1.aid AND w1.pid = p.pid AND w2.aid = a2.aid AND w2.pid = p.pid", sqlQuote(v1), sqlQuote(v2))
+		tb.add("papersByTwoAuthors",
+			fmt.Sprintf("Find papers written by both %s and %s", v1, v2),
+			[]keyword.Keyword{kwSelect("papers"), kwWhere(v1), kwWhere(v2)},
+			gold,
+			[]fragment.Fragment{fragAttr("publication.title"), fragPredStr("author.name", "=", v1), fragPredStr("author.name", "=", v2)},
+			true)
+	}
+
+	// T9 journalsInDomain (8): keeps journal.name present as a SELECT
+	// fragment with domain predicates so the QFG evidence is diluted but
+	// not absent.
+	for i := 0; i < 8; i++ {
+		v := p.domains[(i*3+1)%len(p.domains)]
+		gold := fmt.Sprintf("SELECT j.name FROM journal j, domain_journal dj, domain d WHERE d.name = '%s' AND dj.jid = j.jid AND dj.did = d.did", sqlQuote(v))
+		tb.add("journalsInDomain",
+			fmt.Sprintf("Which journals cover %s", v),
+			[]keyword.Keyword{kwSelect("journals"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("journal.name"), fragPredStr("domain.name", "=", v)},
+			false)
+	}
+
+	// T10 journalsByYear (8): keeps journal.name paired with year
+	// predicates in the log (Dice dilution pressure on the T2 flip), while
+	// staying rare enough that publication.title keeps the stronger
+	// co-occurrence evidence.
+	for i := 0; i < 8; i++ {
+		y := 1994 + (i*5)%16
+		gold := fmt.Sprintf("SELECT j.name FROM journal j, publication p WHERE p.year > %d AND p.jid = j.jid", y)
+		tb.add("journalsByYear",
+			fmt.Sprintf("Journals with papers after %d", y),
+			[]keyword.Keyword{kwSelect("journals"), kwWhereOp(fmt.Sprintf("after %d", y), ">")},
+			gold,
+			[]fragment.Fragment{fragAttr("journal.name"), fragPredNum("publication.year", ">", float64(y))},
+			false)
+	}
+	return tb
+}

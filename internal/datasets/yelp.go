@@ -1,0 +1,234 @@
+package datasets
+
+import (
+	"fmt"
+
+	"templar/internal/db"
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+)
+
+// Yelp builds the business-review benchmark with the Table II shape
+// (7 relations, 38 attributes, 7 FK-PK edges) and a 127-task workload.
+//
+// The schema is a star around business; user connects to business through
+// two equal-length paths (via review and via tip), so uniform join weights
+// tie and the evaluation's LogJoin toggle shows its largest gain here, as
+// in Table IV.
+func Yelp() *Dataset {
+	b := newSchemaBuilder()
+	b.rel("business", pk("bid"), text("name"), text("full_address"), text("city"), text("state"),
+		num("latitude"), num("longitude"), num("review_count"), num("is_open"), num("rating"))
+	b.rel("category", pk("id"), num("business_id"), text("category_name"))
+	b.rel("checkin", pk("cid"), num("business_id"), num("count"), text("day"))
+	b.rel("neighbourhood", pk("id"), num("business_id"), text("neighbourhood_name"))
+	b.rel("review", pk("rid"), num("business_id"), num("user_id"), num("rating"), text("text"), num("year"), num("month"))
+	b.rel("tip", pk("tip_id"), num("business_id"), num("user_id"), text("text"), num("likes"), num("year"))
+	b.rel("user", pk("uid"), text("name"), num("review_count"), num("fans"), num("average_stars"))
+
+	b.fk("category", "business_id", "business", "bid")
+	b.fk("checkin", "business_id", "business", "bid")
+	b.fk("neighbourhood", "business_id", "business", "bid")
+	b.fk("review", "business_id", "business", "bid")
+	b.fk("review", "user_id", "user", "uid")
+	b.fk("tip", "business_id", "business", "bid")
+	b.fk("tip", "user_id", "user", "uid")
+	g := b.build()
+
+	d := db.New(g)
+	r := newRNG(0x59454C50) // "YELP"
+	pools := populateYelp(d, r)
+	tasks := yelpTasks(pools)
+	return &Dataset{Name: "Yelp", SizeGB: 2.0, DB: d, Tasks: tasks.tasks}
+}
+
+type yelpPools struct {
+	businesses []string
+	cities     []string
+	categories []string
+	users      []string
+}
+
+func populateYelp(d *db.Database, r *rng) yelpPools {
+	var p yelpPools
+	p.cities = []string{
+		"Phoenix", "Scottsdale", "Tempe", "Mesa", "Chandler", "Glendale",
+		"Gilbert", "Peoria", "Surprise", "Avondale", "Goodyear", "Buckeye",
+		"Tucson", "Flagstaff", "Prescott", "Yuma", "Sedona", "Kingman",
+		"Payson", "Globe",
+	}
+	states := []string{"AZ", "NV", "CA", "UT", "NM", "CO", "TX", "OR"}
+	p.categories = []string{
+		"Mexican Food", "Thai Food", "Sushi Bars", "Steakhouses", "Bakeries",
+		"Coffee Roasters", "Pizza Kitchens", "Vegan Dining", "Barbecue Pits",
+		"Noodle Houses", "Breweries", "Juice Bars", "Delicatessens",
+		"Creperies", "Taquerias", "Gastropubs", "Ramen Shops", "Bistros",
+	}
+	bizHeads := []string{
+		"Golden Cactus", "Desert Bloom", "Sunset Mesa", "Copper Canyon",
+		"Silver Saguaro", "Painted Rock", "Turquoise Trail", "Adobe Flats",
+		"Red Butte", "Cholla Grove", "Agave Ridge", "Mariposa Court",
+		"Ocotillo Bend", "Pinyon Hollow", "Saltbrush Corner", "Yucca Point",
+		"Juniper Wash", "Cottonwood Draw", "Palo Verde Row", "Tumbleweed Yard",
+	}
+	bizTails := []string{"Grill", "Cantina", "Diner", "Cafe", "Eatery", "Kitchen", "Tavern", "Lounge"}
+	for i := 0; i < 80; i++ {
+		name := bizHeads[i%len(bizHeads)] + " " + bizTails[(i/len(bizHeads)+i)%len(bizTails)]
+		p.businesses = append(p.businesses, name)
+		city := p.cities[r.intn(len(p.cities))]
+		d.MustInsert("business", []db.Value{
+			db.Num(float64(i + 1)), db.Str(name),
+			db.Str(fmt.Sprintf("%d Main Street, %s", 100+i, city)),
+			db.Str(city), db.Str(states[r.intn(len(states))]),
+			db.Num(33 + float64(r.intn(400))/100), db.Num(-112 - float64(r.intn(400))/100),
+			db.Num(float64(r.intn(900))), db.Num(float64(r.intn(2))),
+			db.Num(float64(10+r.intn(41)) / 10), // 1.0 .. 5.0
+		})
+		d.MustInsert("category", []db.Value{
+			db.Num(float64(i + 1)), db.Num(float64(i + 1)), db.Str(p.categories[r.intn(len(p.categories))]),
+		})
+	}
+	hoods := []string{"Arcadia", "Encanto", "Willo", "Coronado", "Garfield", "Roosevelt", "Melrose", "Sunnyslope"}
+	for i := 0; i < 50; i++ {
+		d.MustInsert("neighbourhood", []db.Value{
+			db.Num(float64(i + 1)), db.Num(float64(r.intn(80) + 1)), db.Str(hoods[r.intn(len(hoods))]),
+		})
+	}
+	days := []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+	for i := 0; i < 80; i++ {
+		d.MustInsert("checkin", []db.Value{
+			db.Num(float64(i + 1)), db.Num(float64(r.intn(80) + 1)),
+			db.Num(float64(r.intn(60))), db.Str(days[r.intn(len(days))]),
+		})
+	}
+	first := []string{
+		"Avery", "Blake", "Casey", "Devon", "Ellis", "Frankie", "Harper",
+		"Indigo", "Jules", "Kendall", "Logan", "Morgan", "Noel", "Parker", "Quinn",
+	}
+	last := []string{
+		"Whitfield", "Marsh", "Calloway", "Draper", "Ellington", "Fairbanks",
+		"Granger", "Holloway", "Irving", "Jennings", "Kirkland", "Lockhart",
+	}
+	for i := 0; i < 60; i++ {
+		name := first[i%len(first)] + " " + last[(i/len(first)+i)%len(last)]
+		p.users = append(p.users, name)
+		d.MustInsert("user", []db.Value{
+			db.Num(float64(i + 1)), db.Str(name),
+			db.Num(float64(r.intn(400))), db.Num(float64(r.intn(200))),
+			db.Num(float64(10+r.intn(41)) / 10),
+		})
+	}
+	snippets := []string{
+		"Great service and friendly staff.", "Portions were generous.",
+		"Would absolutely come back.", "The patio seating is lovely.",
+		"A bit crowded on weekends.", "Hidden gem of the neighborhood.",
+		"The menu changes seasonally.", "Quick lunch spot downtown.",
+	}
+	for i := 0; i < 200; i++ {
+		d.MustInsert("review", []db.Value{
+			db.Num(float64(i + 1)), db.Num(float64(r.intn(80) + 1)), db.Num(float64(r.intn(60) + 1)),
+			db.Num(float64(r.intn(5) + 1)), db.Str(snippets[r.intn(len(snippets))]),
+			db.Num(float64(2008 + r.intn(8))), db.Num(float64(r.intn(12) + 1)),
+		})
+	}
+	for i := 0; i < 100; i++ {
+		d.MustInsert("tip", []db.Value{
+			db.Num(float64(i + 1)), db.Num(float64(r.intn(80) + 1)), db.Num(float64(r.intn(60) + 1)),
+			db.Str(snippets[r.intn(len(snippets))]), db.Num(float64(r.intn(40))),
+			db.Num(float64(2008 + r.intn(8))),
+		})
+	}
+	return p
+}
+
+func yelpTasks(p yelpPools) *taskBuilder {
+	tb := newTaskBuilder("yelp")
+
+	// Y1 businessInCity (25): single-relation query.
+	for i := 0; i < 25; i++ {
+		v := p.cities[i%len(p.cities)]
+		gold := fmt.Sprintf("SELECT b.name FROM business b WHERE b.city = '%s'", sqlQuote(v))
+		tb.add("businessInCity",
+			fmt.Sprintf("Find businesses in %s", v),
+			[]keyword.Keyword{kwSelect("businesses"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("business.name"), fragPredStr("business.city", "=", v)},
+			false)
+	}
+
+	// Y2 businessByStars (20): numeric ambiguity between business.rating,
+	// review.rating, user.average_stars etc.
+	for i := 0; i < 20; i++ {
+		stars := []float64{2, 3, 3.5, 4, 4.5}[i%5]
+		gold := fmt.Sprintf("SELECT b.name FROM business b WHERE b.rating >= %g", stars)
+		tb.add("businessByStars",
+			fmt.Sprintf("Businesses rated at least %g stars", stars),
+			[]keyword.Keyword{kwSelect("businesses"), kwWhereOp(fmt.Sprintf("%g stars", stars), ">=")},
+			gold,
+			[]fragment.Fragment{fragAttr("business.name"), fragPredNum("business.rating", ">=", stars)},
+			false)
+	}
+
+	// Y3 usersWhoReviewedBusiness (20): the equal-length path tie — user
+	// reaches business via review OR via tip (both two edges). Gold goes
+	// through review; the baseline ties and is counted incorrect.
+	for i := 0; i < 20; i++ {
+		v := p.businesses[i%len(p.businesses)]
+		gold := fmt.Sprintf("SELECT u.name FROM user u, review r, business b WHERE b.name = '%s' AND r.user_id = u.uid AND r.business_id = b.bid", sqlQuote(v))
+		tb.add("usersWhoReviewedBusiness",
+			fmt.Sprintf("Which customers reviewed %s", v),
+			[]keyword.Keyword{kwSelect("customers"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("user.name"), fragPredStr("business.name", "=", v)},
+			false)
+	}
+
+	// Y4 reviewsOfBusiness (15).
+	for i := 0; i < 15; i++ {
+		v := p.businesses[(i*3+1)%len(p.businesses)]
+		gold := fmt.Sprintf("SELECT r.text FROM review r, business b WHERE b.name = '%s' AND r.business_id = b.bid", sqlQuote(v))
+		tb.add("reviewsOfBusiness",
+			fmt.Sprintf("Show reviews of %s", v),
+			[]keyword.Keyword{kwSelect("reviews"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("review.text"), fragPredStr("business.name", "=", v)},
+			false)
+	}
+
+	// Y5 tipsByUser (12).
+	for i := 0; i < 12; i++ {
+		v := p.users[i%len(p.users)]
+		gold := fmt.Sprintf("SELECT t.text FROM tip t, user u WHERE u.name = '%s' AND t.user_id = u.uid", sqlQuote(v))
+		tb.add("tipsByUser",
+			fmt.Sprintf("Show tips left by %s", v),
+			[]keyword.Keyword{kwSelect("tips"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("tip.text"), fragPredStr("user.name", "=", v)},
+			false)
+	}
+
+	// Y6 countReviewsByUser (15, hazard): aggregation.
+	for i := 0; i < 15; i++ {
+		v := p.users[(i*2+5)%len(p.users)]
+		gold := fmt.Sprintf("SELECT COUNT(r.text) FROM review r, user u WHERE u.name = '%s' AND r.user_id = u.uid", sqlQuote(v))
+		tb.add("countReviewsByUser",
+			fmt.Sprintf("How many reviews has %s written", v),
+			[]keyword.Keyword{kwSelectAgg("reviews", "COUNT"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAgg("review.text", "COUNT"), fragPredStr("user.name", "=", v)},
+			true)
+	}
+
+	// Y7 businessesInCategory (20).
+	for i := 0; i < 20; i++ {
+		v := p.categories[i%len(p.categories)]
+		gold := fmt.Sprintf("SELECT b.name FROM business b, category c WHERE c.category_name = '%s' AND c.business_id = b.bid", sqlQuote(v))
+		tb.add("businessesInCategory",
+			fmt.Sprintf("Find %s businesses", v),
+			[]keyword.Keyword{kwSelect("businesses"), kwWhere(v)},
+			gold,
+			[]fragment.Fragment{fragAttr("business.name"), fragPredStr("category.category_name", "=", v)},
+			false)
+	}
+	return tb
+}

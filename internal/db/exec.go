@@ -1,0 +1,481 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"templar/internal/sqlparse"
+)
+
+// Result is the output of executing a query: column headers and rows.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// binding maps a FROM-list position to a row in its table.
+type binding struct {
+	tables []*Table
+	labels []string // alias (or name) per FROM entry
+	rows   []int
+}
+
+// Execute runs a single-block SELECT against the database. The query may use
+// aliases; it must NOT have been alias-resolved (Execute resolves column
+// references against the FROM list itself, so self-joins with distinct
+// aliases work). Supported: conjunctive WHERE, equality joins, aggregates
+// with GROUP BY, DISTINCT, ORDER BY, LIMIT.
+func (d *Database) Execute(q *sqlparse.Query) (*Result, error) {
+	// Bind FROM entries to tables.
+	var bnd binding
+	for _, tr := range q.From {
+		t := d.tables[tr.Name]
+		if t == nil {
+			return nil, fmt.Errorf("db: unknown relation %q", tr.Name)
+		}
+		label := tr.Alias
+		if label == "" {
+			label = tr.Name
+		}
+		bnd.tables = append(bnd.tables, t)
+		bnd.labels = append(bnd.labels, label)
+	}
+	lookup := func(c sqlparse.ColumnRef) (int, int, error) {
+		// Returns (from index, column index).
+		if c.Table != "" {
+			for i, l := range bnd.labels {
+				if l == c.Table || q.From[i].Name == c.Table {
+					ci := bnd.tables[i].ColumnIndex(c.Column)
+					if ci < 0 {
+						return 0, 0, fmt.Errorf("db: relation %q has no column %q", q.From[i].Name, c.Column)
+					}
+					return i, ci, nil
+				}
+			}
+			return 0, 0, fmt.Errorf("db: unknown table reference %q", c.Table)
+		}
+		for i, t := range bnd.tables {
+			if ci := t.ColumnIndex(c.Column); ci >= 0 {
+				return i, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("db: cannot resolve column %q", c.Column)
+	}
+
+	// Pre-resolve conditions.
+	type joinRef struct{ lf, lc, rf, rc int }
+	type predRef struct {
+		f, c int
+		op   string // comparison op, or "IN" / "BETWEEN"
+		val  Value
+		vals []Value // IN list, or [lo, hi] for BETWEEN
+	}
+	lit := func(v sqlparse.Value) (Value, error) {
+		switch v.Kind {
+		case sqlparse.NumberVal:
+			return Num(v.N), nil
+		case sqlparse.StringVal:
+			return Str(v.S), nil
+		default:
+			return Value{}, fmt.Errorf("db: cannot execute placeholder value %v", v)
+		}
+	}
+	var joins []joinRef
+	var preds []predRef
+	for _, cond := range q.Where {
+		switch v := cond.(type) {
+		case sqlparse.JoinCond:
+			lf, lc, err := lookup(v.Left)
+			if err != nil {
+				return nil, err
+			}
+			rf, rc, err := lookup(v.Right)
+			if err != nil {
+				return nil, err
+			}
+			joins = append(joins, joinRef{lf, lc, rf, rc})
+		case sqlparse.Pred:
+			f, c, err := lookup(v.Column)
+			if err != nil {
+				return nil, err
+			}
+			val, err := lit(v.Value)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, predRef{f: f, c: c, op: v.Op, val: val})
+		case sqlparse.InPred:
+			f, c, err := lookup(v.Column)
+			if err != nil {
+				return nil, err
+			}
+			var vals []Value
+			for _, raw := range v.Values {
+				val, err := lit(raw)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, val)
+			}
+			preds = append(preds, predRef{f: f, c: c, op: "IN", vals: vals})
+		case sqlparse.BetweenPred:
+			f, c, err := lookup(v.Column)
+			if err != nil {
+				return nil, err
+			}
+			lo, err := lit(v.Lo)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := lit(v.Hi)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, predRef{f: f, c: c, op: "BETWEEN", vals: []Value{lo, hi}})
+		}
+	}
+	evalPred := func(cell Value, p predRef) (bool, error) {
+		switch p.op {
+		case "IN":
+			for _, v := range p.vals {
+				if cell.Equal(v) {
+					return true, nil
+				}
+			}
+			return false, nil
+		case "BETWEEN":
+			ge, err := cell.Compare(">=", p.vals[0])
+			if err != nil || !ge {
+				return false, err
+			}
+			return cell.Compare("<=", p.vals[1])
+		default:
+			return cell.Compare(p.op, p.val)
+		}
+	}
+
+	// Nested-loop join with early predicate/join filtering per level.
+	var tuples [][]int
+	cur := make([]int, len(bnd.tables))
+	var recurse func(level int) error
+	recurse = func(level int) error {
+		if level == len(bnd.tables) {
+			tuples = append(tuples, append([]int(nil), cur...))
+			return nil
+		}
+		t := bnd.tables[level]
+		for ri := range t.rows {
+			cur[level] = ri
+			ok := true
+			for _, p := range preds {
+				if p.f != level {
+					continue
+				}
+				m, err := evalPred(t.rows[ri][p.c], p)
+				if err != nil {
+					return err
+				}
+				if !m {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, j := range joins {
+					var lv, rv Value
+					switch {
+					case j.lf == level && j.rf < level:
+						lv = t.rows[ri][j.lc]
+						rv = bnd.tables[j.rf].rows[cur[j.rf]][j.rc]
+					case j.rf == level && j.lf < level:
+						lv = bnd.tables[j.lf].rows[cur[j.lf]][j.lc]
+						rv = t.rows[ri][j.rc]
+					case j.lf == level && j.rf == level:
+						lv = t.rows[ri][j.lc]
+						rv = t.rows[ri][j.rc]
+					default:
+						continue
+					}
+					if !lv.Equal(rv) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				if err := recurse(level + 1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, err
+	}
+
+	// Projection.
+	hasAgg := false
+	for _, s := range q.Select {
+		if s.Agg != "" {
+			hasAgg = true
+		}
+	}
+	res := &Result{}
+	for _, s := range q.Select {
+		res.Columns = append(res.Columns, s.String())
+	}
+
+	cellOf := func(tuple []int, c sqlparse.ColumnRef) (Value, error) {
+		f, ci, err := lookup(c)
+		if err != nil {
+			return Value{}, err
+		}
+		return bnd.tables[f].rows[tuple[f]][ci], nil
+	}
+
+	if hasAgg || len(q.GroupBy) > 0 {
+		// Group tuples by the GROUP BY key.
+		groups := make(map[string][][]int)
+		var order []string
+		for _, tup := range tuples {
+			var key strings.Builder
+			for _, gc := range q.GroupBy {
+				v, err := cellOf(tup, gc)
+				if err != nil {
+					return nil, err
+				}
+				key.WriteString(v.String())
+				key.WriteByte('\x00')
+			}
+			k := key.String()
+			if _, seen := groups[k]; !seen {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], tup)
+		}
+		if len(q.GroupBy) == 0 && len(order) == 0 {
+			// Aggregate over empty input still yields one row.
+			order = append(order, "")
+			groups[""] = nil
+		}
+		for _, k := range order {
+			tups := groups[k]
+			var row []Value
+			for _, s := range q.Select {
+				v, err := evalAggregate(s, tups, cellOf)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	} else {
+		for _, tup := range tuples {
+			var row []Value
+			for _, s := range q.Select {
+				if s.Star {
+					for f, t := range bnd.tables {
+						for ci := range t.rel.Attributes {
+							row = append(row, t.rows[tup[f]][ci])
+						}
+					}
+					continue
+				}
+				v, err := cellOf(tup, s.Column)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+
+	if q.Distinct || distinctFuncForm(q) {
+		res.Rows = dedupeRows(res.Rows)
+	}
+
+	// ORDER BY over projected columns (supports ordering by a projection
+	// that appears in the SELECT list, by matching rendered expressions).
+	if len(q.OrderBy) > 0 {
+		idx := make([]int, 0, len(q.OrderBy))
+		desc := make([]bool, 0, len(q.OrderBy))
+		for _, o := range q.OrderBy {
+			pos := -1
+			for i, c := range res.Columns {
+				if c == o.Expr.String() {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				return nil, fmt.Errorf("db: ORDER BY %s must appear in SELECT list", o.Expr.String())
+			}
+			idx = append(idx, pos)
+			desc = append(desc, o.Desc)
+		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for k, pos := range idx {
+				va, vb := res.Rows[a][pos], res.Rows[b][pos]
+				c := compareValues(va, vb)
+				if c == 0 {
+					continue
+				}
+				if desc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// distinctFuncForm reports whether the query uses SELECT DISTINCT(col).
+func distinctFuncForm(q *sqlparse.Query) bool {
+	return len(q.Select) == 1 && q.Select[0].Distinct && q.Select[0].Agg == ""
+}
+
+func compareValues(a, b Value) int {
+	if a.IsNum && b.IsNum {
+		switch {
+		case a.N < b.N:
+			return -1
+		case a.N > b.N:
+			return 1
+		}
+		return 0
+	}
+	as, bs := a.String(), b.String()
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	}
+	return 0
+}
+
+func dedupeRows(rows [][]Value) [][]Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		var key strings.Builder
+		for _, v := range r {
+			key.WriteString(v.String())
+			key.WriteByte('\x00')
+		}
+		k := key.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// evalAggregate computes one SELECT item over a tuple group.
+func evalAggregate(s sqlparse.SelectItem, tups [][]int, cellOf func([]int, sqlparse.ColumnRef) (Value, error)) (Value, error) {
+	if s.Agg == "" {
+		if len(tups) == 0 {
+			return Value{}, nil
+		}
+		return cellOf(tups[0], s.Column)
+	}
+	if s.Agg == "COUNT" && s.Star {
+		return Num(float64(len(tups))), nil
+	}
+	var vals []Value
+	seen := make(map[string]bool)
+	for _, tup := range tups {
+		v, err := cellOf(tup, s.Column)
+		if err != nil {
+			return Value{}, err
+		}
+		if s.Distinct {
+			k := v.String()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch s.Agg {
+	case "COUNT":
+		return Num(float64(len(vals))), nil
+	case "SUM", "AVG":
+		var sum float64
+		for _, v := range vals {
+			if !v.IsNum {
+				return Value{}, fmt.Errorf("db: %s over non-numeric column", s.Agg)
+			}
+			sum += v.N
+		}
+		if s.Agg == "AVG" {
+			if len(vals) == 0 {
+				return Num(0), nil
+			}
+			return Num(sum / float64(len(vals))), nil
+		}
+		return Num(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Value{}, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := compareValues(v, best)
+			if (s.Agg == "MIN" && c < 0) || (s.Agg == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Value{}, fmt.Errorf("db: unknown aggregate %q", s.Agg)
+	}
+}

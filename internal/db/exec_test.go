@@ -1,0 +1,163 @@
+package db
+
+import (
+	"testing"
+
+	"templar/internal/sqlparse"
+)
+
+func execQuery(t *testing.T, d *Database, src string) *Result {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExecuteSimpleFilter(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT p.title FROM publication p WHERE p.year > 2000")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteJoin(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT p.title FROM journal j, publication p WHERE j.name = 'TKDE' AND j.jid = p.jid")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[0].S == "Mobile Computing Surveys" {
+			t.Fatal("TMC publication leaked into TKDE join")
+		}
+	}
+}
+
+func TestExecuteAggregateGroupBy(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT j.name, COUNT(p.pid) FROM journal j, publication p WHERE j.jid = p.jid GROUP BY j.name ORDER BY COUNT(p.pid) DESC")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].S != "TKDE" || res.Rows[0][1].N != 2 {
+		t.Fatalf("row0 = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].S != "TMC" || res.Rows[1][1].N != 1 {
+		t.Fatalf("row1 = %v", res.Rows[1])
+	}
+}
+
+func TestExecuteCountStarOverEmpty(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT COUNT(*) FROM publication p WHERE p.year > 3000")
+	if len(res.Rows) != 1 || res.Rows[0][0].N != 0 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteAggregates(t *testing.T) {
+	d := academicDB(t)
+	for _, tc := range []struct {
+		src  string
+		want float64
+	}{
+		{"SELECT SUM(p.citations) FROM publication p", 117},
+		{"SELECT AVG(p.citations) FROM publication p", 39},
+		{"SELECT MIN(p.year) FROM publication p", 1998},
+		{"SELECT MAX(p.year) FROM publication p", 2005},
+		{"SELECT COUNT(p.pid) FROM publication p", 3},
+	} {
+		res := execQuery(t, d, tc.src)
+		if len(res.Rows) != 1 || res.Rows[0][0].N != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, res.Rows, tc.want)
+		}
+	}
+}
+
+func TestExecuteDistinct(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT DISTINCT p.jid FROM publication p")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = execQuery(t, d, "SELECT DISTINCT(p.jid) FROM publication p")
+	if len(res.Rows) != 2 {
+		t.Fatalf("func-form rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteSelfJoin(t *testing.T) {
+	d := academicDB(t)
+	// A pair of publications in the same journal pinned by year predicates.
+	res := execQuery(t, d, "SELECT p1.title, p2.title FROM publication p1, publication p2 WHERE p1.jid = p2.jid AND p1.year = 2001 AND p2.year = 2005")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].S != "Efficient Query Processing in Relational Databases" {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+}
+
+func TestExecuteOrderByLimit(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT p.title, p.year FROM publication p ORDER BY p.year DESC LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0][1].N != 2005 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// ORDER BY must reference a projected expression.
+	q := sqlparse.MustParse("SELECT p.title FROM publication p ORDER BY p.year")
+	if _, err := d.Execute(q); err == nil {
+		t.Fatal("expected ORDER BY resolution error")
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	d := academicDB(t)
+	for _, src := range []string{
+		"SELECT x.title FROM nonexistent x",
+		"SELECT p.nope FROM publication p",
+		"SELECT z.title FROM publication p",
+		"SELECT p.title FROM publication p WHERE p.year ?op ?val",
+	} {
+		q := sqlparse.MustParse(src)
+		if _, err := d.Execute(q); err == nil {
+			t.Errorf("Execute(%q): expected error", src)
+		}
+	}
+}
+
+func TestExecuteUnqualifiedColumns(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT title FROM publication WHERE year > 2000")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT j.name FROM journal j")
+	s := res.String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func BenchmarkExecuteJoin(b *testing.B) {
+	t := &testing.T{}
+	d := academicDB(t)
+	q := sqlparse.MustParse("SELECT p.title FROM journal j, publication p WHERE j.name = 'TKDE' AND j.jid = p.jid")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package db
+
+import (
+	"testing"
+
+	"templar/internal/sqlparse"
+)
+
+func TestExecuteInPredicate(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT j.name FROM journal j WHERE j.name IN ('TKDE', 'NOPE')")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "TKDE" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = execQuery(t, d, "SELECT p.title FROM publication p WHERE p.year IN (1998, 2005)")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteBetweenPredicate(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT p.title FROM publication p WHERE p.year BETWEEN 1998 AND 2001")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Inclusive bounds.
+	res = execQuery(t, d, "SELECT p.title FROM publication p WHERE p.year BETWEEN 2005 AND 2005")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Empty range.
+	res = execQuery(t, d, "SELECT p.title FROM publication p WHERE p.year BETWEEN 2006 AND 2004")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecuteInBetweenWithJoin(t *testing.T) {
+	d := academicDB(t)
+	res := execQuery(t, d, "SELECT p.title FROM journal j, publication p WHERE j.name IN ('TKDE') AND p.year BETWEEN 2000 AND 2010 AND j.jid = p.jid")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestExecutePlaceholderInListRejected(t *testing.T) {
+	d := academicDB(t)
+	q := sqlparse.MustParse("SELECT p.title FROM publication p WHERE p.year IN (?val)")
+	if _, err := d.Execute(q); err == nil {
+		t.Fatal("placeholder IN list must not execute")
+	}
+	q = sqlparse.MustParse("SELECT p.title FROM publication p WHERE p.year BETWEEN ?val AND 2000")
+	if _, err := d.Execute(q); err == nil {
+		t.Fatal("placeholder BETWEEN must not execute")
+	}
+}

@@ -1,0 +1,130 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"templar/internal/sqlparse"
+)
+
+// TestExecuteFilterMatchesBruteForce cross-checks the executor's single
+// table filtering against a direct scan for generated predicates.
+func TestExecuteFilterMatchesBruteForce(t *testing.T) {
+	d := academicDB(t)
+	tab := d.Table("publication")
+	rows := tab.Rows()
+	yearIdx := tab.ColumnIndex("year")
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	for _, op := range ops {
+		for _, y := range []float64{1990, 1998, 2001, 2005, 2010} {
+			src := fmt.Sprintf("SELECT p.pid FROM publication p WHERE p.year %s %g", op, y)
+			q := sqlparse.MustParse(src)
+			res, err := d.Execute(q)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			want := 0
+			for _, r := range rows {
+				ok, err := r[yearIdx].Compare(op, Num(y))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					want++
+				}
+			}
+			if len(res.Rows) != want {
+				t.Errorf("%s: executor %d rows, brute force %d", src, len(res.Rows), want)
+			}
+		}
+	}
+}
+
+// TestExecuteJoinMatchesBruteForce cross-checks the nested-loop join
+// against a manual double loop.
+func TestExecuteJoinMatchesBruteForce(t *testing.T) {
+	d := academicDB(t)
+	q := sqlparse.MustParse("SELECT p.pid, j.jid FROM publication p, journal j WHERE p.jid = j.jid")
+	res, err := d.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs := d.Table("publication").Rows()
+	jours := d.Table("journal").Rows()
+	pj := d.Table("publication").ColumnIndex("jid")
+	jj := d.Table("journal").ColumnIndex("jid")
+	want := 0
+	for _, p := range pubs {
+		for _, j := range jours {
+			if p[pj].Equal(j[jj]) {
+				want++
+			}
+		}
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("join: executor %d, brute force %d", len(res.Rows), want)
+	}
+}
+
+// TestFindNumericAttrsConsistentWithPredicateNonEmpty: every attribute
+// returned by FindNumericAttrs must satisfy PredicateNonEmpty, and every
+// non-key numeric attribute satisfying it must be returned.
+func TestFindNumericAttrsConsistentWithPredicateNonEmpty(t *testing.T) {
+	d := academicDB(t)
+	for _, tc := range []struct {
+		n  float64
+		op string
+	}{{2000, ">"}, {35, "="}, {1998, "<="}, {100, "<"}} {
+		got := make(map[string]bool)
+		for _, m := range d.FindNumericAttrs(tc.n, tc.op) {
+			got[m.Qualified()] = true
+			if !d.PredicateNonEmpty(m.Relation, m.Attribute, tc.op, Num(tc.n)) {
+				t.Errorf("%s %s %g: returned but empty", m.Qualified(), tc.op, tc.n)
+			}
+		}
+		for _, q := range d.Schema().NumericAttributes() {
+			rel, attr := splitQ(t, q)
+			if d.IsKeyColumn(rel, attr) {
+				continue
+			}
+			if d.PredicateNonEmpty(rel, attr, tc.op, Num(tc.n)) && !got[q] {
+				t.Errorf("%s %s %g: satisfiable but not returned", q, tc.op, tc.n)
+			}
+		}
+	}
+}
+
+func splitQ(t *testing.T, q string) (string, string) {
+	t.Helper()
+	for i := 0; i < len(q); i++ {
+		if q[i] == '.' {
+			return q[:i], q[i+1:]
+		}
+	}
+	t.Fatalf("malformed %q", q)
+	return "", ""
+}
+
+// TestFullTextPrefixSemantics: boolean-mode matching requires EVERY query
+// stem to prefix-match some token of the value.
+func TestFullTextPrefixSemantics(t *testing.T) {
+	d := academicDB(t)
+	tab := d.Table("publication")
+	// "efficient quer" -> stems [effici, quer]; only one title has both.
+	vals := tab.MatchAll("title", []string{"effici", "quer"})
+	if len(vals) != 1 {
+		t.Fatalf("MatchAll = %v", vals)
+	}
+	// A stem matching nothing empties the result.
+	if got := tab.MatchAll("title", []string{"effici", "zzz"}); got != nil {
+		t.Fatalf("MatchAll = %v", got)
+	}
+	// Empty query matches nothing (never everything).
+	if got := tab.MatchAll("title", nil); got != nil {
+		t.Fatalf("MatchAll(nil) = %v", got)
+	}
+	// Unknown column.
+	if got := tab.MatchAll("nope", []string{"x"}); got != nil {
+		t.Fatalf("MatchAll unknown column = %v", got)
+	}
+}

@@ -1,0 +1,200 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"templar/internal/schema"
+	"templar/internal/stem"
+)
+
+// Table holds the rows of one relation together with its full-text and
+// distinct-value indexes.
+type Table struct {
+	rel    schema.Relation
+	colIdx map[string]int
+	rows   [][]Value
+	// fulltext maps column index -> stemmed token -> set of distinct values
+	// (by row value, not row id: DISTINCT(?attr) semantics from §V-A).
+	fulltext map[int]map[string]map[string]bool
+	// distinct maps column index -> distinct value set, for exact lookups.
+	distinct map[int]map[string]bool
+}
+
+// newTable builds an empty table for a relation definition.
+func newTable(rel schema.Relation) *Table {
+	t := &Table{
+		rel:      rel,
+		colIdx:   make(map[string]int, len(rel.Attributes)),
+		fulltext: make(map[int]map[string]map[string]bool),
+		distinct: make(map[int]map[string]bool),
+	}
+	for i, a := range rel.Attributes {
+		t.colIdx[a.Name] = i
+		if a.Type == schema.Text {
+			t.fulltext[i] = make(map[string]map[string]bool)
+			t.distinct[i] = make(map[string]bool)
+		}
+	}
+	return t
+}
+
+// Name returns the relation name.
+func (t *Table) Name() string { return t.rel.Name }
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Insert appends a row. Values must match the declared column count and
+// types.
+func (t *Table) Insert(row []Value) error {
+	if len(row) != len(t.rel.Attributes) {
+		return fmt.Errorf("db: %s: row has %d values, want %d", t.rel.Name, len(row), len(t.rel.Attributes))
+	}
+	for i, v := range row {
+		want := t.rel.Attributes[i].Type == schema.Number
+		if v.IsNum != want {
+			return fmt.Errorf("db: %s.%s: value %v has wrong type", t.rel.Name, t.rel.Attributes[i].Name, v)
+		}
+	}
+	t.rows = append(t.rows, append([]Value(nil), row...))
+	for ci, idx := range t.fulltext {
+		val := row[ci].S
+		if !t.distinct[ci][val] {
+			t.distinct[ci][val] = true
+		}
+		for _, tok := range Tokenize(val) {
+			s := stem.Stem(tok)
+			set := idx[s]
+			if set == nil {
+				set = make(map[string]bool)
+				idx[s] = set
+			}
+			set[val] = true
+		}
+	}
+	return nil
+}
+
+// Tokenize lowercases and splits a string on non-alphanumeric boundaries.
+func Tokenize(s string) []string {
+	var out []string
+	var cur []byte
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, string(cur))
+			cur = cur[:0]
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			cur = append(cur, c)
+		case c >= 'A' && c <= 'Z':
+			cur = append(cur, c+'a'-'A')
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// MatchAll returns the distinct values of the given column that contain, for
+// every query stem, at least one indexed token whose stem has the query stem
+// as a prefix — boolean-mode "+tok*" AND semantics.
+func (t *Table) MatchAll(column string, queryStems []string) []string {
+	ci, ok := t.colIdx[column]
+	if !ok {
+		return nil
+	}
+	idx, ok := t.fulltext[ci]
+	if !ok || len(queryStems) == 0 {
+		return nil
+	}
+	var result map[string]bool
+	for _, qs := range queryStems {
+		matched := make(map[string]bool)
+		for tok, vals := range idx {
+			if strings.HasPrefix(tok, qs) {
+				for v := range vals {
+					matched[v] = true
+				}
+			}
+		}
+		if result == nil {
+			result = matched
+		} else {
+			for v := range result {
+				if !matched[v] {
+					delete(result, v)
+				}
+			}
+		}
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	out := make([]string, 0, len(result))
+	for v := range result {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AnyMatch reports whether any row satisfies "column op value". It is the
+// exec(c) ≠ ∅ probe from SCOREANDPRUNE.
+func (t *Table) AnyMatch(column, op string, value Value) (bool, error) {
+	ci, ok := t.colIdx[column]
+	if !ok {
+		return false, fmt.Errorf("db: %s: unknown column %q", t.rel.Name, column)
+	}
+	for _, row := range t.rows {
+		ok, err := row[ci].Compare(op, value)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// DistinctValues returns the sorted distinct values of a text column.
+func (t *Table) DistinctValues(column string) []string {
+	ci, ok := t.colIdx[column]
+	if !ok {
+		return nil
+	}
+	set, ok := t.distinct[ci]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows returns a copy of all rows (for the executor and tests).
+func (t *Table) Rows() [][]Value {
+	out := make([][]Value, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]Value(nil), r...)
+	}
+	return out
+}
+
+// ColumnIndex returns the position of a column, or -1.
+func (t *Table) ColumnIndex(column string) int {
+	if i, ok := t.colIdx[column]; ok {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,33 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/fragment"
+)
+
+func TestTemplateBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validated evaluation in -short mode")
+	}
+	ds := datasets.Yelp()
+	out, err := TemplateBreakdown(ds, Pipeline, Options{Obscurity: fragment.NoConstOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"businessInCity", "usersWhoReviewedBusiness", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+	// Task counts per template must sum to the workload size on the TOTAL
+	// row.
+	if !strings.Contains(out, "127") {
+		t.Errorf("TOTAL row missing task count:\n%s", out)
+	}
+	if _, err := TemplateBreakdown(ds, "bogus", Options{}); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}

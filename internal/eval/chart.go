@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderChart draws a sweep as an ASCII line chart (one mark per series),
+// giving the figure reproductions a visual form alongside the numeric
+// tables. The y axis is accuracy in percent (0–100), the x axis the swept
+// parameter.
+func RenderChart(title, xlabel string, series map[string][]SweepPoint, order []string) string {
+	const height = 12
+	marks := []byte{'M', 'Y', 'I', '#', '@', '%'}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(order) == 0 || len(series[order[0]]) == 0 {
+		return b.String()
+	}
+	width := len(series[order[0]])
+
+	// grid[r][c]: row 0 is the top (100%).
+	grid := make([][]byte, height+1)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, name := range order {
+		mark := marks[si%len(marks)]
+		for c, pt := range series[name] {
+			if c >= width {
+				break
+			}
+			r := height - int(pt.FQ/100*float64(height)+0.5)
+			if r < 0 {
+				r = 0
+			}
+			if r > height {
+				r = height
+			}
+			if grid[r][c] == ' ' {
+				grid[r][c] = mark
+			} else {
+				grid[r][c] = '*' // overlapping series
+			}
+		}
+	}
+	for r := 0; r <= height; r++ {
+		pct := 100 * (height - r) / height
+		fmt.Fprintf(&b, "%4d%% |", pct)
+		for _, ch := range grid[r] {
+			fmt.Fprintf(&b, " %c ", ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("---", width))
+	fmt.Fprintf(&b, "       ")
+	for _, pt := range series[order[0]] {
+		label := fmt.Sprintf("%.2g", pt.X)
+		if len(label) > 3 {
+			label = label[:3]
+		}
+		fmt.Fprintf(&b, "%-3s", label)
+	}
+	fmt.Fprintf(&b, " (%s)\n", xlabel)
+	var legend []string
+	for si, name := range order {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], name))
+	}
+	fmt.Fprintf(&b, "       legend: %s, *=overlap\n", strings.Join(legend, " "))
+	return b.String()
+}

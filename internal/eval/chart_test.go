@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderChart(t *testing.T) {
+	series := map[string][]SweepPoint{
+		"MAS":  {{X: 0, FQ: 90}, {X: 0.5, FQ: 90}, {X: 1, FQ: 40}},
+		"Yelp": {{X: 0, FQ: 92}, {X: 0.5, FQ: 100}, {X: 1, FQ: 72}},
+	}
+	out := RenderChart("Figure 6", "lambda", series, []string{"MAS", "Yelp"})
+	if !strings.Contains(out, "100% |") || !strings.Contains(out, "0% |") {
+		t.Fatalf("missing axis:\n%s", out)
+	}
+	if !strings.Contains(out, "M=MAS") || !strings.Contains(out, "Y=Yelp") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "lambda") {
+		t.Fatalf("missing x label:\n%s", out)
+	}
+	// Marks present.
+	if !strings.Contains(out, "M") || !strings.Contains(out, "Y") {
+		t.Fatalf("missing series marks:\n%s", out)
+	}
+	// Empty input degrades gracefully.
+	if got := RenderChart("t", "x", nil, nil); !strings.Contains(got, "t") {
+		t.Fatal("empty chart should still emit title")
+	}
+}
+
+func TestRenderChartClampsOutOfRange(t *testing.T) {
+	series := map[string][]SweepPoint{
+		"S": {{X: 0, FQ: -10}, {X: 1, FQ: 150}},
+	}
+	// The first series plots with mark 'M'; both out-of-range points must
+	// be clamped onto the grid (2 marks) plus one legend occurrence.
+	out := RenderChart("clamp", "x", series, []string{"S"})
+	if strings.Count(out, "M") != 3 {
+		t.Fatalf("marks not clamped into grid:\n%s", out)
+	}
+}

@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/fragment"
+)
+
+// TestEvaluateDeterministicAcrossRuns: the parallel evaluator must produce
+// identical metrics on repeated runs (order-independent accumulation over a
+// deterministic fold split).
+func TestEvaluateDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validated evaluation in -short mode")
+	}
+	ds := datasets.Yelp()
+	opts := Options{Obscurity: fragment.NoConstOp}
+	a, err := Evaluate(ds, AllSystems(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(ds, AllSystems(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range AllSystems() {
+		if a[name] != b[name] {
+			t.Errorf("%s: %+v vs %+v", name, a[name], b[name])
+		}
+	}
+}
+
+// TestEvaluateParallelMatchesSequential: worker-pool evaluation equals the
+// single-worker run.
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validated evaluation in -short mode")
+	}
+	ds := datasets.Yelp()
+	seq, err := Evaluate(ds, []SystemName{PipelinePlus}, Options{Obscurity: fragment.NoConstOp, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Evaluate(ds, []SystemName{PipelinePlus}, Options{Obscurity: fragment.NoConstOp, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq[PipelinePlus] != par[PipelinePlus] {
+		t.Fatalf("sequential %+v vs parallel %+v", seq[PipelinePlus], par[PipelinePlus])
+	}
+}

@@ -1,0 +1,278 @@
+// Package eval reproduces the paper's experimental protocol (§VII): 4-fold
+// cross-validation in which the SQL query log is the gold SQL of the three
+// training folds, keyword-mapping (KW) and full-query (FQ) top-1 accuracy,
+// and the parameter sweeps behind Figures 5 and 6.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"templar/internal/datasets"
+	"templar/internal/embedding"
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+	"templar/internal/nlidb"
+	"templar/internal/qfg"
+	"templar/internal/sqlparse"
+)
+
+// Metrics accumulates correctness counts.
+type Metrics struct {
+	KWCorrect int
+	FQCorrect int
+	Total     int
+}
+
+// KW returns keyword-mapping accuracy in percent.
+func (m Metrics) KW() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return 100 * float64(m.KWCorrect) / float64(m.Total)
+}
+
+// FQ returns full-query accuracy in percent.
+func (m Metrics) FQ() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return 100 * float64(m.FQCorrect) / float64(m.Total)
+}
+
+// Add merges another metrics value.
+func (m *Metrics) Add(o Metrics) {
+	m.KWCorrect += o.KWCorrect
+	m.FQCorrect += o.FQCorrect
+	m.Total += o.Total
+}
+
+// Options configures one evaluation run.
+type Options struct {
+	// Folds is the cross-validation fold count. Default 4 (§VII-A4).
+	Folds int
+	// K is κ. Default 5.
+	K int
+	// Lambda is λ. Default 0.8.
+	Lambda float64
+	// Obscurity is the QFG obscurity level. Default NoConstOp.
+	Obscurity fragment.Obscurity
+	// LogJoin toggles log-driven join weights in the augmented systems
+	// (Table IV). Default true; set DisableLogJoin to turn off.
+	DisableLogJoin bool
+	// Seed shuffles tasks into folds. Default 1.
+	Seed uint64
+	// Noise is the NaLIR parser model. Default DefaultNaLIRNoise.
+	Noise *nlidb.ParserNoise
+	// Parallelism bounds concurrent task translations. Every component is
+	// read-only during evaluation, so tasks parallelize freely. Default:
+	// min(GOMAXPROCS, 8).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Folds <= 0 {
+		o.Folds = 4
+	}
+	if o.K <= 0 {
+		o.K = 5
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 0.8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Noise == nil {
+		o.Noise = nlidb.DefaultNaLIRNoise()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+		if o.Parallelism > 8 {
+			o.Parallelism = 8
+		}
+	}
+	return o
+}
+
+// SystemName enumerates the evaluated systems.
+type SystemName string
+
+// The four systems of Table III.
+const (
+	NaLIR        SystemName = "NaLIR"
+	NaLIRPlus    SystemName = "NaLIR+"
+	Pipeline     SystemName = "Pipeline"
+	PipelinePlus SystemName = "Pipeline+"
+)
+
+// AllSystems lists the Table III systems in paper order.
+func AllSystems() []SystemName { return []SystemName{NaLIR, NaLIRPlus, Pipeline, PipelinePlus} }
+
+// Result maps each system to its aggregated metrics over all folds.
+type Result map[SystemName]Metrics
+
+// Evaluate runs the cross-validated evaluation of the requested systems on
+// one dataset.
+func Evaluate(ds *datasets.Dataset, systems []SystemName, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	folds := splitFolds(len(ds.Tasks), opts.Folds, opts.Seed)
+	out := make(Result, len(systems))
+	model := embedding.New()
+	kwOpts := keyword.Options{K: opts.K, Lambda: opts.Lambda, Obscurity: opts.Obscurity}
+
+	for trial := 0; trial < opts.Folds; trial++ {
+		graph, err := trainQFG(ds, folds, trial, opts.Obscurity)
+		if err != nil {
+			return nil, err
+		}
+		built := make(map[SystemName]*nlidb.System, len(systems))
+		for _, name := range systems {
+			switch name {
+			case Pipeline:
+				built[name] = nlidb.NewPipeline(ds.DB, model, kwOpts)
+			case PipelinePlus:
+				built[name] = nlidb.NewPipelinePlus(ds.DB, model, graph, !opts.DisableLogJoin, kwOpts)
+			case NaLIR:
+				built[name] = nlidb.NewNaLIR(ds.DB, opts.Noise, kwOpts)
+			case NaLIRPlus:
+				built[name] = nlidb.NewNaLIRPlus(ds.DB, model, graph, opts.Noise, kwOpts)
+			default:
+				return nil, fmt.Errorf("eval: unknown system %q", name)
+			}
+		}
+		trialMetrics := scoreFold(ds, folds[trial], systems, built, opts.Parallelism)
+		for _, name := range systems {
+			cur := out[name]
+			cur.Add(trialMetrics[name])
+			out[name] = cur
+		}
+	}
+	return out, nil
+}
+
+// scoreFold evaluates all systems on one held-out fold, fanning tasks out
+// over a bounded worker pool. Metric accumulation is order-independent, so
+// results are identical to the sequential evaluation.
+func scoreFold(ds *datasets.Dataset, idxs []int, systems []SystemName, built map[SystemName]*nlidb.System, parallelism int) map[SystemName]Metrics {
+	type unit struct {
+		name SystemName
+		m    Metrics
+	}
+	work := make(chan int)
+	results := make(chan unit)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range work {
+				task := ds.Tasks[ti]
+				for _, name := range systems {
+					results <- unit{name, scoreTask(built[name], task)}
+				}
+			}
+		}()
+	}
+	go func() {
+		for _, ti := range idxs {
+			work <- ti
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+	}()
+	out := make(map[SystemName]Metrics, len(systems))
+	for u := range results {
+		cur := out[u.name]
+		cur.Add(u.m)
+		out[u.name] = cur
+	}
+	return out
+}
+
+// trainQFG builds the query fragment graph from the gold SQL of every fold
+// except the held-out one (the paper's protocol: test queries never appear
+// in the log used to translate them).
+func trainQFG(ds *datasets.Dataset, folds [][]int, holdout int, ob fragment.Obscurity) (*qfg.Graph, error) {
+	var entries []sqlparse.LogEntry
+	for f, idxs := range folds {
+		if f == holdout {
+			continue
+		}
+		for _, ti := range idxs {
+			q, err := sqlparse.Parse(ds.Tasks[ti].Gold)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s: %w", ds.Tasks[ti].ID, err)
+			}
+			entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
+		}
+	}
+	return qfg.Build(entries, ob)
+}
+
+// scoreTask measures KW and FQ correctness of one system on one task.
+func scoreTask(sys *nlidb.System, task datasets.Task) Metrics {
+	m := Metrics{Total: 1}
+
+	// Keyword-mapping accuracy: all non-relation keywords of the TOP
+	// configuration must map to the gold fragments (§VII-B2).
+	if configs, err := sys.TopMappings(task.NLQ, task.Hazard, task.Keywords); err == nil && len(configs) > 0 {
+		if kwCorrect(configs[0], task) {
+			m.KWCorrect = 1
+		}
+	}
+
+	// Full-query accuracy: the top-ranked SQL must equal the gold
+	// translation; a tie for first place counts as incorrect (§VII-A5).
+	if tr, err := sys.Translate(task.NLQ, task.Hazard, task.Keywords); err == nil {
+		if !tr.Tie && tr.SQL == task.GoldCanonical {
+			m.FQCorrect = 1
+		}
+	}
+	return m
+}
+
+// kwCorrect checks the top configuration against the task's gold fragments.
+// Parser noise can change the keyword count; any mismatch is incorrect.
+func kwCorrect(cfg keyword.Configuration, task datasets.Task) bool {
+	if len(cfg.Mappings) != len(task.Keywords) {
+		return false
+	}
+	for i, mp := range cfg.Mappings {
+		if mp.Kind == keyword.KindRelation {
+			continue // only non-relation keywords are graded (§VII-B2)
+		}
+		if mp.Fragment(fragment.Full) != task.GoldFragments[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// splitFolds deterministically shuffles task indexes into roughly equal
+// folds.
+func splitFolds(n, folds int, seed uint64) [][]int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Fisher–Yates with xorshift64*.
+	s := seed
+	next := func() uint64 {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return s * 0x2545F4914F6CDD1D
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := make([][]int, folds)
+	for i, ti := range idx {
+		out[i%folds] = append(out[i%folds], ti)
+	}
+	return out
+}

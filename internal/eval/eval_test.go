@@ -1,0 +1,206 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+	"templar/internal/sqlparse"
+)
+
+func TestMetricsPercentages(t *testing.T) {
+	m := Metrics{KWCorrect: 3, FQCorrect: 1, Total: 4}
+	if m.KW() != 75 || m.FQ() != 25 {
+		t.Fatalf("KW=%v FQ=%v", m.KW(), m.FQ())
+	}
+	var z Metrics
+	if z.KW() != 0 || z.FQ() != 0 {
+		t.Fatal("zero metrics must not divide by zero")
+	}
+	m.Add(Metrics{KWCorrect: 1, FQCorrect: 1, Total: 2})
+	if m.Total != 6 || m.KWCorrect != 4 || m.FQCorrect != 2 {
+		t.Fatalf("Add = %+v", m)
+	}
+}
+
+func TestSplitFoldsPartition(t *testing.T) {
+	folds := splitFolds(194, 4, 1)
+	if len(folds) != 4 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := make(map[int]bool)
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 194 {
+		t.Fatalf("covered %d of 194", len(seen))
+	}
+	// Roughly equal sizes.
+	for _, f := range folds {
+		if len(f) < 48 || len(f) > 49 {
+			t.Fatalf("fold size %d", len(f))
+		}
+	}
+	// Deterministic for a seed, different across seeds.
+	again := splitFolds(194, 4, 1)
+	for i := range folds {
+		if len(folds[i]) != len(again[i]) {
+			t.Fatal("nondeterministic folds")
+		}
+		for j := range folds[i] {
+			if folds[i][j] != again[i][j] {
+				t.Fatal("nondeterministic folds")
+			}
+		}
+	}
+	other := splitFolds(194, 4, 2)
+	same := true
+	for i := range folds[0] {
+		if folds[0][i] != other[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestKWCorrect(t *testing.T) {
+	task := datasets.Task{
+		Keywords: []keyword.Keyword{
+			{Text: "papers", Meta: keyword.Metadata{Context: fragment.Select}},
+			{Text: "Databases", Meta: keyword.Metadata{Context: fragment.Where}},
+		},
+		GoldFragments: []fragment.Fragment{
+			fragment.Attr("publication.title", ""),
+			fragment.Pred("domain.name", "=", sqlparse.Value{Kind: sqlparse.StringVal, S: "Databases"}, fragment.Full),
+		},
+	}
+	good := keyword.Configuration{Mappings: []keyword.Mapping{
+		{Kind: keyword.KindAttr, Rel: "publication", Attr: "title"},
+		{Kind: keyword.KindPred, Rel: "domain", Attr: "name", Op: "=", Value: sqlparse.Value{Kind: sqlparse.StringVal, S: "Databases"}},
+	}}
+	if !kwCorrect(good, task) {
+		t.Fatal("correct configuration rejected")
+	}
+	bad := keyword.Configuration{Mappings: []keyword.Mapping{
+		{Kind: keyword.KindAttr, Rel: "journal", Attr: "name"},
+		good.Mappings[1],
+	}}
+	if kwCorrect(bad, task) {
+		t.Fatal("wrong configuration accepted")
+	}
+	short := keyword.Configuration{Mappings: good.Mappings[:1]}
+	if kwCorrect(short, task) {
+		t.Fatal("truncated configuration accepted")
+	}
+	// Relation mappings are not graded.
+	relCfg := keyword.Configuration{Mappings: []keyword.Mapping{
+		{Kind: keyword.KindRelation, Rel: "whatever"},
+		good.Mappings[1],
+	}}
+	if !kwCorrect(relCfg, task) {
+		t.Fatal("relation mapping should be skipped in KW grading")
+	}
+}
+
+func TestEvaluateYelpShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validated evaluation in -short mode")
+	}
+	ds := datasets.Yelp()
+	res, err := Evaluate(ds, []SystemName{Pipeline, PipelinePlus}, Options{Obscurity: fragment.NoConstOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, plus := res[Pipeline], res[PipelinePlus]
+	if base.Total != len(ds.Tasks) || plus.Total != len(ds.Tasks) {
+		t.Fatalf("totals = %d/%d, want %d", base.Total, plus.Total, len(ds.Tasks))
+	}
+	// The paper's headline shape: Templar augmentation improves both KW
+	// and FQ accuracy.
+	if plus.FQ() <= base.FQ() {
+		t.Errorf("Pipeline+ FQ %.1f should beat Pipeline %.1f", plus.FQ(), base.FQ())
+	}
+	if plus.KW() <= base.KW() {
+		t.Errorf("Pipeline+ KW %.1f should beat Pipeline %.1f", plus.KW(), base.KW())
+	}
+}
+
+func TestEvaluateLogJoinAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validated evaluation in -short mode")
+	}
+	ds := datasets.Yelp()
+	on, err := Evaluate(ds, []SystemName{PipelinePlus}, Options{Obscurity: fragment.NoConstOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Evaluate(ds, []SystemName{PipelinePlus}, Options{Obscurity: fragment.NoConstOp, DisableLogJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on[PipelinePlus].FQ() <= off[PipelinePlus].FQ() {
+		t.Errorf("LogJoin Y (%.1f) should beat N (%.1f) on Yelp's tie-heavy workload",
+			on[PipelinePlus].FQ(), off[PipelinePlus].FQ())
+	}
+}
+
+func TestEvaluateUnknownSystem(t *testing.T) {
+	ds := datasets.Yelp()
+	if _, err := Evaluate(ds, []SystemName{"bogus"}, Options{}); err == nil {
+		t.Fatal("expected unknown system error")
+	}
+}
+
+func TestTableIIRendering(t *testing.T) {
+	out := TableII(datasets.All())
+	for _, want := range []string{"MAS", "Yelp", "IMDB", "3.2 GB", "194", "127", "128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSweep(t *testing.T) {
+	series := map[string][]SweepPoint{
+		"MAS":  {{X: 1, FQ: 40}, {X: 5, FQ: 75}},
+		"Yelp": {{X: 1, FQ: 80}, {X: 5, FQ: 100}},
+	}
+	out := RenderSweep("Figure X", "kappa", series, []string{"MAS", "Yelp"})
+	if !strings.Contains(out, "kappa") || !strings.Contains(out, "75.0") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if RenderSweep("t", "x", nil, nil) == "" {
+		t.Fatal("empty render must still emit header")
+	}
+}
+
+func TestLambdaOneMatchesBaselineRanking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validated evaluation in -short mode")
+	}
+	// Figure 6's right edge: at λ = 1 the configuration ranking ignores
+	// the log, so Pipeline+ keyword mapping degrades toward Pipeline.
+	ds := datasets.Yelp()
+	at08, err := Evaluate(ds, []SystemName{PipelinePlus}, Options{Lambda: 0.8, Obscurity: fragment.NoConstOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at1, err := Evaluate(ds, []SystemName{PipelinePlus}, Options{Lambda: 1.0, Obscurity: fragment.NoConstOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at1[PipelinePlus].FQ() >= at08[PipelinePlus].FQ() {
+		t.Errorf("lambda=1 FQ %.1f should drop below lambda=0.8 FQ %.1f",
+			at1[PipelinePlus].FQ(), at08[PipelinePlus].FQ())
+	}
+}

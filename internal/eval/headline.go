@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"templar/internal/datasets"
+)
+
+// Improvement summarizes the headline relative FQ gain of an augmented
+// system over its baseline on one dataset.
+type Improvement struct {
+	Dataset    string
+	Baseline   SystemName
+	Augmented  SystemName
+	BaseFQ     float64
+	AugFQ      float64
+	GainFactor float64 // (AugFQ - BaseFQ) / BaseFQ
+}
+
+// Headline computes the paper's abstract claim — "up to N% improvement in
+// top-1 accuracy" — for both system pairs on every dataset.
+func Headline(all []*datasets.Dataset, opts Options) ([]Improvement, error) {
+	var out []Improvement
+	for _, ds := range all {
+		res, err := Evaluate(ds, AllSystems(), opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, pair := range [][2]SystemName{{Pipeline, PipelinePlus}, {NaLIR, NaLIRPlus}} {
+			base, aug := res[pair[0]], res[pair[1]]
+			imp := Improvement{
+				Dataset:   ds.Name,
+				Baseline:  pair[0],
+				Augmented: pair[1],
+				BaseFQ:    base.FQ(),
+				AugFQ:     aug.FQ(),
+			}
+			if base.FQ() > 0 {
+				imp.GainFactor = (aug.FQ() - base.FQ()) / base.FQ()
+			}
+			out = append(out, imp)
+		}
+	}
+	return out, nil
+}
+
+// RenderHeadline renders improvements and the "up to" maximum.
+func RenderHeadline(imps []Improvement) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Headline: relative top-1 FQ improvement from Templar augmentation\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-10s %-9s %-9s %-8s\n", "Dataset", "Baseline", "Augmented", "Base FQ", "Aug FQ", "Gain")
+	best := 0.0
+	for _, im := range imps {
+		fmt.Fprintf(&b, "%-8s %-10s %-10s %-9.1f %-9.1f %+.0f%%\n",
+			im.Dataset, im.Baseline, im.Augmented, im.BaseFQ, im.AugFQ, 100*im.GainFactor)
+		if im.GainFactor > best {
+			best = im.GainFactor
+		}
+	}
+	fmt.Fprintf(&b, "Up to %+.0f%% improvement in top-1 accuracy (paper: up to +138%%).\n", 100*best)
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/fragment"
+)
+
+func TestHeadlineAndRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validated evaluation in -short mode")
+	}
+	ds := datasets.Yelp()
+	imps, err := Headline([]*datasets.Dataset{ds}, Options{Obscurity: fragment.NoConstOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != 2 { // Pipeline pair + NaLIR pair
+		t.Fatalf("improvements = %d", len(imps))
+	}
+	for _, im := range imps {
+		if im.AugFQ <= im.BaseFQ {
+			t.Errorf("%s: augmented %.1f should beat baseline %.1f", im.Dataset, im.AugFQ, im.BaseFQ)
+		}
+		if im.GainFactor <= 0 {
+			t.Errorf("%s: gain = %v", im.Dataset, im.GainFactor)
+		}
+	}
+	out := RenderHeadline(imps)
+	if !strings.Contains(out, "Up to") || !strings.Contains(out, "Pipeline+") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderHeadlineEmpty(t *testing.T) {
+	out := RenderHeadline(nil)
+	if !strings.Contains(out, "Up to +0%") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"templar/internal/datasets"
+	"templar/internal/fragment"
+)
+
+// TableII renders the dataset statistics table.
+func TableII(all []*datasets.Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: Statistics of each benchmark dataset\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-5s %-6s %-6s %-8s\n", "Dataset", "Size", "Rels", "Attrs", "FK-PK", "Queries")
+	for _, ds := range all {
+		s := ds.Stats()
+		fmt.Fprintf(&b, "%-8s %-8s %-5d %-6d %-6d %-8d\n",
+			s.Dataset, fmt.Sprintf("%.1f GB", s.SizeGB), s.Relations, s.Attributes, s.ForeignKeys, s.Queries)
+	}
+	return b.String()
+}
+
+// TableIII runs the full four-system evaluation on every dataset and
+// renders the KW/FQ accuracy table.
+func TableIII(all []*datasets.Dataset, opts Options) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: Keyword mapping (KW) and full query (FQ) results\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-8s %-8s\n", "Dataset", "System", "KW (%)", "FQ (%)")
+	for _, ds := range all {
+		res, err := Evaluate(ds, AllSystems(), opts)
+		if err != nil {
+			return "", err
+		}
+		for _, name := range AllSystems() {
+			m := res[name]
+			fmt.Fprintf(&b, "%-8s %-10s %-8.1f %-8.1f\n", ds.Name, name, m.KW(), m.FQ())
+		}
+	}
+	return b.String(), nil
+}
+
+// TableIV runs the LogJoin ablation on Pipeline+ and renders the table.
+func TableIV(all []*datasets.Dataset, opts Options) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IV: Improvement from activating log-based joins in Pipeline+\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-8s\n", "Dataset", "LogJoin", "FQ (%)")
+	for _, ds := range all {
+		for _, logJoin := range []bool{false, true} {
+			o := opts
+			o.DisableLogJoin = !logJoin
+			res, err := Evaluate(ds, []SystemName{PipelinePlus}, o)
+			if err != nil {
+				return "", err
+			}
+			flag := "N"
+			if logJoin {
+				flag = "Y"
+			}
+			fmt.Fprintf(&b, "%-8s %-8s %-8.1f\n", ds.Name, flag, res[PipelinePlus].FQ())
+		}
+	}
+	return b.String(), nil
+}
+
+// SweepPoint is one point of a parameter sweep.
+type SweepPoint struct {
+	X  float64
+	FQ float64
+}
+
+// Figure5 sweeps κ with λ fixed, returning Pipeline+ FQ accuracy per
+// dataset (the paper fixes λ = 0.8 and varies κ from 2 to 10).
+func Figure5(all []*datasets.Dataset, kappas []int, opts Options) (map[string][]SweepPoint, error) {
+	out := make(map[string][]SweepPoint, len(all))
+	for _, ds := range all {
+		for _, k := range kappas {
+			o := opts
+			o.K = k
+			res, err := Evaluate(ds, []SystemName{PipelinePlus}, o)
+			if err != nil {
+				return nil, err
+			}
+			out[ds.Name] = append(out[ds.Name], SweepPoint{X: float64(k), FQ: res[PipelinePlus].FQ()})
+		}
+	}
+	return out, nil
+}
+
+// Figure6 sweeps λ with κ fixed (the paper fixes κ = 5 and varies λ from 0
+// to 1).
+func Figure6(all []*datasets.Dataset, lambdas []float64, opts Options) (map[string][]SweepPoint, error) {
+	out := make(map[string][]SweepPoint, len(all))
+	for _, ds := range all {
+		for _, l := range lambdas {
+			o := opts
+			o.Lambda = l
+			if l == 0 {
+				// Options treats 0 as "default"; nudge to a tiny epsilon to
+				// represent pure log-driven scoring.
+				o.Lambda = 1e-9
+			}
+			res, err := Evaluate(ds, []SystemName{PipelinePlus}, o)
+			if err != nil {
+				return nil, err
+			}
+			out[ds.Name] = append(out[ds.Name], SweepPoint{X: l, FQ: res[PipelinePlus].FQ()})
+		}
+	}
+	return out, nil
+}
+
+// RenderSweep renders sweep points as an aligned series table.
+func RenderSweep(title, xlabel string, series map[string][]SweepPoint, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s", xlabel)
+	for _, name := range order {
+		fmt.Fprintf(&b, " %-8s", name)
+	}
+	b.WriteByte('\n')
+	if len(order) == 0 {
+		return b.String()
+	}
+	for i := range series[order[0]] {
+		fmt.Fprintf(&b, "%-8.2g", series[order[0]][i].X)
+		for _, name := range order {
+			fmt.Fprintf(&b, " %-8.1f", series[name][i].FQ)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ObscurityAblation evaluates Pipeline+ FQ accuracy at each obscurity level
+// (the paper reports that all levels improve on the baseline, with
+// NoConstOp performing best).
+func ObscurityAblation(all []*datasets.Dataset, opts Options) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Obscurity ablation: Pipeline+ FQ (%%) per QFG obscurity level\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-8s\n", "Dataset", "Obscurity", "FQ (%)")
+	for _, ds := range all {
+		for _, ob := range fragment.Levels() {
+			o := opts
+			o.Obscurity = ob
+			res, err := Evaluate(ds, []SystemName{PipelinePlus}, o)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-8s %-10s %-8.1f\n", ds.Name, ob, res[PipelinePlus].FQ())
+		}
+	}
+	return b.String(), nil
+}

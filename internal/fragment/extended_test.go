@@ -1,0 +1,74 @@
+package fragment
+
+import (
+	"testing"
+)
+
+func TestExtractInPredObscurity(t *testing.T) {
+	q := parse(t, "SELECT b.name FROM business b WHERE b.city IN ('Phoenix', 'Tempe')")
+	for _, tc := range []struct {
+		ob   Obscurity
+		want string
+	}{
+		{Full, "business.city IN ('Phoenix', 'Tempe')"},
+		{NoConst, "business.city IN (?val)"},
+		{NoConstOp, "business.city ?op ?val"},
+	} {
+		frags := Extract(q, tc.ob)
+		found := false
+		for _, f := range frags {
+			if f.Context == Where && f.Expr == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: missing %q in %v", tc.ob, tc.want, frags)
+		}
+	}
+}
+
+func TestExtractBetweenPredObscurity(t *testing.T) {
+	q := parse(t, "SELECT p.title FROM publication p WHERE p.year BETWEEN 1995 AND 2005")
+	for _, tc := range []struct {
+		ob   Obscurity
+		want string
+	}{
+		{Full, "publication.year BETWEEN 1995 AND 2005"},
+		{NoConst, "publication.year BETWEEN ?val AND ?val"},
+		{NoConstOp, "publication.year ?op ?val"},
+	} {
+		frags := Extract(q, tc.ob)
+		found := false
+		for _, f := range frags {
+			if f.Context == Where && f.Expr == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: missing %q in %v", tc.ob, tc.want, frags)
+		}
+	}
+}
+
+func TestNoConstOpUnifiesPredicateShapes(t *testing.T) {
+	// At NoConstOp, a comparison, an IN-list and a BETWEEN over the same
+	// attribute all collapse onto one fragment, pooling their log
+	// evidence — the whole point of the obscurity ladder (§IV).
+	qa := parse(t, "SELECT p.title FROM publication p WHERE p.year > 2000")
+	qb := parse(t, "SELECT p.title FROM publication p WHERE p.year IN (1999, 2001)")
+	qc := parse(t, "SELECT p.title FROM publication p WHERE p.year BETWEEN 1990 AND 1995")
+	var exprs []string
+	for _, frags := range [][]Fragment{Extract(qa, NoConstOp), Extract(qb, NoConstOp), Extract(qc, NoConstOp)} {
+		for _, f := range frags {
+			if f.Context == Where {
+				exprs = append(exprs, f.Expr)
+			}
+		}
+	}
+	if len(exprs) != 3 {
+		t.Fatalf("WHERE fragments = %v", exprs)
+	}
+	if exprs[0] != exprs[1] || exprs[1] != exprs[2] {
+		t.Fatalf("NoConstOp did not unify shapes: %v", exprs)
+	}
+}

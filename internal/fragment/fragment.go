@@ -1,0 +1,199 @@
+// Package fragment defines the query fragment (paper Definition 3), the
+// atomic building block Templar mines from SQL query logs: a pair of a SQL
+// expression (or non-join predicate) and the clause context it resides in.
+//
+// It also implements the three obscurity levels of §IV — Full, NoConst and
+// NoConstOp — which progressively replace literal constants and comparison
+// operators with placeholders so that recurring semantic contexts in the log
+// can match regardless of the specific values queried.
+package fragment
+
+import (
+	"fmt"
+	"sort"
+
+	"templar/internal/sqlparse"
+)
+
+// Context identifies the clause a fragment resides in (τ in Definition 3).
+type Context int
+
+const (
+	// Select is the projection clause context.
+	Select Context = iota
+	// From is the relation list context.
+	From
+	// Where is the (non-join) predicate context.
+	Where
+	// GroupBy is the grouping clause context.
+	GroupBy
+	// OrderBy is the ordering clause context.
+	OrderBy
+)
+
+// String returns the SQL clause name.
+func (c Context) String() string {
+	switch c {
+	case Select:
+		return "SELECT"
+	case From:
+		return "FROM"
+	case Where:
+		return "WHERE"
+	case GroupBy:
+		return "GROUP BY"
+	case OrderBy:
+		return "ORDER BY"
+	default:
+		return fmt.Sprintf("Context(%d)", int(c))
+	}
+}
+
+// Obscurity selects how much of a predicate is replaced by placeholders.
+type Obscurity int
+
+const (
+	// Full retains all literal values and operators.
+	Full Obscurity = iota
+	// NoConst replaces literal constants with ?val.
+	NoConst
+	// NoConstOp additionally replaces comparison operators with ?op.
+	NoConstOp
+)
+
+// String names the obscurity level as in the paper.
+func (o Obscurity) String() string {
+	switch o {
+	case Full:
+		return "Full"
+	case NoConst:
+		return "NoConst"
+	case NoConstOp:
+		return "NoConstOp"
+	default:
+		return fmt.Sprintf("Obscurity(%d)", int(o))
+	}
+}
+
+// Levels lists all obscurity levels in increasing order of obscurity.
+func Levels() []Obscurity { return []Obscurity{Full, NoConst, NoConstOp} }
+
+// Fragment is a query fragment c = (χ, τ). Expr is a canonical rendering of
+// the expression with alias-free relation names; fragments compare equal by
+// value, so Fragment is directly usable as a map key.
+type Fragment struct {
+	Context Context
+	Expr    string
+}
+
+// String renders "(expr, CONTEXT)" as in the paper's examples.
+func (f Fragment) String() string { return "(" + f.Expr + ", " + f.Context.String() + ")" }
+
+// Relation builds the FROM fragment for a relation name.
+func Relation(name string) Fragment { return Fragment{Context: From, Expr: name} }
+
+// Attr builds a SELECT fragment for a qualified attribute with optional
+// aggregate function (e.g. "COUNT") applied.
+func Attr(qualified string, agg string) Fragment {
+	if agg != "" {
+		return Fragment{Context: Select, Expr: agg + "(" + qualified + ")"}
+	}
+	return Fragment{Context: Select, Expr: qualified}
+}
+
+// PredExpr renders a predicate expression at a given obscurity level.
+func PredExpr(qualified, op string, value sqlparse.Value, ob Obscurity) string {
+	switch ob {
+	case Full:
+		return qualified + " " + op + " " + value.String()
+	case NoConst:
+		return qualified + " " + op + " ?val"
+	default:
+		return qualified + " ?op ?val"
+	}
+}
+
+// Pred builds a WHERE fragment for a predicate at the given obscurity.
+func Pred(qualified, op string, value sqlparse.Value, ob Obscurity) Fragment {
+	return Fragment{Context: Where, Expr: PredExpr(qualified, op, value, ob)}
+}
+
+// inExpr renders an IN-list predicate at an obscurity level. NoConstOp
+// collapses it onto the same "attr ?op ?val" fragment as ordinary
+// comparisons, so all predicate shapes over one attribute pool their log
+// evidence.
+func inExpr(p sqlparse.InPred, ob Obscurity) string {
+	switch ob {
+	case Full:
+		return p.String()
+	case NoConst:
+		return p.Column.String() + " IN (?val)"
+	default:
+		return p.Column.String() + " ?op ?val"
+	}
+}
+
+// betweenExpr renders a BETWEEN predicate at an obscurity level, collapsing
+// onto "attr ?op ?val" at NoConstOp like inExpr.
+func betweenExpr(p sqlparse.BetweenPred, ob Obscurity) string {
+	switch ob {
+	case Full:
+		return p.String()
+	case NoConst:
+		return p.Column.String() + " BETWEEN ?val AND ?val"
+	default:
+		return p.Column.String() + " ?op ?val"
+	}
+}
+
+// Extract returns the distinct query fragments of a parsed query at the given
+// obscurity level, in deterministic (sorted) order. Join conditions are not
+// fragments (Definition 3 covers only non-join predicates); relations in the
+// FROM clause are fragments, one per distinct relation name. The query must
+// already be alias-resolved (sqlparse.Query.Resolve).
+func Extract(q *sqlparse.Query, ob Obscurity) []Fragment {
+	set := make(map[Fragment]bool)
+	for _, s := range q.Select {
+		if s.Star {
+			if s.Agg != "" {
+				set[Fragment{Context: Select, Expr: s.Agg + "(*)"}] = true
+			}
+			continue
+		}
+		set[Attr(s.Column.String(), s.Agg)] = true
+	}
+	for _, t := range q.From {
+		set[Relation(t.Name)] = true
+	}
+	for _, c := range q.Where {
+		switch p := c.(type) {
+		case sqlparse.Pred:
+			set[Pred(p.Column.String(), p.Op, p.Value, ob)] = true
+		case sqlparse.InPred:
+			set[Fragment{Context: Where, Expr: inExpr(p, ob)}] = true
+		case sqlparse.BetweenPred:
+			set[Fragment{Context: Where, Expr: betweenExpr(p, ob)}] = true
+		}
+	}
+	for _, g := range q.GroupBy {
+		set[Fragment{Context: GroupBy, Expr: g.String()}] = true
+	}
+	for _, o := range q.OrderBy {
+		if o.Expr.Star && o.Expr.Agg == "" {
+			continue
+		}
+		expr := o.Expr.String()
+		set[Fragment{Context: OrderBy, Expr: expr}] = true
+	}
+	out := make([]Fragment, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Context != out[j].Context {
+			return out[i].Context < out[j].Context
+		}
+		return out[i].Expr < out[j].Expr
+	})
+	return out
+}

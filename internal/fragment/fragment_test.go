@@ -1,0 +1,200 @@
+package fragment
+
+import (
+	"testing"
+
+	"templar/internal/sqlparse"
+)
+
+func parse(t *testing.T, src string) *sqlparse.Query {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resolve(nil); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestExtractPaperDefinitionExample(t *testing.T) {
+	// Definition 3's worked example: the fragments of
+	// SELECT t.a FROM table1 t, table2 u WHERE t.b = 15 AND t.id = u.id
+	// are (t.a, SELECT), (table1, FROM), (table2, FROM), (t.b = 15, WHERE).
+	q := parse(t, "SELECT t.a FROM table1 t, table2 u WHERE t.b = 15 AND t.id = u.id")
+	got := Extract(q, Full)
+	want := []Fragment{
+		{Select, "table1.a"},
+		{From, "table1"},
+		{From, "table2"},
+		{Where, "table1.b = 15"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Extract = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Extract[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestObscurityLevels(t *testing.T) {
+	q := parse(t, "SELECT p.title FROM publication p WHERE p.year > 2000")
+	for _, tc := range []struct {
+		ob   Obscurity
+		want string
+	}{
+		{Full, "publication.year > 2000"},
+		{NoConst, "publication.year > ?val"},
+		{NoConstOp, "publication.year ?op ?val"},
+	} {
+		frags := Extract(q, tc.ob)
+		found := false
+		for _, f := range frags {
+			if f.Context == Where && f.Expr == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: fragments %v missing %q", tc.ob, frags, tc.want)
+		}
+	}
+}
+
+func TestExtractExcludesJoinConditions(t *testing.T) {
+	q := parse(t, "SELECT p.title FROM journal j, publication p WHERE j.jid = p.jid")
+	for _, f := range Extract(q, Full) {
+		if f.Context == Where {
+			t.Errorf("join condition leaked into fragments: %v", f)
+		}
+	}
+}
+
+func TestExtractSelfJoinSingleRelationFragment(t *testing.T) {
+	q := parse(t, "SELECT p.title FROM author a1, author a2, publication p WHERE a1.name = 'John' AND a2.name = 'Jane'")
+	frags := Extract(q, Full)
+	fromCount := 0
+	for _, f := range frags {
+		if f.Context == From && f.Expr == "author" {
+			fromCount++
+		}
+	}
+	// Fragments are a set: the duplicated relation appears once.
+	if fromCount != 1 {
+		t.Fatalf("author FROM fragments = %d, want 1", fromCount)
+	}
+	// But both predicates survive at Full obscurity...
+	preds := 0
+	for _, f := range frags {
+		if f.Context == Where {
+			preds++
+		}
+	}
+	if preds != 2 {
+		t.Fatalf("WHERE fragments = %d, want 2", preds)
+	}
+	// ...and collapse to one at NoConst (same attribute, same op).
+	preds = 0
+	for _, f := range Extract(q, NoConst) {
+		if f.Context == Where {
+			preds++
+		}
+	}
+	if preds != 1 {
+		t.Fatalf("NoConst WHERE fragments = %d, want 1", preds)
+	}
+}
+
+func TestExtractAggregatesAndGroupOrder(t *testing.T) {
+	q := parse(t, "SELECT a.name, COUNT(p.pid) FROM author a, publication p WHERE a.aid = p.aid GROUP BY a.name ORDER BY COUNT(p.pid) DESC")
+	frags := Extract(q, Full)
+	wantExprs := map[string]Context{
+		"author.name":            Select,
+		"COUNT(publication.pid)": Select,
+		"author":                 From,
+		"publication":            From,
+	}
+	for expr, ctx := range wantExprs {
+		found := false
+		for _, f := range frags {
+			if f.Expr == expr && f.Context == ctx {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing fragment (%s, %v) in %v", expr, ctx, frags)
+		}
+	}
+	hasGroup, hasOrder := false, false
+	for _, f := range frags {
+		if f.Context == GroupBy && f.Expr == "author.name" {
+			hasGroup = true
+		}
+		if f.Context == OrderBy && f.Expr == "COUNT(publication.pid)" {
+			hasOrder = true
+		}
+	}
+	if !hasGroup || !hasOrder {
+		t.Errorf("group/order fragments missing: %v", frags)
+	}
+}
+
+func TestExtractCountStar(t *testing.T) {
+	q := parse(t, "SELECT COUNT(*) FROM publication")
+	frags := Extract(q, Full)
+	found := false
+	for _, f := range frags {
+		if f.Context == Select && f.Expr == "COUNT(*)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("COUNT(*) fragment missing: %v", frags)
+	}
+}
+
+func TestExtractDeterministicOrder(t *testing.T) {
+	q := parse(t, "SELECT p.title, j.name FROM journal j, publication p WHERE p.year > 2000 AND j.name = 'TKDE'")
+	a := Extract(q, NoConstOp)
+	b := Extract(q, NoConstOp)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic extraction length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFragmentString(t *testing.T) {
+	f := Fragment{Select, "publication.title"}
+	if f.String() != "(publication.title, SELECT)" {
+		t.Fatalf("String = %q", f.String())
+	}
+	if GroupBy.String() != "GROUP BY" || OrderBy.String() != "ORDER BY" {
+		t.Fatal("context names")
+	}
+	if Full.String() != "Full" || NoConst.String() != "NoConst" || NoConstOp.String() != "NoConstOp" {
+		t.Fatal("obscurity names")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	l := Levels()
+	if len(l) != 3 || l[0] != Full || l[2] != NoConstOp {
+		t.Fatalf("Levels = %v", l)
+	}
+}
+
+func TestPredExprStringValue(t *testing.T) {
+	v := sqlparse.Value{Kind: sqlparse.StringVal, S: "Databases"}
+	if got := PredExpr("domain.name", "=", v, Full); got != "domain.name = 'Databases'" {
+		t.Fatalf("PredExpr Full = %q", got)
+	}
+	if got := PredExpr("domain.name", "=", v, NoConstOp); got != "domain.name ?op ?val" {
+		t.Fatalf("PredExpr NoConstOp = %q", got)
+	}
+}

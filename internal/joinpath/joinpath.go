@@ -1,0 +1,602 @@
+// Package joinpath implements Templar's join path inference (paper §VI):
+// given a bag of relations known to be part of the SQL translation, find the
+// most likely join paths over the schema graph.
+//
+// Join path generation is modeled as the Steiner tree problem and solved
+// with the classic KMB approximation (Kou, Markowsky, Berman 1981 — the
+// paper's reference [21]). Edge weights are either uniform (the baseline:
+// minimal number of join edges, i.e. the shortest join path) or log-driven:
+//
+//	wL(v1, v2) = 1 − Dice(q(v1), q(v2))
+//
+// so that relation pairs frequently joined in the SQL query log become
+// cheap to traverse (§VI-A2).
+//
+// Self-joins — a bag containing the same relation more than once — are
+// handled by forking the schema graph (Algorithm 4): the duplicated relation
+// and everything that references it are cloned, with the fork terminating at
+// FK-PK edges pointing away from the clone, which reattach to the shared
+// graph (Figure 4).
+package joinpath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"templar/internal/schema"
+)
+
+// WeightFunc assigns a weight in [0, 1] to the join edge between two
+// relations. It must be symmetric.
+type WeightFunc func(relA, relB string) float64
+
+// UniformWeights is the default weight function of §VI-A1: every edge costs
+// 1, so the minimum Steiner tree is the join path with the fewest joins.
+func UniformWeights(string, string) float64 { return 1 }
+
+// DiceSource supplies relation co-occurrence evidence (the QFG satisfies it).
+type DiceSource interface {
+	DiceRelations(relA, relB string) float64
+}
+
+// LogWeights returns the log-driven weight function wL of §VI-A2. Weights
+// are clamped to a small positive floor so Dijkstra stays well-behaved when
+// two relations always co-occur (Dice = 1).
+func LogWeights(src DiceSource) WeightFunc {
+	const floor = 1e-3
+	return func(a, b string) float64 {
+		w := 1 - src.DiceRelations(a, b)
+		if w < floor {
+			return floor
+		}
+		return w
+	}
+}
+
+// CountSource supplies raw relation co-occurrence counts (the QFG satisfies
+// it).
+type CountSource interface {
+	RelationCoOccurrences(relA, relB string) int
+}
+
+// CountWeights is the design-ablation alternative to LogWeights: edge
+// weights derived from raw co-occurrence counts, w = 1/(1+ne), without the
+// Dice normalization by individual occurrence counts. High-traffic hub
+// relations make every adjacent edge cheap under this scheme, which is the
+// failure mode Dice normalization prevents.
+func CountWeights(src CountSource) WeightFunc {
+	return func(a, b string) float64 {
+		return 1 / (1 + float64(src.RelationCoOccurrences(a, b)))
+	}
+}
+
+// Edge is one join edge of a resulting path, between two relation
+// *instances*. Instances are distinct for self-joins (author, author#2);
+// FK identifies the underlying FK-PK columns.
+type Edge struct {
+	FromInst string
+	ToInst   string
+	FK       schema.ForeignKey
+	Weight   float64
+}
+
+// String renders "fromInst.fkAttr = toInst.pkAttr" style identity.
+func (e Edge) String() string {
+	return e.FromInst + "." + e.FK.FromAttr + " = " + e.ToInst + "." + e.FK.ToAttr
+}
+
+// Path is one inferred join path: a tree over relation instances.
+type Path struct {
+	// Relations lists every relation instance in the tree, sorted.
+	// Instance names are the base relation name, with "#k" suffixes for
+	// self-join clones (k ≥ 2).
+	Relations []string
+	// Edges are the join edges of the tree.
+	Edges []Edge
+	// TotalWeight is the Steiner objective Σ w(e).
+	TotalWeight float64
+	// Score is the paper's literal Scorej(j) = Σw(e) / |Ej|², defined as 1
+	// for a single-relation path with no edges.
+	Score float64
+	// Goodness is the monotone ranking score used when combining a join
+	// path with a keyword-mapping configuration: 1 / (1 + TotalWeight).
+	// Higher is better; shorter/frequent paths win under both weightings.
+	Goodness float64
+}
+
+// BaseRelation strips the "#k" clone suffix from an instance name.
+func BaseRelation(inst string) string {
+	if i := strings.IndexByte(inst, '#'); i >= 0 {
+		return inst[:i]
+	}
+	return inst
+}
+
+// String renders the path as "a-b-c" over sorted instances.
+func (p Path) String() string { return strings.Join(p.Relations, "-") }
+
+// canonical produces a dedupe key from the edge set.
+func (p Path) canonical() string {
+	es := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		a, b := e.FromInst+"."+e.FK.FromAttr, e.ToInst+"."+e.FK.ToAttr
+		if b < a {
+			a, b = b, a
+		}
+		es[i] = a + "=" + b
+	}
+	sort.Strings(es)
+	return strings.Join(es, "&") + "|" + strings.Join(p.Relations, ",")
+}
+
+// Generator infers join paths over a schema graph with a weight function.
+type Generator struct {
+	graph  *schema.Graph
+	weight WeightFunc
+}
+
+// NewGenerator builds a Generator. A nil weight function means uniform.
+func NewGenerator(g *schema.Graph, w WeightFunc) *Generator {
+	if w == nil {
+		w = UniformWeights
+	}
+	return &Generator{graph: g, weight: w}
+}
+
+// Infer implements INFERJOINS: it returns up to topK join paths spanning the
+// bag of relations (a multiset; duplicates trigger schema-graph forking),
+// ranked from most to least likely. An empty bag is an error; a bag whose
+// relations cannot be connected is an error.
+func (gen *Generator) Infer(bag []string, topK int) ([]Path, error) {
+	if len(bag) == 0 {
+		return nil, fmt.Errorf("joinpath: empty relation bag")
+	}
+	if topK <= 0 {
+		topK = 1
+	}
+	for _, r := range bag {
+		if _, ok := gen.graph.Relation(r); !ok {
+			return nil, fmt.Errorf("joinpath: unknown relation %q", r)
+		}
+	}
+
+	rg := buildRelGraph(gen.graph, gen.weight)
+	terminals, err := rg.applyBag(bag)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(terminals) == 1 {
+		inst := rg.names[terminals[0]]
+		return []Path{{Relations: []string{inst}, Score: 1, Goodness: 1}}, nil
+	}
+
+	best, err := rg.steiner(terminals, nil)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{rg.toPath(best)}
+	seen := map[string]bool{paths[0].canonical(): true}
+
+	// Alternatives: re-run with each edge of the best tree banned.
+	for _, te := range best.edges {
+		banned := map[edgeKey]bool{te.key(): true}
+		alt, err := rg.steiner(terminals, banned)
+		if err != nil {
+			continue // this edge was a bridge; no alternative exists
+		}
+		p := rg.toPath(alt)
+		if k := p.canonical(); !seen[k] {
+			seen[k] = true
+			paths = append(paths, p)
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		if paths[i].TotalWeight != paths[j].TotalWeight {
+			return paths[i].TotalWeight < paths[j].TotalWeight
+		}
+		if len(paths[i].Edges) != len(paths[j].Edges) {
+			return len(paths[i].Edges) < len(paths[j].Edges)
+		}
+		return paths[i].canonical() < paths[j].canonical()
+	})
+	if len(paths) > topK {
+		paths = paths[:topK]
+	}
+	return paths, nil
+}
+
+// ---------------------------------------------------------------------------
+// Internal relation-instance graph.
+
+// relGraph is a multigraph over relation instances. Vertex 0..n-1 names are
+// instance names; base(i) gives the underlying relation.
+type relGraph struct {
+	names []string
+	idx   map[string]int
+	// adj[i] lists half-edges; parallel FK edges are kept distinct.
+	adj    [][]halfEdge
+	weight WeightFunc
+}
+
+// halfEdge is a directed view of an undirected join edge.
+type halfEdge struct {
+	to int
+	w  float64
+	fk schema.ForeignKey
+	// fkFromHere is true when the FK side of the edge is this vertex.
+	fkFromHere bool
+}
+
+// edgeKey identifies an undirected edge instance.
+type edgeKey struct {
+	a, b int
+	fk   schema.ForeignKey
+}
+
+func makeEdgeKey(a, b int, fk schema.ForeignKey) edgeKey {
+	if b < a {
+		a, b = b, a
+	}
+	return edgeKey{a, b, fk}
+}
+
+// treeEdge is an edge selected into a Steiner tree.
+type treeEdge struct {
+	a, b int
+	w    float64
+	fk   schema.ForeignKey
+	// aIsFK reports whether vertex a is the FK side.
+	aIsFK bool
+}
+
+func (t treeEdge) key() edgeKey { return makeEdgeKey(t.a, t.b, t.fk) }
+
+// tree is a Steiner tree result.
+type tree struct {
+	vertices map[int]bool
+	edges    []treeEdge
+	total    float64
+}
+
+func buildRelGraph(g *schema.Graph, w WeightFunc) *relGraph {
+	rg := &relGraph{idx: make(map[string]int), weight: w}
+	for _, rn := range g.Relations() {
+		rg.addVertex(rn)
+	}
+	for _, fk := range g.ForeignKeys() {
+		rg.addEdge(rg.idx[fk.FromRel], rg.idx[fk.ToRel], fk)
+	}
+	return rg
+}
+
+func (rg *relGraph) addVertex(name string) int {
+	i := len(rg.names)
+	rg.names = append(rg.names, name)
+	rg.idx[name] = i
+	rg.adj = append(rg.adj, nil)
+	return i
+}
+
+func (rg *relGraph) addEdge(a, b int, fk schema.ForeignKey) {
+	w := rg.weight(BaseRelation(rg.names[a]), BaseRelation(rg.names[b]))
+	rg.adj[a] = append(rg.adj[a], halfEdge{to: b, w: w, fk: fk, fkFromHere: fk.FromRel == BaseRelation(rg.names[a])})
+	rg.adj[b] = append(rg.adj[b], halfEdge{to: a, w: w, fk: fk, fkFromHere: fk.FromRel == BaseRelation(rg.names[b])})
+}
+
+// applyBag turns a relation multiset into terminal vertex ids, forking the
+// graph for duplicates (Algorithm 4: one fork per extra reference).
+func (rg *relGraph) applyBag(bag []string) ([]int, error) {
+	counts := make(map[string]int)
+	order := make([]string, 0, len(bag))
+	for _, r := range bag {
+		if counts[r] == 0 {
+			order = append(order, r)
+		}
+		counts[r]++
+	}
+	var terminals []int
+	for _, r := range order {
+		terminals = append(terminals, rg.idx[r])
+		for d := 2; d <= counts[r]; d++ {
+			cloneID := rg.fork(rg.idx[r], d)
+			terminals = append(terminals, cloneID)
+		}
+	}
+	return terminals, nil
+}
+
+// fork clones the subgraph rooted at relation vertex v (Algorithm 4 at the
+// relation level): the duplicated relation and every relation that
+// *references* it transitively are cloned; FK edges pointing away from a
+// clone reattach to the shared original target. The clone of vertex i gets
+// the instance name names[i] + "#d".
+func (rg *relGraph) fork(v int, d int) int {
+	suffix := fmt.Sprintf("#%d", d)
+	cloneOf := make(map[int]int)
+	var stack []int
+	cloneOf[v] = rg.addVertex(rg.names[v] + suffix)
+	stack = append(stack, v)
+	visited := map[int]bool{v: true}
+	for len(stack) > 0 {
+		old := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		newV := cloneOf[old]
+		for _, he := range rg.adj[old] {
+			conn := he.to
+			// Skip edges into already-cloned region (including edges among
+			// previously created clones of other forks: only walk the
+			// original graph, i.e. vertices without '#').
+			if strings.IndexByte(rg.names[conn], '#') >= 0 {
+				continue
+			}
+			// Algorithm 4 line 12: vertices already visited by this fork
+			// were connected when first reached; re-visiting them would
+			// add spurious edges back into the original graph.
+			if visited[conn] {
+				continue
+			}
+			if he.fkFromHere {
+				// FK-PK edge in the direction old -> conn: terminate the
+				// fork here; connect the clone to the shared vertex.
+				rg.addEdge(newV, conn, he.fk)
+				continue
+			}
+			// conn references old: clone conn and continue traversal.
+			visited[conn] = true
+			cloneOf[conn] = rg.addVertex(rg.names[conn] + suffix)
+			rg.addEdge(newV, cloneOf[conn], he.fk)
+			stack = append(stack, conn)
+		}
+	}
+	return cloneOf[v]
+}
+
+// dijkstra computes shortest paths from src, honoring banned edges. It
+// returns dist and the predecessor half-edge per vertex.
+func (rg *relGraph) dijkstra(src int, banned map[edgeKey]bool) ([]float64, []struct {
+	prev int
+	he   halfEdge
+}) {
+	n := len(rg.names)
+	dist := make([]float64, n)
+	prev := make([]struct {
+		prev int
+		he   halfEdge
+	}, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i].prev = -1
+	}
+	dist[src] = 0
+	visited := make([]bool, n)
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !visited[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		visited[u] = true
+		for _, he := range rg.adj[u] {
+			if banned != nil && banned[makeEdgeKey(u, he.to, he.fk)] {
+				continue
+			}
+			if nd := dist[u] + he.w; nd < dist[he.to] {
+				dist[he.to] = nd
+				prev[he.to] = struct {
+					prev int
+					he   halfEdge
+				}{u, he}
+			}
+		}
+	}
+	return dist, prev
+}
+
+// steiner runs the KMB approximation over the terminals.
+func (rg *relGraph) steiner(terminals []int, banned map[edgeKey]bool) (*tree, error) {
+	// Step 1: metric closure between terminals.
+	type closureEdge struct {
+		a, b int // indexes into terminals
+		d    float64
+	}
+	dists := make([][]float64, len(terminals))
+	prevs := make([][]struct {
+		prev int
+		he   halfEdge
+	}, len(terminals))
+	for i, t := range terminals {
+		dists[i], prevs[i] = rg.dijkstra(t, banned)
+	}
+	var closure []closureEdge
+	for i := 0; i < len(terminals); i++ {
+		for j := i + 1; j < len(terminals); j++ {
+			d := dists[i][terminals[j]]
+			if math.IsInf(d, 1) {
+				return nil, fmt.Errorf("joinpath: relations %q and %q are not connected",
+					rg.names[terminals[i]], rg.names[terminals[j]])
+			}
+			closure = append(closure, closureEdge{i, j, d})
+		}
+	}
+
+	// Step 2: MST of the closure (Prim over terminal indexes).
+	inMST := make([]bool, len(terminals))
+	inMST[0] = true
+	type mstPick struct{ a, b int }
+	var picks []mstPick
+	for len(picks) < len(terminals)-1 {
+		best, bi := math.Inf(1), -1
+		for ci, ce := range closure {
+			if inMST[ce.a] == inMST[ce.b] {
+				continue
+			}
+			if ce.d < best {
+				best, bi = ce.d, ci
+			}
+		}
+		if bi < 0 {
+			return nil, fmt.Errorf("joinpath: terminals not connected")
+		}
+		ce := closure[bi]
+		inMST[ce.a], inMST[ce.b] = true, true
+		picks = append(picks, mstPick{ce.a, ce.b})
+	}
+
+	// Step 3: expand each MST edge into its shortest path; union edges.
+	edgeSet := make(map[edgeKey]treeEdge)
+	vertices := make(map[int]bool)
+	for _, t := range terminals {
+		vertices[t] = true
+	}
+	for _, pk := range picks {
+		// Walk predecessors from terminals[pk.b] back to terminals[pk.a]
+		// using the Dijkstra tree rooted at terminals[pk.a].
+		cur := terminals[pk.b]
+		for cur != terminals[pk.a] {
+			pe := prevs[pk.a][cur]
+			if pe.prev < 0 {
+				return nil, fmt.Errorf("joinpath: internal: broken predecessor chain")
+			}
+			k := makeEdgeKey(pe.prev, cur, pe.he.fk)
+			if _, ok := edgeSet[k]; !ok {
+				// Orient the tree edge so .a is the FK side when possible.
+				te := treeEdge{a: pe.prev, b: cur, w: pe.he.w, fk: pe.he.fk}
+				te.aIsFK = pe.he.fk.FromRel == BaseRelation(rg.names[pe.prev])
+				edgeSet[k] = te
+			}
+			vertices[pe.prev] = true
+			vertices[cur] = true
+			cur = pe.prev
+		}
+	}
+
+	// Step 4: MST of the induced subgraph (Kruskal over collected edges —
+	// the union of shortest paths can contain cycles).
+	all := make([]treeEdge, 0, len(edgeSet))
+	for _, te := range edgeSet {
+		all = append(all, te)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w < all[j].w
+		}
+		return all[i].key().less(all[j].key())
+	})
+	parent := make(map[int]int)
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	var mst []treeEdge
+	for _, te := range all {
+		ra, rb := find(te.a), find(te.b)
+		if ra == rb {
+			continue
+		}
+		parent[ra] = rb
+		mst = append(mst, te)
+	}
+
+	// Step 5: prune non-terminal leaves repeatedly.
+	termSet := make(map[int]bool, len(terminals))
+	for _, t := range terminals {
+		termSet[t] = true
+	}
+	for {
+		degree := make(map[int]int)
+		for _, te := range mst {
+			degree[te.a]++
+			degree[te.b]++
+		}
+		pruned := false
+		var kept []treeEdge
+		removeLeaf := -1
+		for v, d := range degree {
+			if d == 1 && !termSet[v] {
+				removeLeaf = v
+				break
+			}
+		}
+		if removeLeaf >= 0 {
+			for _, te := range mst {
+				if te.a == removeLeaf || te.b == removeLeaf {
+					pruned = true
+					continue
+				}
+				kept = append(kept, te)
+			}
+			mst = kept
+		}
+		if !pruned {
+			break
+		}
+	}
+
+	tr := &tree{vertices: make(map[int]bool)}
+	for _, t := range terminals {
+		tr.vertices[t] = true
+	}
+	for _, te := range mst {
+		tr.vertices[te.a] = true
+		tr.vertices[te.b] = true
+		tr.total += te.w
+		tr.edges = append(tr.edges, te)
+	}
+	return tr, nil
+}
+
+// less orders edge keys deterministically.
+func (k edgeKey) less(o edgeKey) bool {
+	if k.a != o.a {
+		return k.a < o.a
+	}
+	if k.b != o.b {
+		return k.b < o.b
+	}
+	return k.fk.String() < o.fk.String()
+}
+
+// toPath converts an internal tree into the public Path form.
+func (rg *relGraph) toPath(tr *tree) Path {
+	var p Path
+	for v := range tr.vertices {
+		p.Relations = append(p.Relations, rg.names[v])
+	}
+	sort.Strings(p.Relations)
+	edges := append([]treeEdge(nil), tr.edges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].key().less(edges[j].key()) })
+	for _, te := range edges {
+		from, to := te.a, te.b
+		if !te.aIsFK {
+			from, to = to, from
+		}
+		p.Edges = append(p.Edges, Edge{
+			FromInst: rg.names[from],
+			ToInst:   rg.names[to],
+			FK:       te.fk,
+			Weight:   te.w,
+		})
+	}
+	p.TotalWeight = tr.total
+	if len(p.Edges) == 0 {
+		p.Score = 1
+	} else {
+		p.Score = p.TotalWeight / float64(len(p.Edges)*len(p.Edges))
+	}
+	p.Goodness = 1 / (1 + p.TotalWeight)
+	return p
+}

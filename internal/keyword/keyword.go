@@ -1,0 +1,542 @@
+// Package keyword implements Templar's Keyword Mapper (paper §V,
+// Algorithms 1–3): mapping NLQ keywords to candidate query fragments,
+// scoring and pruning the candidates with a word-similarity model, and
+// ranking whole configurations with the blend of the similarity score and
+// the Query Fragment Graph's co-occurrence evidence:
+//
+//	Score(φ) = λ·Scoreσ(φ) + (1−λ)·ScoreQFG(φ)
+package keyword
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"templar/internal/db"
+	"templar/internal/embedding"
+	"templar/internal/fragment"
+	"templar/internal/qfg"
+	"templar/internal/sqlparse"
+)
+
+// Metadata is the parser metadata M_k = (τ, ω, F, g) accompanying a keyword.
+type Metadata struct {
+	// Context is τ: the clause the mapped fragment should live in.
+	Context fragment.Context
+	// Op is ω: the predicate comparison operator for numeric keywords
+	// ("" defaults to "=").
+	Op string
+	// Aggs is F: aggregation functions to wrap the mapped attribute in,
+	// outermost first (our subset uses at most one).
+	Aggs []string
+	// GroupBy is g: whether the mapped attribute should be grouped.
+	GroupBy bool
+}
+
+// Keyword is one parsed NLQ keyword with its metadata.
+type Keyword struct {
+	Text string
+	Meta Metadata
+}
+
+// Kind classifies a candidate mapping.
+type Kind int
+
+const (
+	// KindRelation maps a keyword to a relation in the FROM clause.
+	KindRelation Kind = iota
+	// KindAttr maps a keyword to a (possibly aggregated) projection.
+	KindAttr
+	// KindPred maps a keyword to a value predicate in the WHERE clause.
+	KindPred
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRelation:
+		return "relation"
+	case KindAttr:
+		return "attribute"
+	default:
+		return "predicate"
+	}
+}
+
+// Mapping is one candidate query fragment mapping m = (s, c, σ).
+type Mapping struct {
+	Keyword string
+	Kind    Kind
+	Rel     string
+	Attr    string // empty for KindRelation
+	Agg     string // aggregate for KindAttr ("" for none)
+	GroupBy bool
+	Op      string         // for KindPred
+	Value   sqlparse.Value // for KindPred
+	Sim     float64        // σ
+}
+
+// Qualified returns "rel.attr" for attribute/predicate mappings.
+func (m Mapping) Qualified() string { return m.Rel + "." + m.Attr }
+
+// Fragment renders the mapping as a query fragment at an obscurity level,
+// for QFG lookups.
+func (m Mapping) Fragment(ob fragment.Obscurity) fragment.Fragment {
+	switch m.Kind {
+	case KindRelation:
+		return fragment.Relation(m.Rel)
+	case KindAttr:
+		return fragment.Attr(m.Qualified(), m.Agg)
+	default:
+		return fragment.Pred(m.Qualified(), m.Op, m.Value, ob)
+	}
+}
+
+// String renders "keyword -> fragment (σ)".
+func (m Mapping) String() string {
+	return fmt.Sprintf("%s -> %s (%.3f)", m.Keyword, m.Fragment(fragment.Full), m.Sim)
+}
+
+// Configuration is a selection of one mapping per keyword (Definition 5)
+// with its component scores.
+type Configuration struct {
+	Mappings []Mapping
+	SimScore float64 // Scoreσ(φ): geometric mean of mapping similarities
+	QFGScore float64 // ScoreQFG(φ): co-occurrence evidence from the log
+	Score    float64 // λ·SimScore + (1−λ)·QFGScore
+}
+
+// Options configures a Mapper.
+type Options struct {
+	// K is κ: candidates kept per keyword after pruning. Default 5.
+	K int
+	// Lambda is λ: weight of the similarity score vs the log-driven score.
+	// Default 0.8 (the paper's operating point).
+	Lambda float64
+	// Epsilon is the ε used for exact-match detection and as the score of
+	// numeric predicates that select no rows. Default 0.02.
+	Epsilon float64
+	// Obscurity selects the fragment form used for QFG lookups.
+	// Default NoConstOp (the paper's best performer).
+	Obscurity fragment.Obscurity
+	// MaxConfigurations caps the generated cartesian product. Default 5000.
+	MaxConfigurations int
+	// UseArithmeticMean switches Scoreσ from the geometric mean the paper
+	// prefers (§V-C1) to an arithmetic mean, for the design ablation.
+	UseArithmeticMean bool
+	// IncludeFromInQFG includes FROM-context fragments in ScoreQFG pairs.
+	// The paper excludes them (§V-C2) because attribute fragments already
+	// force their relations, which would double-count evidence; this flag
+	// exists for the design ablation.
+	IncludeFromInQFG bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 5
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 0.8
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.02
+	}
+	if o.MaxConfigurations <= 0 {
+		o.MaxConfigurations = 5000
+	}
+	return o
+}
+
+// Mapper executes MAPKEYWORDS against one database.
+type Mapper struct {
+	db    *db.Database
+	model *embedding.Model
+	graph *qfg.Graph // nil disables log-driven scoring (pure baseline)
+	opts  Options
+}
+
+// NewMapper builds a Mapper. Passing a nil QFG yields the baseline behavior
+// (ScoreQFG ≡ 0; with Lambda = 1 this is exactly the Pipeline system of
+// §VII-A2). When a QFG is supplied, fragment lookups always use the graph's
+// own obscurity level — Options.Obscurity is overridden, because querying a
+// NoConstOp graph with Full fragments (or vice versa) can never match.
+func NewMapper(database *db.Database, model *embedding.Model, graph *qfg.Graph, opts Options) *Mapper {
+	if graph != nil {
+		opts.Obscurity = graph.Obscurity()
+	}
+	return &Mapper{db: database, model: model, graph: graph, opts: opts.withDefaults()}
+}
+
+// MapKeywords implements Algorithm 1: candidate retrieval, scoring/pruning,
+// and configuration generation. It returns configurations sorted by
+// descending Score.
+func (m *Mapper) MapKeywords(keywords []Keyword) ([]Configuration, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("keyword: no keywords")
+	}
+	perKeyword := make([][]Mapping, len(keywords))
+	for i, kw := range keywords {
+		cands := m.keywordCands(kw)
+		scored := m.scoreAndPrune(kw, cands)
+		if len(scored) == 0 {
+			return nil, fmt.Errorf("keyword: no candidate mappings for %q", kw.Text)
+		}
+		perKeyword[i] = scored
+	}
+	configs := m.genAndScoreConfigs(perKeyword)
+	return configs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: candidate retrieval.
+
+// keywordCands maps one keyword to its unscored candidates.
+func (m *Mapper) keywordCands(kw Keyword) []Mapping {
+	var out []Mapping
+	if num, ok := extractNumber(kw.Text); ok {
+		op := kw.Meta.Op
+		if op == "" {
+			op = "="
+		}
+		for _, match := range m.db.FindNumericAttrs(num, op) {
+			out = append(out, Mapping{
+				Keyword: kw.Text,
+				Kind:    KindPred,
+				Rel:     match.Relation,
+				Attr:    match.Attribute,
+				Op:      op,
+				Value:   sqlparse.Value{Kind: sqlparse.NumberVal, N: num},
+			})
+		}
+		return out
+	}
+	switch kw.Meta.Context {
+	case fragment.From:
+		for _, rel := range m.db.Schema().Relations() {
+			out = append(out, Mapping{Keyword: kw.Text, Kind: KindRelation, Rel: rel})
+		}
+	case fragment.Select:
+		agg := ""
+		if len(kw.Meta.Aggs) > 0 {
+			agg = kw.Meta.Aggs[0]
+		}
+		for _, q := range m.db.Schema().QualifiedAttributes() {
+			rel, attr, _ := splitQualified(q)
+			// Surrogate key columns are never user-meaningful projections.
+			if m.db.IsKeyColumn(rel, attr) {
+				continue
+			}
+			out = append(out, Mapping{
+				Keyword: kw.Text,
+				Kind:    KindAttr,
+				Rel:     rel,
+				Attr:    attr,
+				Agg:     agg,
+				GroupBy: kw.Meta.GroupBy,
+			})
+		}
+	default:
+		// WHERE context: full-text search for matching text values (§V-A).
+		const maxValuesPerAttr = 8
+		for _, match := range m.db.FindTextAttrs(kw.Text) {
+			vals := match.Values
+			if len(vals) > maxValuesPerAttr {
+				vals = m.bestValues(kw.Text, vals, maxValuesPerAttr)
+			}
+			for _, v := range vals {
+				out = append(out, Mapping{
+					Keyword: kw.Text,
+					Kind:    KindPred,
+					Rel:     match.Relation,
+					Attr:    match.Attribute,
+					Op:      "=",
+					Value:   sqlparse.Value{Kind: sqlparse.StringVal, S: v},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// bestValues keeps the n values most similar to the keyword.
+func (m *Mapper) bestValues(keyword string, vals []string, n int) []string {
+	type scored struct {
+		v string
+		s float64
+	}
+	ss := make([]scored, len(vals))
+	for i, v := range vals {
+		ss[i] = scored{v, m.model.Similarity(keyword, v)}
+	}
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].s > ss[j].s })
+	out := make([]string, 0, n)
+	for i := 0; i < n && i < len(ss); i++ {
+		out = append(out, ss[i].v)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3: scoring and pruning.
+
+// scoreAndPrune computes σ per candidate and applies the PRUNE procedure.
+func (m *Mapper) scoreAndPrune(kw Keyword, cands []Mapping) []Mapping {
+	num, hasNum := extractNumber(kw.Text)
+	stext := kw.Text
+	if hasNum {
+		stext = stripNumber(kw.Text)
+	}
+	for i := range cands {
+		c := &cands[i]
+		if hasNum {
+			// findNumericAttrs already guaranteed exec(c) ≠ ∅; simnum
+			// reduces to simtext of the residual text against the
+			// attribute label. An all-numeric keyword has no residual
+			// text: score a neutral constant so log evidence decides.
+			if strings.TrimSpace(stext) == "" {
+				c.Sim = 0.5
+			} else {
+				c.Sim = m.model.Similarity(stext, c.label())
+			}
+			_ = num
+			continue
+		}
+		c.Sim = m.simText(kw.Text, *c)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Sim > cands[j].Sim })
+	return m.prune(cands)
+}
+
+// label is the human-vocabulary rendering of a mapping target for
+// similarity comparison.
+func (m Mapping) label() string {
+	switch m.Kind {
+	case KindRelation:
+		return m.Rel
+	case KindAttr:
+		return m.Rel + " " + m.Attr
+	default:
+		return m.Rel + " " + m.Attr
+	}
+}
+
+// simText scores a purely-textual keyword against a candidate. Relations
+// and attributes compare against their schema names; text predicates
+// compare against the matched value, with a discounted fallback to the
+// attribute label so "papers about X" still prefers title-ish attributes.
+func (m *Mapper) simText(keyword string, c Mapping) float64 {
+	switch c.Kind {
+	case KindRelation:
+		return m.model.Similarity(keyword, c.label())
+	case KindAttr:
+		s := m.model.Similarity(keyword, c.label())
+		// Default-projection prior: when a keyword names an entity without
+		// distinguishing between its attributes ("journals", "businesses"),
+		// prefer the relation's human-readable label column over siblings
+		// like homepage. Capped below the exact-match threshold so the
+		// prior can only break ties, never fabricate an exact match.
+		if rel, ok := m.db.Schema().Relation(c.Rel); ok && rel.PrimaryTextAttribute() == c.Attr {
+			s += 0.05
+			if s > 0.97 {
+				s = 0.97
+			}
+		}
+		return s
+	default:
+		valueSim := m.model.Similarity(keyword, c.Value.S)
+		labelSim := 0.9 * m.model.Similarity(keyword, c.label())
+		if labelSim > valueSim {
+			return labelSim
+		}
+		return valueSim
+	}
+}
+
+// prune implements the PRUNE procedure of §V-B: exact matches expel
+// everything else; otherwise keep top-κ plus κ-th-place ties with σ > 0.
+func (m *Mapper) prune(sorted []Mapping) []Mapping {
+	if len(sorted) == 0 {
+		return nil
+	}
+	eps := m.opts.Epsilon
+	if sorted[0].Sim >= 1-eps {
+		var exact []Mapping
+		for _, c := range sorted {
+			if c.Sim >= 1-eps {
+				exact = append(exact, c)
+			}
+		}
+		return exact
+	}
+	k := m.opts.K
+	if len(sorted) <= k {
+		return trimZero(sorted)
+	}
+	cut := sorted[k-1].Sim
+	out := sorted[:k]
+	for i := k; i < len(sorted); i++ {
+		if sorted[i].Sim == cut && cut > 0 {
+			out = append(out, sorted[i])
+		} else {
+			break
+		}
+	}
+	return trimZero(out)
+}
+
+// trimZero drops zero-similarity candidates unless everything is zero.
+func trimZero(ms []Mapping) []Mapping {
+	nz := ms[:0:0]
+	for _, c := range ms {
+		if c.Sim > 0 {
+			nz = append(nz, c)
+		}
+	}
+	if len(nz) == 0 {
+		return ms
+	}
+	return nz
+}
+
+// ---------------------------------------------------------------------------
+// Configuration generation and ranking (§V-C).
+
+func (m *Mapper) genAndScoreConfigs(perKeyword [][]Mapping) []Configuration {
+	total := 1
+	for _, cands := range perKeyword {
+		total *= len(cands)
+		if total > m.opts.MaxConfigurations {
+			total = m.opts.MaxConfigurations
+			break
+		}
+	}
+	configs := make([]Configuration, 0, total)
+	current := make([]Mapping, len(perKeyword))
+	var rec func(i int)
+	rec = func(i int) {
+		if len(configs) >= m.opts.MaxConfigurations {
+			return
+		}
+		if i == len(perKeyword) {
+			cfg := Configuration{Mappings: append([]Mapping(nil), current...)}
+			m.scoreConfig(&cfg)
+			configs = append(configs, cfg)
+			return
+		}
+		for _, c := range perKeyword[i] {
+			current[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sort.SliceStable(configs, func(i, j int) bool { return configs[i].Score > configs[j].Score })
+	return configs
+}
+
+// scoreConfig fills the three scores of a configuration.
+func (m *Mapper) scoreConfig(cfg *Configuration) {
+	// Scoreσ: geometric mean of mapping similarities (§V-C1 prefers the
+	// geometric mean to dampen per-keyword score-range variation; the
+	// arithmetic variant is kept for the design ablation).
+	if m.opts.UseArithmeticMean {
+		sum := 0.0
+		for _, mp := range cfg.Mappings {
+			sum += mp.Sim
+		}
+		cfg.SimScore = sum / float64(len(cfg.Mappings))
+	} else {
+		logSum := 0.0
+		for _, mp := range cfg.Mappings {
+			s := mp.Sim
+			if s <= 0 {
+				s = 1e-9
+			}
+			logSum += math.Log(s)
+		}
+		cfg.SimScore = math.Exp(logSum / float64(len(cfg.Mappings)))
+	}
+
+	// ScoreQFG: geometric mean of Dice over pairs of non-FROM fragments
+	// (§V-C2 excludes relations — they are redundant with the attributes
+	// that force them, and join inference handles them separately).
+	if m.graph != nil {
+		var frags []fragment.Fragment
+		for _, mp := range cfg.Mappings {
+			if mp.Kind == KindRelation && !m.opts.IncludeFromInQFG {
+				continue
+			}
+			frags = append(frags, mp.Fragment(m.opts.Obscurity))
+		}
+		pairs := 0
+		diceLog := 0.0
+		zero := false
+		for i := 0; i < len(frags); i++ {
+			for j := i + 1; j < len(frags); j++ {
+				d := m.graph.Dice(frags[i], frags[j])
+				pairs++
+				if d <= 0 {
+					zero = true
+					continue
+				}
+				diceLog += math.Log(d)
+			}
+		}
+		switch {
+		case pairs == 0 && len(frags) == 1:
+			// A single non-relation fragment has no pairs; fall back to
+			// its marginal evidence: relative frequency in the log.
+			if q := m.graph.Queries(); q > 0 {
+				cfg.QFGScore = float64(m.graph.Occurrences(frags[0])) / float64(q)
+			}
+		case pairs == 0:
+			cfg.QFGScore = 0
+		case zero:
+			cfg.QFGScore = 0
+		default:
+			cfg.QFGScore = math.Exp(diceLog / float64(pairs))
+		}
+	}
+
+	lambda := m.opts.Lambda
+	if m.graph == nil {
+		lambda = 1
+	}
+	cfg.Score = lambda*cfg.SimScore + (1-lambda)*cfg.QFGScore
+}
+
+// ---------------------------------------------------------------------------
+// Small text helpers.
+
+// extractNumber returns the first numeric token in s.
+func extractNumber(s string) (float64, bool) {
+	for _, tok := range strings.Fields(s) {
+		tok = strings.Trim(tok, ",.;:!?")
+		if n, err := strconv.ParseFloat(tok, 64); err == nil {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// stripNumber removes numeric tokens from s.
+func stripNumber(s string) string {
+	var out []string
+	for _, tok := range strings.Fields(s) {
+		trimmed := strings.Trim(tok, ",.;:!?")
+		if _, err := strconv.ParseFloat(trimmed, 64); err == nil {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return strings.Join(out, " ")
+}
+
+func splitQualified(q string) (rel, attr string, err error) {
+	i := strings.IndexByte(q, '.')
+	if i < 0 {
+		return "", "", fmt.Errorf("keyword: malformed qualified attribute %q", q)
+	}
+	return q[:i], q[i+1:], nil
+}

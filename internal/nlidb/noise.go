@@ -1,0 +1,104 @@
+package nlidb
+
+import (
+	"strings"
+
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+)
+
+// ParserNoise is a deterministic model of NaLIR's parser failures (§VII-C):
+// the system's dependency parser had trouble extracting correct keywords and
+// metadata from NLQs with explicit relation references or nested structure.
+// Corruption is a pure function of the NLQ text, so results are reproducible
+// across runs and identical for NaLIR and NaLIR+ (both share the front-end).
+type ParserNoise struct {
+	// BaseRate is the corruption probability (percent) for ordinary NLQs.
+	BaseRate int
+	// HazardRate is the corruption probability (percent) for NLQs flagged
+	// as parser hazards (explicit relation references, nested intent).
+	HazardRate int
+}
+
+// DefaultNaLIRNoise reflects the error analysis of §VII-C: hazard queries
+// fail often; plain queries occasionally.
+func DefaultNaLIRNoise() *ParserNoise {
+	return &ParserNoise{BaseRate: 25, HazardRate: 65}
+}
+
+// Corrupt returns the keyword list as NaLIR's parser would produce it. When
+// the NLQ draws a corruption, one of three deterministic mutations is
+// applied:
+//
+//	0: metadata loss — aggregates, group-by flags and predicate operators
+//	   are dropped (numeric predicates silently become equality);
+//	1: context confusion — the first WHERE-context keyword is emitted in
+//	   SELECT context;
+//	2: keyword truncation — a multi-word keyword loses its trailing words.
+//
+// The input slice is never modified.
+func (n *ParserNoise) Corrupt(nlq string, hazard bool, kws []keyword.Keyword) []keyword.Keyword {
+	if n == nil || len(kws) == 0 {
+		return kws
+	}
+	h := fnv64(nlq)
+	rate := n.BaseRate
+	if hazard {
+		rate = n.HazardRate
+	}
+	if int(h%100) >= rate {
+		return kws
+	}
+	out := make([]keyword.Keyword, len(kws))
+	copy(out, kws)
+	// Try the drawn mutation first; if it does not apply to this keyword
+	// shape, cascade to the next so a corruption draw always has effect.
+	start := int((h / 100) % 3)
+	for attempt := 0; attempt < 3; attempt++ {
+		switch (start + attempt) % 3 {
+		case 0:
+			applied := false
+			for i := range out {
+				if len(out[i].Meta.Aggs) > 0 || out[i].Meta.GroupBy || out[i].Meta.Op != "" {
+					out[i].Meta.Aggs = nil
+					out[i].Meta.GroupBy = false
+					out[i].Meta.Op = ""
+					applied = true
+				}
+			}
+			if applied {
+				return out
+			}
+		case 1:
+			for i := range out {
+				if out[i].Meta.Context == fragment.Where {
+					out[i].Meta.Context = fragment.Select
+					return out
+				}
+			}
+		default:
+			for i := range out {
+				fields := strings.Fields(out[i].Text)
+				if len(fields) > 1 {
+					out[i].Text = fields[0]
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fnv64 is the 64-bit FNV-1a hash.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,213 @@
+package nlidb
+
+import (
+	"fmt"
+	"math"
+
+	"templar/internal/db"
+	"templar/internal/embedding"
+	"templar/internal/fragment"
+	"templar/internal/joinpath"
+	"templar/internal/keyword"
+	"templar/internal/qfg"
+)
+
+// Translation is the output of one NLQ→SQL translation attempt.
+type Translation struct {
+	// SQL is the canonical form of the top-ranked query.
+	SQL string
+	// Rendered is the aliased SQL text as the NLIDB would emit it.
+	Rendered string
+	// Config is the winning keyword-mapping configuration.
+	Config keyword.Configuration
+	// Path is the winning join path.
+	Path joinpath.Path
+	// Score is the combined ranking score of the winner.
+	Score float64
+	// Tie reports that a *different* SQL query tied for the top score; the
+	// evaluation counts tied results as incorrect (§VII-A5).
+	Tie bool
+}
+
+// System is one NLIDB under evaluation.
+type System struct {
+	name       string
+	mapper     *keyword.Mapper
+	joins      *joinpath.Generator
+	noise      *ParserNoise
+	topConfigs int
+	topPaths   int
+}
+
+// Name returns the system's display name ("Pipeline", "Pipeline+", …).
+func (s *System) Name() string { return s.name }
+
+// Config bundles what varies between the evaluated systems.
+type Config struct {
+	// Keyword configures κ, λ, obscurity for the mapper.
+	Keyword keyword.Options
+	// QFG enables log-driven keyword-mapping scores when non-nil.
+	QFG *qfg.Graph
+	// LogJoin switches join inference to log-driven edge weights.
+	LogJoin bool
+	// JoinWeights, when non-nil, overrides the join weight function
+	// entirely (used by the design ablations, e.g. raw-count weights).
+	JoinWeights joinpath.WeightFunc
+	// Noise applies a parser corruption model before mapping (NaLIR).
+	Noise *ParserNoise
+	// TopConfigs bounds how many configurations are tried for SQL
+	// construction. Default 8.
+	TopConfigs int
+	// TopPaths bounds how many join paths are considered per
+	// configuration. Default 1 (systems take the best path).
+	TopPaths int
+}
+
+// NewSystem assembles a named NLIDB.
+func NewSystem(name string, database *db.Database, model *embedding.Model, cfg Config) *System {
+	w := cfg.JoinWeights
+	if w == nil && cfg.LogJoin && cfg.QFG != nil {
+		w = joinpath.LogWeights(cfg.QFG)
+	}
+	if cfg.TopConfigs <= 0 {
+		cfg.TopConfigs = 8
+	}
+	if cfg.TopPaths <= 0 {
+		// Consider a few alternative join paths per configuration so
+		// equal-weight alternatives surface as ties: under uniform weights
+		// an equal-length rival path yields the same ranking score with
+		// different SQL, which the evaluation counts as incorrect.
+		cfg.TopPaths = 3
+	}
+	return &System{
+		name:       name,
+		mapper:     keyword.NewMapper(database, model, cfg.QFG, cfg.Keyword),
+		joins:      joinpath.NewGenerator(database.Schema(), w),
+		noise:      cfg.Noise,
+		topConfigs: cfg.TopConfigs,
+		topPaths:   cfg.TopPaths,
+	}
+}
+
+// NewPipeline builds the SQLizer-style baseline of §VII-A2: word-embedding
+// keyword mapping with no log information and minimum-length join paths.
+func NewPipeline(database *db.Database, model *embedding.Model, opts keyword.Options) *System {
+	return NewSystem("Pipeline", database, model, Config{Keyword: opts})
+}
+
+// NewPipelinePlus builds Pipeline augmented with Templar. logJoin toggles
+// Table IV's LogJoin switch; keyword mapping always uses the QFG.
+func NewPipelinePlus(database *db.Database, model *embedding.Model, graph *qfg.Graph, logJoin bool, opts keyword.Options) *System {
+	return NewSystem("Pipeline+", database, model, Config{Keyword: opts, QFG: graph, LogJoin: logJoin})
+}
+
+// NewNaLIR builds the NaLIR-style baseline: lexicon-only (WordNet-like)
+// similarity, preset uniform join weights, and a noisy parser front-end
+// reproducing the §VII-C failure modes.
+func NewNaLIR(database *db.Database, noise *ParserNoise, opts keyword.Options) *System {
+	return NewSystem("NaLIR", database, embedding.NewLexiconOnly(), Config{Keyword: opts, Noise: noise})
+}
+
+// NewNaLIRPlus builds NaLIR augmented with Templar: the same noisy parser
+// front-end, with keyword mapping and join inference deferred to Templar.
+func NewNaLIRPlus(database *db.Database, model *embedding.Model, graph *qfg.Graph, noise *ParserNoise, opts keyword.Options) *System {
+	return NewSystem("NaLIR+", database, model, Config{Keyword: opts, QFG: graph, LogJoin: true, Noise: noise})
+}
+
+// Translate runs the full pipeline for one parsed NLQ: (optional parser
+// noise) → MAPKEYWORDS → INFERJOINS per configuration → SQL construction →
+// ranking by configuration score × join-path goodness.
+func (s *System) Translate(nlq string, hazard bool, kws []keyword.Keyword) (*Translation, error) {
+	if s.noise != nil {
+		kws = s.noise.Corrupt(nlq, hazard, kws)
+	}
+	configs, err := s.mapper.MapKeywords(kws)
+	if err != nil {
+		return nil, err
+	}
+	if len(configs) > s.topConfigs {
+		configs = configs[:s.topConfigs]
+	}
+	// Ranking follows the pipeline architecture (§III-F): the keyword
+	// mapping configuration ranks first; among equally-likely
+	// configurations (and among the join paths of one configuration) the
+	// join-path goodness breaks ties. SQL construction never promotes a
+	// lower-ranked configuration over a higher one.
+	type candidate struct {
+		tr       Translation
+		cfgScore float64
+		goodness float64
+		canon    string
+	}
+	var cands []candidate
+	for _, cfg := range configs {
+		bag := RelationBag(cfg)
+		paths, err := s.joins.Infer(bag, s.topPaths)
+		if err != nil {
+			continue // disconnected bag: this configuration is infeasible
+		}
+		for _, p := range paths {
+			q, err := BuildSQL(cfg, p)
+			if err != nil {
+				continue
+			}
+			canon, err := canonicalSQL(q)
+			if err != nil {
+				return nil, fmt.Errorf("nlidb: generated unparseable SQL: %w", err)
+			}
+			cands = append(cands, candidate{
+				tr: Translation{
+					SQL:      canon,
+					Rendered: q.String(),
+					Config:   cfg,
+					Path:     p,
+					Score:    cfg.Score * p.Goodness,
+				},
+				cfgScore: cfg.Score,
+				goodness: p.Goodness,
+				canon:    canon,
+			})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("nlidb: no feasible configuration for keywords %v", kws)
+	}
+	better := func(a, b candidate) bool {
+		if math.Abs(a.cfgScore-b.cfgScore) > 1e-12 {
+			return a.cfgScore > b.cfgScore
+		}
+		return a.goodness > b.goodness+1e-12
+	}
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if better(cands[i], cands[best]) {
+			best = i
+		}
+	}
+	tr := cands[best].tr
+	for i := range cands {
+		if i == best {
+			continue
+		}
+		sameRank := math.Abs(cands[i].cfgScore-cands[best].cfgScore) <= 1e-12 &&
+			math.Abs(cands[i].goodness-cands[best].goodness) <= 1e-12
+		if sameRank && cands[i].canon != cands[best].canon {
+			tr.Tie = true
+			break
+		}
+	}
+	return &tr, nil
+}
+
+// TopMappings exposes the mapper's ranked configurations without SQL
+// construction, for keyword-mapping (KW) accuracy measurement. Parser noise
+// is applied the same way Translate applies it.
+func (s *System) TopMappings(nlq string, hazard bool, kws []keyword.Keyword) ([]keyword.Configuration, error) {
+	if s.noise != nil {
+		kws = s.noise.Corrupt(nlq, hazard, kws)
+	}
+	return s.mapper.MapKeywords(kws)
+}
+
+// ObscurityOf reports the obscurity the underlying mapper uses (diagnostic).
+func ObscurityOf(opts keyword.Options) fragment.Obscurity { return opts.Obscurity }

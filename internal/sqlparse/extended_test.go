@@ -1,0 +1,100 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInList(t *testing.T) {
+	q := MustParse("SELECT b.name FROM business b WHERE b.city IN ('Phoenix', 'Tempe')")
+	p, ok := q.Where[0].(InPred)
+	if !ok {
+		t.Fatalf("Where[0] = %#v", q.Where[0])
+	}
+	if len(p.Values) != 2 || p.Values[0].S != "Phoenix" || p.Values[1].S != "Tempe" {
+		t.Fatalf("Values = %v", p.Values)
+	}
+	if got := p.String(); got != "b.city IN ('Phoenix', 'Tempe')" {
+		t.Fatalf("String = %q", got)
+	}
+	// Mixed types and placeholders are permitted by the grammar.
+	q = MustParse("SELECT p.title FROM publication p WHERE p.year IN (2000, 2001, ?val)")
+	p = q.Where[0].(InPred)
+	if len(p.Values) != 3 || p.Values[2].Kind != Placeholder {
+		t.Fatalf("Values = %v", p.Values)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q := MustParse("SELECT p.title FROM publication p WHERE p.year BETWEEN 1995 AND 2005")
+	p, ok := q.Where[0].(BetweenPred)
+	if !ok {
+		t.Fatalf("Where[0] = %#v", q.Where[0])
+	}
+	if p.Lo.N != 1995 || p.Hi.N != 2005 {
+		t.Fatalf("range = %v..%v", p.Lo, p.Hi)
+	}
+	if got := p.String(); got != "p.year BETWEEN 1995 AND 2005" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestParseBetweenFollowedByAnd(t *testing.T) {
+	// The AND inside BETWEEN must not terminate the conjunct list.
+	q := MustParse("SELECT p.title FROM publication p, journal j WHERE p.year BETWEEN 1995 AND 2005 AND p.jid = j.jid")
+	if len(q.Where) != 2 {
+		t.Fatalf("Where = %v", q.Where)
+	}
+	if _, ok := q.Where[1].(JoinCond); !ok {
+		t.Fatalf("Where[1] = %#v", q.Where[1])
+	}
+}
+
+func TestParseInBetweenErrors(t *testing.T) {
+	bad := []string{
+		"SELECT a.b FROM t WHERE a.b IN",
+		"SELECT a.b FROM t WHERE a.b IN ()",
+		"SELECT a.b FROM t WHERE a.b IN ('x'",
+		"SELECT a.b FROM t WHERE a.b IN ('x',)",
+		"SELECT a.b FROM t WHERE a.b BETWEEN 1",
+		"SELECT a.b FROM t WHERE a.b BETWEEN 1 AND",
+		"SELECT a.b FROM t WHERE a.b BETWEEN 1, 2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestInBetweenRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT b.name FROM business b WHERE b.city IN ('Phoenix', 'Tempe')",
+		"SELECT p.title FROM publication p WHERE p.year BETWEEN 1995 AND 2005",
+	}
+	for _, src := range srcs {
+		q1 := MustParse(src)
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip: %q vs %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestInBetweenResolve(t *testing.T) {
+	q := MustParse("SELECT b.name FROM business b WHERE b.city IN ('Phoenix') AND b.rating BETWEEN 3 AND 5")
+	if err := q.Resolve(nil); err != nil {
+		t.Fatal(err)
+	}
+	in := q.Where[0].(InPred)
+	bt := q.Where[1].(BetweenPred)
+	if in.Column.Table != "business" || bt.Column.Table != "business" {
+		t.Fatalf("resolve failed: %v %v", in.Column, bt.Column)
+	}
+	if !strings.Contains(q.Canonical(), "BETWEEN") {
+		t.Fatalf("canonical lost BETWEEN: %s", q.Canonical())
+	}
+}

@@ -1,0 +1,175 @@
+// Package sqlparse implements a lexer, parser and AST for the SQL subset that
+// appears in Templar's query logs and benchmarks: single-block SELECT
+// statements with aggregation, DISTINCT, aliased FROM lists (implicit joins),
+// conjunctive WHERE clauses mixing value predicates and FK-PK join
+// conditions, GROUP BY, ORDER BY and LIMIT.
+//
+// The parser is the substrate used to (a) mine query fragments from a SQL
+// log to build the Query Fragment Graph and (b) parse gold SQL annotations
+// when computing evaluation accuracy.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // = < > <= >= <> !=
+	tokPunct // ( ) , . * ;
+	tokParam // ?val ?op ?attr placeholders (obscured fragments)
+)
+
+// token is a lexeme with its source position (byte offset) for diagnostics.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "<eof>"
+	}
+	return t.text
+}
+
+// lexer scans an input string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// lexError annotates a message with a source position.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sqlparse: at offset %d: %s", e.pos, e.msg)
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isLetter(c):
+		for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		l.pos++
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if isDigit(d) {
+				l.pos++
+				continue
+			}
+			if d == '.' && !seenDot && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(d)
+			l.pos++
+		}
+		return token{}, &lexError{start, "unterminated string literal"}
+	case c == '?':
+		l.pos++
+		for l.pos < len(l.src) && isLetter(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return token{}, &lexError{start, "bare ? placeholder"}
+		}
+		return token{kind: tokParam, text: l.src[start:l.pos], pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, &lexError{start, "unexpected '!'"}
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == ';':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	default:
+		return token{}, &lexError{start, fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+// lexAll tokenizes the full input.
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

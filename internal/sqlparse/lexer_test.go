@@ -1,0 +1,85 @@
+package sqlparse
+
+import "testing"
+
+func lex(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lexAll(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexerTokenKinds(t *testing.T) {
+	toks := lex(t, "SELECT t.a, COUNT(*) FROM x WHERE a >= 1.5 AND b != 'it''s' AND c ?op ?val;")
+	kinds := map[tokenKind]int{}
+	for _, tk := range toks {
+		kinds[tk.kind]++
+	}
+	if kinds[tokIdent] == 0 || kinds[tokNumber] != 1 || kinds[tokString] != 1 || kinds[tokParam] != 2 {
+		t.Fatalf("kinds = %v in %v", kinds, toks)
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"<", "<"}, {"<=", "<="}, {"<>", "<>"}, {">", ">"}, {">=", ">="},
+		{"=", "="}, {"!=", "!="},
+	} {
+		toks := lex(t, tc.src)
+		if toks[0].kind != tokOp || toks[0].text != tc.want {
+			t.Errorf("lex(%q) = %v", tc.src, toks[0])
+		}
+	}
+}
+
+func TestLexerStringEscapes(t *testing.T) {
+	toks := lex(t, "'O''Reilly'")
+	if toks[0].kind != tokString || toks[0].text != "O'Reilly" {
+		t.Fatalf("toks[0] = %v", toks[0])
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want string
+	}{
+		{"42", "42"},
+		{"3.14", "3.14"},
+		{"-7", "-7"},
+		{"-2.5", "-2.5"},
+	} {
+		toks := lex(t, tc.src)
+		if toks[0].kind != tokNumber || toks[0].text != tc.want {
+			t.Errorf("lex(%q) = %v", tc.src, toks[0])
+		}
+	}
+	// "1.2.3" lexes as number then dot-number remainder, not an error.
+	toks := lex(t, "1.2.3")
+	if toks[0].text != "1.2" {
+		t.Errorf("lex(1.2.3)[0] = %v", toks[0])
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "? ", "!x", "#"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks := lex(t, "a  bb")
+	if toks[0].pos != 0 || toks[1].pos != 3 {
+		t.Fatalf("positions = %d %d", toks[0].pos, toks[1].pos)
+	}
+	if toks[2].kind != tokEOF {
+		t.Fatalf("missing EOF: %v", toks)
+	}
+	if toks[2].String() != "<eof>" {
+		t.Fatalf("EOF render = %q", toks[2].String())
+	}
+}

@@ -1,0 +1,464 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement. A trailing semicolon is allowed.
+func Parse(src string) (*Query, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == ";" {
+		p.advance()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input starting at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and for
+// statically-known log templates in the dataset generators.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic("sqlparse: MustParse: " + err.Error() + " in: " + src)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// keyword reports whether the next token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// peekKeyword reports whether the next token is the given keyword without
+// consuming it.
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectPunct(ch string) error {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == ch {
+		p.advance()
+		return nil
+	}
+	return p.errorf("expected %q, found %q", ch, t.String())
+}
+
+// reserved lists keywords that terminate identifier positions (so an alias
+// is never confused with a clause keyword).
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "order": true,
+	"by": true, "and": true, "limit": true, "distinct": true, "as": true,
+	"desc": true, "asc": true, "like": true, "having": true, "in": true,
+	"between": true,
+}
+
+func isReserved(s string) bool { return reserved[strings.ToLower(s)] }
+
+var aggregates = map[string]string{
+	"count": "COUNT", "sum": "SUM", "avg": "AVG", "min": "MIN", "max": "MAX",
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if !p.keyword("select") {
+		return nil, p.errorf("expected SELECT, found %q", p.peek().String())
+	}
+	q := &Query{Limit: -1}
+	// Consume a query-level DISTINCT unless it is the MySQL-style
+	// DISTINCT(col) function form, which parseSelectItem handles.
+	if p.peekKeyword("distinct") && !(p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(") {
+		p.advance()
+		q.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if !p.keyword("from") {
+		return nil, p.errorf("expected FROM, found %q", p.peek().String())
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, tr)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if p.keyword("where") {
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, cond)
+			if p.keyword("and") {
+				continue
+			}
+			break
+		}
+	}
+	if p.peekKeyword("group") {
+		p.advance()
+		if !p.keyword("by") {
+			return nil, p.errorf("expected BY after GROUP")
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, c)
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.peekKeyword("order") {
+		p.advance()
+		if !p.keyword("by") {
+			return nil, p.errorf("expected BY after ORDER")
+		}
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Expr: item}
+			if p.keyword("desc") {
+				oi.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			q.OrderBy = append(q.OrderBy, oi)
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.keyword("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected number after LIMIT, found %q", t.String())
+		}
+		p.advance()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == "*" {
+		p.advance()
+		return SelectItem{Star: true}, nil
+	}
+	if t.kind != tokIdent {
+		return SelectItem{}, p.errorf("expected projection, found %q", t.String())
+	}
+	// Aggregate?
+	if agg, ok := aggregates[strings.ToLower(t.text)]; ok && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" {
+		p.advance() // agg name
+		p.advance() // (
+		item := SelectItem{Agg: agg}
+		if p.keyword("distinct") {
+			item.Distinct = true
+		}
+		if p.peek().kind == tokPunct && p.peek().text == "*" {
+			p.advance()
+			item.Star = true
+		} else {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Column = c
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	}
+	if strings.EqualFold(t.text, "distinct") && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" {
+		// MySQL-ism from the paper: SELECT DISTINCT(?attr) FROM ...
+		p.advance()
+		p.advance()
+		c, err := p.parseColumnRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Distinct: true, Column: c}, nil
+	}
+	c, err := p.parseColumnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Column: c}, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.kind != tokIdent || isReserved(t.text) {
+		return TableRef{}, p.errorf("expected table name, found %q", t.String())
+	}
+	p.advance()
+	tr := TableRef{Name: t.text}
+	if p.keyword("as") {
+		a := p.peek()
+		if a.kind != tokIdent || isReserved(a.text) {
+			return TableRef{}, p.errorf("expected alias after AS, found %q", a.String())
+		}
+		p.advance()
+		tr.Alias = a.text
+		return tr, nil
+	}
+	a := p.peek()
+	if a.kind == tokIdent && !isReserved(a.text) {
+		p.advance()
+		tr.Alias = a.text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	t := p.peek()
+	if t.kind != tokIdent || isReserved(t.text) {
+		return ColumnRef{}, p.errorf("expected column reference, found %q", t.String())
+	}
+	p.advance()
+	c := ColumnRef{Column: t.text}
+	if p.peek().kind == tokPunct && p.peek().text == "." {
+		p.advance()
+		n := p.peek()
+		if n.kind != tokIdent {
+			return ColumnRef{}, p.errorf("expected column after '.', found %q", n.String())
+		}
+		p.advance()
+		c.Table = c.Column
+		c.Column = n.text
+	}
+	return c, nil
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	left, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	if p.keyword("in") {
+		return p.parseInList(left)
+	}
+	if p.keyword("between") {
+		return p.parseBetween(left)
+	}
+	opTok := p.peek()
+	var op string
+	switch {
+	case opTok.kind == tokOp:
+		p.advance()
+		op = opTok.text
+		if op == "<>" {
+			op = "!="
+		}
+	case opTok.kind == tokIdent && strings.EqualFold(opTok.text, "like"):
+		p.advance()
+		op = "LIKE"
+	case opTok.kind == tokParam && opTok.text == "?op":
+		p.advance()
+		op = "?op"
+	default:
+		return nil, p.errorf("expected comparison operator, found %q", opTok.String())
+	}
+	v := p.peek()
+	switch v.kind {
+	case tokString:
+		p.advance()
+		return Pred{Column: left, Op: op, Value: Value{Kind: StringVal, S: v.text}}, nil
+	case tokNumber:
+		p.advance()
+		n, err := strconv.ParseFloat(v.text, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", v.text)
+		}
+		return Pred{Column: left, Op: op, Value: Value{Kind: NumberVal, N: n}}, nil
+	case tokParam:
+		p.advance()
+		return Pred{Column: left, Op: op, Value: Value{Kind: Placeholder, S: v.text}}, nil
+	case tokIdent:
+		if isReserved(v.text) {
+			return nil, p.errorf("expected value or column, found keyword %q", v.text)
+		}
+		right, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		if right.Table == "" {
+			// A bare identifier on the right of '=' is treated as an
+			// unquoted string literal only if it is not a column; our SQL
+			// subset requires join conditions to be fully qualified, so a
+			// bare name is rejected for clarity.
+			return nil, p.errorf("unqualified column %q on right-hand side of join condition", right.Column)
+		}
+		if op != "=" {
+			return nil, p.errorf("join conditions must use '=', found %q", op)
+		}
+		return JoinCond{Left: left, Right: right}, nil
+	default:
+		return nil, p.errorf("expected comparison value, found %q", v.String())
+	}
+}
+
+// parseLiteral consumes a string, number or ?val placeholder.
+func (p *parser) parseLiteral() (Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return Value{Kind: StringVal, S: t.text}, nil
+	case tokNumber:
+		p.advance()
+		n, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Value{}, p.errorf("invalid number %q", t.text)
+		}
+		return Value{Kind: NumberVal, N: n}, nil
+	case tokParam:
+		p.advance()
+		return Value{Kind: Placeholder, S: t.text}, nil
+	default:
+		return Value{}, p.errorf("expected literal, found %q", t.String())
+	}
+}
+
+// parseInList parses the remainder of "col IN (v1, v2, …)".
+func (p *parser) parseInList(col ColumnRef) (Condition, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var vals []Value
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return InPred{Column: col, Values: vals}, nil
+}
+
+// parseBetween parses the remainder of "col BETWEEN lo AND hi".
+func (p *parser) parseBetween(col ColumnRef) (Condition, error) {
+	lo, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if !p.keyword("and") {
+		return nil, p.errorf("expected AND in BETWEEN, found %q", p.peek().String())
+	}
+	hi, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return BetweenPred{Column: col, Lo: lo, Hi: hi}, nil
+}
+
+// ParseLog parses a newline-separated SQL log where each line may carry an
+// optional "N x" repetition prefix ("25x: SELECT ..." as in the paper's
+// Figure 3a). Blank lines and lines beginning with "--" are skipped.
+// It returns the parsed queries with their multiplicities.
+func ParseLog(log string) ([]LogEntry, error) {
+	var out []LogEntry
+	for ln, line := range strings.Split(log, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		count := 1
+		if i := strings.Index(line, "x:"); i > 0 && i <= 9 {
+			if n, err := strconv.Atoi(strings.TrimSpace(line[:i])); err == nil && n > 0 {
+				count = n
+				line = strings.TrimSpace(line[i+2:])
+			}
+		}
+		q, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: log line %d: %w", ln+1, err)
+		}
+		out = append(out, LogEntry{Query: q, Count: count})
+	}
+	return out, nil
+}
+
+// LogEntry is one parsed log line with its repetition count.
+type LogEntry struct {
+	Query *Query
+	Count int
+}

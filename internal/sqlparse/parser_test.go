@@ -1,0 +1,346 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := Parse("SELECT t.a FROM table1 t, table2 u WHERE t.b = 15 AND t.id = u.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 || q.Select[0].Column.String() != "t.a" {
+		t.Fatalf("Select = %v", q.Select)
+	}
+	if len(q.From) != 2 || q.From[0].Name != "table1" || q.From[0].Alias != "t" {
+		t.Fatalf("From = %v", q.From)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("Where = %v", q.Where)
+	}
+	p, ok := q.Where[0].(Pred)
+	if !ok || p.Op != "=" || p.Value.Kind != NumberVal || p.Value.N != 15 {
+		t.Fatalf("Where[0] = %#v", q.Where[0])
+	}
+	j, ok := q.Where[1].(JoinCond)
+	if !ok || j.Left.String() != "t.id" || j.Right.String() != "u.id" {
+		t.Fatalf("Where[1] = %#v", q.Where[1])
+	}
+}
+
+func TestParsePaperExample1(t *testing.T) {
+	// John's intended SQL query from Example 1.
+	src := `SELECT p.title
+	FROM publication p, publication_keyword pk, keyword k, domain_keyword dk, domain d
+	WHERE d.name = 'Databases'
+	AND p.pid = pk.pid AND k.kid = pk.kid
+	AND dk.kid = k.kid AND dk.did = d.did`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 5 {
+		t.Fatalf("From = %v", q.From)
+	}
+	joins := 0
+	for _, c := range q.Where {
+		if _, ok := c.(JoinCond); ok {
+			joins++
+		}
+	}
+	if joins != 4 {
+		t.Fatalf("join conditions = %d, want 4", joins)
+	}
+}
+
+func TestParseAggregatesAndGrouping(t *testing.T) {
+	q, err := Parse("SELECT a.name, COUNT(p.pid) FROM author a, publication p WHERE a.aid = p.aid GROUP BY a.name ORDER BY COUNT(p.pid) DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[1].Agg != "COUNT" || q.Select[1].Column.String() != "p.pid" {
+		t.Fatalf("Select[1] = %v", q.Select[1])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].String() != "a.name" {
+		t.Fatalf("GroupBy = %v", q.GroupBy)
+	}
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc || q.OrderBy[0].Expr.Agg != "COUNT" {
+		t.Fatalf("OrderBy = %v", q.OrderBy)
+	}
+	if q.Limit != 5 {
+		t.Fatalf("Limit = %d", q.Limit)
+	}
+}
+
+func TestParseCountStarAndCountDistinct(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM publication")
+	if !q.Select[0].Star || q.Select[0].Agg != "COUNT" {
+		t.Fatalf("Select = %v", q.Select)
+	}
+	q = MustParse("SELECT COUNT(DISTINCT p.title) FROM publication p")
+	if !q.Select[0].Distinct || q.Select[0].Agg != "COUNT" {
+		t.Fatalf("Select = %v", q.Select)
+	}
+}
+
+func TestParseSelectDistinctFuncForm(t *testing.T) {
+	// The full-text probe query shape from §V-A.
+	q := MustParse("SELECT DISTINCT(b.name) FROM business b WHERE b.name = 'x'")
+	if !q.Select[0].Distinct || q.Select[0].Column.String() != "b.name" {
+		t.Fatalf("Select = %v", q.Select)
+	}
+}
+
+func TestParsePlaceholders(t *testing.T) {
+	// Obscured NoConstOp form from §IV.
+	q, err := Parse("SELECT p.title FROM journal j, publication p WHERE j.name ?op ?val AND p.year ?op ?val AND j.jid = p.jid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := q.Where[0].(Pred)
+	if pr.Op != "?op" || pr.Value.Kind != Placeholder {
+		t.Fatalf("Where[0] = %#v", pr)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := MustParse("SELECT p.title FROM publication p WHERE p.title = 'O''Reilly'")
+	pr := q.Where[0].(Pred)
+	if pr.Value.S != "O'Reilly" {
+		t.Fatalf("Value = %q", pr.Value.S)
+	}
+	if !strings.Contains(q.String(), "'O''Reilly'") {
+		t.Fatalf("String() = %q", q.String())
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	for _, tc := range []struct{ src, op string }{
+		{"SELECT p.title FROM publication p WHERE p.year > 2000", ">"},
+		{"SELECT p.title FROM publication p WHERE p.year >= 2000", ">="},
+		{"SELECT p.title FROM publication p WHERE p.year < 2000", "<"},
+		{"SELECT p.title FROM publication p WHERE p.year <= 2000", "<="},
+		{"SELECT p.title FROM publication p WHERE p.year != 2000", "!="},
+		{"SELECT p.title FROM publication p WHERE p.year <> 2000", "!="},
+		{"SELECT p.title FROM publication p WHERE p.title LIKE 'x'", "LIKE"},
+	} {
+		q, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if got := q.Where[0].(Pred).Op; got != tc.op {
+			t.Errorf("%s: op = %q, want %q", tc.src, got, tc.op)
+		}
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	q := MustParse("SELECT b.name FROM business b WHERE b.latitude > -122.5")
+	pr := q.Where[0].(Pred)
+	if pr.Value.N != -122.5 {
+		t.Fatalf("Value = %v", pr.Value.N)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET a = 1",
+		"SELECT FROM t",
+		"SELECT a.b FROM",
+		"SELECT a.b FROM t WHERE",
+		"SELECT a.b FROM t WHERE a.b",
+		"SELECT a.b FROM t WHERE a.b = ",
+		"SELECT a.b FROM t WHERE a.b = 'unterminated",
+		"SELECT a.b FROM t LIMIT x",
+		"SELECT a.b FROM t extra garbage !",
+		"SELECT a.b FROM t WHERE a.b > c",    // unqualified join RHS
+		"SELECT a.b FROM t WHERE a.b > t2.c", // join with non-equality
+		"SELECT a.b FROM t WHERE a.b ? 1",    // bare placeholder
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseAliasWithAS(t *testing.T) {
+	q := MustParse("SELECT p.title FROM publication AS p")
+	if q.From[0].Alias != "p" {
+		t.Fatalf("Alias = %q", q.From[0].Alias)
+	}
+}
+
+func TestResolveAliases(t *testing.T) {
+	q := MustParse("SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid")
+	if err := q.Resolve(nil); err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0].Column.Table != "publication" {
+		t.Fatalf("Select table = %q", q.Select[0].Column.Table)
+	}
+	j := q.Where[1].(JoinCond)
+	if j.Left.Table != "publication" || j.Right.Table != "journal" {
+		t.Fatalf("join resolved to %v", j)
+	}
+}
+
+func TestResolveUnknownAlias(t *testing.T) {
+	q := MustParse("SELECT z.title FROM publication p")
+	if err := q.Resolve(nil); err == nil {
+		t.Fatal("expected unknown alias error")
+	}
+}
+
+func TestResolveUnqualifiedWithOwner(t *testing.T) {
+	q := MustParse("SELECT title FROM publication WHERE year > 2000")
+	owner := func(col string, from []TableRef) (string, bool) {
+		return from[0].Name, true
+	}
+	if err := q.Resolve(owner); err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0].Column.Table != "publication" {
+		t.Fatalf("owner resolution failed: %v", q.Select[0].Column)
+	}
+	pr := q.Where[0].(Pred)
+	if pr.Column.Table != "publication" {
+		t.Fatalf("owner resolution failed for predicate: %v", pr)
+	}
+}
+
+func TestRelationsMultiset(t *testing.T) {
+	q := MustParse("SELECT p.title FROM author a1, author a2, publication p")
+	rels := q.Relations()
+	if len(rels) != 3 || rels[0] != "author" || rels[1] != "author" || rels[2] != "publication" {
+		t.Fatalf("Relations = %v", rels)
+	}
+}
+
+func TestCanonicalEquivalence(t *testing.T) {
+	a := MustParse("SELECT p.title FROM journal j, publication p WHERE p.year > 2000 AND j.jid = p.jid")
+	b := MustParse("SELECT pub.title FROM publication pub, journal jr WHERE jr.jid = pub.jid AND pub.year > 2000")
+	if err := a.Resolve(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Resolve(nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical mismatch:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestCanonicalDistinguishesDifferentQueries(t *testing.T) {
+	a := MustParse("SELECT p.title FROM publication p WHERE p.year > 2000")
+	b := MustParse("SELECT p.title FROM publication p WHERE p.year < 2000")
+	_ = a.Resolve(nil)
+	_ = b.Resolve(nil)
+	if a.Canonical() == b.Canonical() {
+		t.Fatal("different operators must not be canonically equal")
+	}
+}
+
+func TestRoundTripStringParse(t *testing.T) {
+	srcs := []string{
+		"SELECT p.title FROM publication p WHERE p.year > 2000",
+		"SELECT DISTINCT j.name FROM journal j",
+		"SELECT COUNT(*) FROM publication",
+		"SELECT a.name, COUNT(p.pid) FROM author a, publication p WHERE a.aid = p.aid GROUP BY a.name ORDER BY COUNT(p.pid) DESC LIMIT 3",
+		"SELECT p.title FROM publication p WHERE p.title = 'Saving Private Ryan'",
+	}
+	for _, src := range srcs {
+		q1 := MustParse(src)
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip mismatch: %q vs %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestParseLog(t *testing.T) {
+	log := `
+25x: SELECT j.name FROM journal j
+5x: SELECT p.title FROM publication p WHERE p.year > 2003
+-- a comment line
+3x: SELECT p.title FROM journal j, publication p WHERE j.name = 'TMC' AND p.pid = j.pid
+SELECT p.title FROM publication p
+`
+	entries, err := ParseLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Count != 25 || entries[1].Count != 5 || entries[2].Count != 3 || entries[3].Count != 1 {
+		t.Fatalf("counts = %v %v %v %v", entries[0].Count, entries[1].Count, entries[2].Count, entries[3].Count)
+	}
+}
+
+func TestParseLogBadLineReportsLineNumber(t *testing.T) {
+	_, err := ParseLog("SELECT j.name FROM journal j\nTHIS IS NOT SQL")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserNeverPanicsOnSQLLikeInputs(t *testing.T) {
+	// Fuzz with strings assembled from SQL vocabulary, which reach deeper
+	// parser states than raw random bytes.
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "AND", "GROUP", "BY", "ORDER", "LIMIT",
+		"p.title", "journal", "j", ",", "=", ">", "'x'", "2000", "(", ")",
+		"COUNT", "*", "DISTINCT", "?op", "?val", ".",
+	}
+	f := func(seed uint64, n uint8) bool {
+		var parts []string
+		x := seed
+		for i := 0; i < int(n%24)+1; i++ {
+			parts = append(parts, vocab[x%uint64(len(vocab))])
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+		s := strings.Join(parts, " ")
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := "SELECT p.title FROM publication p, publication_keyword pk, keyword k, domain_keyword dk, domain d WHERE d.name = 'Databases' AND p.pid = pk.pid AND k.kid = pk.kid AND dk.kid = k.kid AND dk.did = d.did"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+// Package stem implements the Porter stemming algorithm (Porter, 1980),
+// which Templar uses to normalize natural-language tokens before running
+// boolean-mode full-text search against text attributes (paper §V-A,
+// reference [39]).
+//
+// The implementation follows the original five-step description. It operates
+// on lowercase ASCII words; tokens containing non-letters are returned
+// unchanged by Stem.
+package stem
+
+// Stem returns the Porter stem of word. The input is lowercased first.
+// Words shorter than 3 characters and words containing characters outside
+// [a-zA-Z] are returned as-is (lowercased), matching common IR practice.
+func Stem(word string) string {
+	b := []byte(word)
+	for i := range b {
+		c := b[i]
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		} else if c < 'a' || c > 'z' {
+			return string(b)
+		}
+	}
+	if len(b) < 3 {
+		return string(b)
+	}
+	s := &stemmer{b: b, end: len(b) - 1}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b[:s.end+1])
+}
+
+// stemmer carries the mutable word buffer. end is the index of the last
+// valid character; j marks the end of the stem during suffix checks.
+type stemmer struct {
+	b   []byte
+	end int
+	j   int
+}
+
+// isConsonant reports whether the character at index i acts as a consonant.
+// 'y' is a consonant when at position 0 or preceded by a vowel-acting char.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in the stem b[0..j].
+func (s *stemmer) measure() int {
+	n := 0
+	i := 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.isConsonant(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports whether b[i-1..i] is a double consonant.
+func (s *stemmer) doubleConsonant(i int) bool {
+	if i < 1 {
+		return false
+	}
+	if s.b[i] != s.b[i-1] {
+		return false
+	}
+	return s.isConsonant(i)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant where the final
+// consonant is not w, x or y. Used to restore a trailing 'e' (e.g. hop->hope).
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.isConsonant(i) || s.isConsonant(i-1) || !s.isConsonant(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends checks whether the word ends with suffix; if so it sets j to mark the
+// stem boundary and returns true.
+func (s *stemmer) ends(suffix string) bool {
+	l := len(suffix)
+	o := s.end - l + 1
+	if o < 0 {
+		return false
+	}
+	for i := 0; i < l; i++ {
+		if s.b[o+i] != suffix[i] {
+			return false
+		}
+	}
+	s.j = s.end - l
+	return true
+}
+
+// setTo replaces the suffix after j with rep and adjusts end.
+func (s *stemmer) setTo(rep string) {
+	l := len(rep)
+	o := s.j + 1
+	for i := 0; i < l; i++ {
+		if o+i < len(s.b) {
+			s.b[o+i] = rep[i]
+		} else {
+			s.b = append(s.b, rep[i])
+		}
+	}
+	s.end = s.j + l
+}
+
+// replaceIfM replaces the current suffix with rep when measure() > 0.
+func (s *stemmer) replaceIfM(rep string) {
+	if s.measure() > 0 {
+		s.setTo(rep)
+	}
+}
+
+// step1a handles plurals: sses->ss, ies->i, ss->ss, s->"".
+func (s *stemmer) step1a() {
+	if s.b[s.end] != 's' {
+		return
+	}
+	switch {
+	case s.ends("sses"):
+		s.end -= 2
+	case s.ends("ies"):
+		s.setTo("i")
+	case s.b[s.end-1] != 's':
+		s.end--
+	}
+}
+
+// step1b handles -eed, -ed, -ing.
+func (s *stemmer) step1b() {
+	if s.ends("eed") {
+		if s.measure() > 0 {
+			s.end--
+		}
+		return
+	}
+	if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.end = s.j
+		switch {
+		case s.ends("at"):
+			s.setTo("ate")
+		case s.ends("bl"):
+			s.setTo("ble")
+		case s.ends("iz"):
+			s.setTo("ize")
+		case s.doubleConsonant(s.end):
+			c := s.b[s.end]
+			if c != 'l' && c != 's' && c != 'z' {
+				s.end--
+			}
+		default:
+			if s.measure() == 1 && s.cvc(s.end) {
+				s.j = s.end
+				s.setTo("e")
+			}
+		}
+	}
+}
+
+// step1c turns terminal y to i when there is a vowel in the stem.
+func (s *stemmer) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[s.end] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m > 0.
+func (s *stemmer) step2() {
+	if s.end < 1 {
+		return
+	}
+	switch s.b[s.end-1] {
+	case 'a':
+		if s.ends("ational") {
+			s.replaceIfM("ate")
+		} else if s.ends("tional") {
+			s.replaceIfM("tion")
+		}
+	case 'c':
+		if s.ends("enci") {
+			s.replaceIfM("ence")
+		} else if s.ends("anci") {
+			s.replaceIfM("ance")
+		}
+	case 'e':
+		if s.ends("izer") {
+			s.replaceIfM("ize")
+		}
+	case 'l':
+		if s.ends("bli") {
+			s.replaceIfM("ble")
+		} else if s.ends("alli") {
+			s.replaceIfM("al")
+		} else if s.ends("entli") {
+			s.replaceIfM("ent")
+		} else if s.ends("eli") {
+			s.replaceIfM("e")
+		} else if s.ends("ousli") {
+			s.replaceIfM("ous")
+		}
+	case 'o':
+		if s.ends("ization") {
+			s.replaceIfM("ize")
+		} else if s.ends("ation") {
+			s.replaceIfM("ate")
+		} else if s.ends("ator") {
+			s.replaceIfM("ate")
+		}
+	case 's':
+		if s.ends("alism") {
+			s.replaceIfM("al")
+		} else if s.ends("iveness") {
+			s.replaceIfM("ive")
+		} else if s.ends("fulness") {
+			s.replaceIfM("ful")
+		} else if s.ends("ousness") {
+			s.replaceIfM("ous")
+		}
+	case 't':
+		if s.ends("aliti") {
+			s.replaceIfM("al")
+		} else if s.ends("iviti") {
+			s.replaceIfM("ive")
+		} else if s.ends("biliti") {
+			s.replaceIfM("ble")
+		}
+	case 'g':
+		if s.ends("logi") {
+			s.replaceIfM("log")
+		}
+	}
+}
+
+// step3 deals with -ic-, -full, -ness etc.
+func (s *stemmer) step3() {
+	switch s.b[s.end] {
+	case 'e':
+		if s.ends("icate") {
+			s.replaceIfM("ic")
+		} else if s.ends("ative") {
+			s.replaceIfM("")
+		} else if s.ends("alize") {
+			s.replaceIfM("al")
+		}
+	case 'i':
+		if s.ends("iciti") {
+			s.replaceIfM("ic")
+		}
+	case 'l':
+		if s.ends("ical") {
+			s.replaceIfM("ic")
+		} else if s.ends("ful") {
+			s.replaceIfM("")
+		}
+	case 's':
+		if s.ends("ness") {
+			s.replaceIfM("")
+		}
+	}
+}
+
+// step4 removes -ant, -ence etc. when m > 1.
+func (s *stemmer) step4() {
+	if s.end < 1 {
+		return
+	}
+	switch s.b[s.end-1] {
+	case 'a':
+		if !s.ends("al") {
+			return
+		}
+	case 'c':
+		if !s.ends("ance") && !s.ends("ence") {
+			return
+		}
+	case 'e':
+		if !s.ends("er") {
+			return
+		}
+	case 'i':
+		if !s.ends("ic") {
+			return
+		}
+	case 'l':
+		if !s.ends("able") && !s.ends("ible") {
+			return
+		}
+	case 'n':
+		if !s.ends("ant") && !s.ends("ement") && !s.ends("ment") && !s.ends("ent") {
+			return
+		}
+	case 'o':
+		if s.ends("ion") {
+			if s.j < 0 || (s.b[s.j] != 's' && s.b[s.j] != 't') {
+				return
+			}
+		} else if !s.ends("ou") {
+			return
+		}
+	case 's':
+		if !s.ends("ism") {
+			return
+		}
+	case 't':
+		if !s.ends("ate") && !s.ends("iti") {
+			return
+		}
+	case 'u':
+		if !s.ends("ous") {
+			return
+		}
+	case 'v':
+		if !s.ends("ive") {
+			return
+		}
+	case 'z':
+		if !s.ends("ize") {
+			return
+		}
+	default:
+		return
+	}
+	if s.measure() > 1 {
+		s.end = s.j
+	}
+}
+
+// step5a removes a final -e when m > 1, or when m == 1 and not cvc.
+func (s *stemmer) step5a() {
+	s.j = s.end
+	if s.b[s.end] == 'e' {
+		m := s.measure()
+		if m > 1 || (m == 1 && !s.cvc(s.end-1)) {
+			s.end--
+		}
+	}
+}
+
+// step5b maps -ll to -l when m > 1.
+func (s *stemmer) step5b() {
+	if s.b[s.end] == 'l' && s.doubleConsonant(s.end) {
+		s.j = s.end
+		if s.measure() > 1 {
+			s.end--
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package stem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStemKnownPairs(t *testing.T) {
+	// Classic vocabulary pairs from Porter's published test data, plus the
+	// domain words that appear in the paper's examples (restaur/busi, §V-A).
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		// Domain vocabulary used by the paper and the benchmarks.
+		"restaurant":   "restaur",
+		"businesses":   "busi",
+		"papers":       "paper",
+		"publications": "public",
+		"journals":     "journal",
+		"movies":       "movi",
+		"authors":      "author",
+		"keywords":     "keyword",
+		"citations":    "citat",
+		"directors":    "director",
+		"reviews":      "review",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "by"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemUppercaseNormalized(t *testing.T) {
+	if got := Stem("Databases"); got != Stem("databases") {
+		t.Errorf("case-sensitive stemming: %q vs %q", got, Stem("databases"))
+	}
+	if got := Stem("TKDE"); got != "tkde" {
+		t.Errorf("Stem(TKDE) = %q, want tkde", got)
+	}
+}
+
+func TestStemNonAlphaUnchanged(t *testing.T) {
+	for _, w := range []string{"2000", "after-2000", "vldb'02", "a1b2"} {
+		got := Stem(w)
+		if !strings.EqualFold(got, w) {
+			t.Errorf("Stem(%q) = %q, want passthrough (modulo case)", w, got)
+		}
+	}
+}
+
+func TestStemDeterministic(t *testing.T) {
+	// The full-text index stems each raw word exactly once on both the index
+	// and the query side, so what matters is that Stem is a pure function.
+	// (Porter stemming is famously NOT idempotent: databas -> databa.)
+	words := []string{
+		"relational", "databases", "publications", "organizations",
+		"conferences", "keywords", "citations", "restaurants", "reviewing",
+		"categorized", "acting", "writers", "business", "ratings",
+	}
+	for _, w := range words {
+		a, b := Stem(w), Stem(w)
+		if a != b {
+			t.Errorf("Stem(%q) nondeterministic: %q vs %q", w, a, b)
+		}
+	}
+}
+
+func TestStemNeverPanicsAndNeverGrows(t *testing.T) {
+	f := func(s string) bool {
+		got := Stem(s)
+		// Porter stemming may extend by at most 1 byte transiently (e.g.
+		// hop -> hope restores an 'e'), never more than input+1.
+		return len(got) <= len(s)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStemASCIILettersOnlyLowercases(t *testing.T) {
+	f := func(s string) bool {
+		got := Stem(s)
+		for _, c := range []byte(got) {
+			if c >= 'A' && c <= 'Z' {
+				return false
+			}
+		}
+		_ = got
+		return true
+	}
+	// Restrict to ASCII letter inputs.
+	cfg := &quick.Config{MaxCount: 500, Values: nil}
+	if err := quick.Check(func(n uint32) bool {
+		// Build a pseudorandom ASCII-letter word from n.
+		var b []byte
+		x := n
+		for i := 0; i < 8; i++ {
+			b = append(b, byte('a'+x%26))
+			x /= 3
+		}
+		return f(string(b))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "publications", "organizations", "conferences", "restaurants"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

@@ -1,0 +1,71 @@
+// Package templar is the public facade of the Templar system (paper §III-D):
+// a log-augmentation layer that existing pipeline NLIDBs call on two fronts,
+// keyword mapping (MAPKEYWORDS) and join path inference (INFERJOINS). The
+// two calls are independent; the NLIDB owns NLQ parsing and final SQL
+// construction.
+//
+// Typical use:
+//
+//	entries, _ := sqlparse.ParseLog(logText)
+//	g, _ := qfg.Build(entries, fragment.NoConstOp)
+//	t := templar.New(database, model, g, templar.Options{})
+//	configs, _ := t.MapKeywords(keywords)
+//	paths, _ := t.InferJoins([]string{"publication", "domain"}, 3)
+package templar
+
+import (
+	"templar/internal/db"
+	"templar/internal/embedding"
+	"templar/internal/joinpath"
+	"templar/internal/keyword"
+	"templar/internal/qfg"
+)
+
+// Options configures a Templar instance.
+type Options struct {
+	// Keyword configures the Keyword Mapper (κ, λ, obscurity, …).
+	Keyword keyword.Options
+	// LogJoin enables log-driven join path weights (Table IV's toggle).
+	// When false, join inference uses uniform weights (shortest path),
+	// while keyword mapping still uses the QFG.
+	LogJoin bool
+}
+
+// System is a Templar instance bound to one database, similarity model and
+// query fragment graph.
+type System struct {
+	database *db.Database
+	mapper   *keyword.Mapper
+	joins    *joinpath.Generator
+}
+
+// New builds a Templar instance. graph may be nil, which degrades both calls
+// to their log-free baselines (useful for ablations).
+func New(database *db.Database, model *embedding.Model, graph *qfg.Graph, opts Options) *System {
+	var w joinpath.WeightFunc
+	if opts.LogJoin && graph != nil {
+		w = joinpath.LogWeights(graph)
+	}
+	return &System{
+		database: database,
+		mapper:   keyword.NewMapper(database, model, graph, opts.Keyword),
+		joins:    joinpath.NewGenerator(database.Schema(), w),
+	}
+}
+
+// Database returns the bound database.
+func (s *System) Database() *db.Database { return s.database }
+
+// MapKeywords executes MAPKEYWORDS (Φ = MAPKEYWORDS(D, S, M)): it returns
+// keyword-mapping configurations ranked from most to least likely.
+func (s *System) MapKeywords(keywords []keyword.Keyword) ([]keyword.Configuration, error) {
+	return s.mapper.MapKeywords(keywords)
+}
+
+// InferJoins executes INFERJOINS (J = INFERJOINS(Gs, BD)): given the bag of
+// relations known to be part of the SQL query (duplicates trigger self-join
+// forking), it returns up to topK join paths ranked from most to least
+// likely.
+func (s *System) InferJoins(relationBag []string, topK int) ([]joinpath.Path, error) {
+	return s.joins.Infer(relationBag, topK)
+}

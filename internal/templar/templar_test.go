@@ -1,0 +1,123 @@
+package templar
+
+import (
+	"strings"
+	"testing"
+
+	"templar/internal/db"
+	"templar/internal/embedding"
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+	"templar/internal/qfg"
+	"templar/internal/schema"
+	"templar/internal/sqlparse"
+)
+
+func fixtureDB(t testing.TB) *db.Database {
+	t.Helper()
+	g := schema.NewGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddRelation(schema.Relation{Name: "journal", Attributes: []schema.Attribute{
+		{Name: "jid", Type: schema.Number, PrimaryKey: true},
+		{Name: "name", Type: schema.Text},
+	}}))
+	must(g.AddRelation(schema.Relation{Name: "publication", Attributes: []schema.Attribute{
+		{Name: "pid", Type: schema.Number, PrimaryKey: true},
+		{Name: "title", Type: schema.Text},
+		{Name: "year", Type: schema.Number},
+		{Name: "jid", Type: schema.Number},
+	}}))
+	must(g.AddForeignKey(schema.ForeignKey{FromRel: "publication", FromAttr: "jid", ToRel: "journal", ToAttr: "jid"}))
+	d := db.New(g)
+	d.MustInsert("journal", []db.Value{db.Num(1), db.Str("TKDE")})
+	d.MustInsert("publication", []db.Value{db.Num(10), db.Str("Adaptive Query Planning"), db.Num(2004), db.Num(1)})
+	return d
+}
+
+func fixtureQFG(t testing.TB) *qfg.Graph {
+	t.Helper()
+	entries, err := sqlparse.ParseLog(`
+10x: SELECT p.title FROM publication p WHERE p.year > 2000
+4x: SELECT j.name FROM journal j
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := qfg.Build(entries, fragment.NoConstOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFacadeMapKeywords(t *testing.T) {
+	d := fixtureDB(t)
+	sys := New(d, embedding.New(), fixtureQFG(t), Options{LogJoin: true})
+	configs, err := sys.MapKeywords([]keyword.Keyword{
+		{Text: "papers", Meta: keyword.Metadata{Context: fragment.Select}},
+		{Text: "after 2000", Meta: keyword.Metadata{Context: fragment.Where, Op: ">"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) == 0 {
+		t.Fatal("no configurations")
+	}
+	top := configs[0]
+	if top.Mappings[0].Qualified() != "publication.title" {
+		t.Fatalf("top mapping = %v", top.Mappings[0])
+	}
+	if top.QFGScore <= 0 {
+		t.Fatalf("QFGScore = %v, want log evidence", top.QFGScore)
+	}
+}
+
+func TestFacadeInferJoins(t *testing.T) {
+	d := fixtureDB(t)
+	sys := New(d, embedding.New(), fixtureQFG(t), Options{LogJoin: true})
+	paths, err := sys.InferJoins([]string{"publication", "journal"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 || len(paths[0].Edges) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if !strings.Contains(paths[0].String(), "journal") {
+		t.Fatalf("path = %v", paths[0])
+	}
+}
+
+func TestFacadeNilGraphDegradesGracefully(t *testing.T) {
+	d := fixtureDB(t)
+	sys := New(d, embedding.New(), nil, Options{LogJoin: true})
+	configs, err := sys.MapKeywords([]keyword.Keyword{
+		{Text: "journals", Meta: keyword.Metadata{Context: fragment.Select}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if configs[0].QFGScore != 0 {
+		t.Fatal("nil QFG must yield zero log score")
+	}
+	// LogJoin with nil graph falls back to uniform weights.
+	paths, err := sys.InferJoins([]string{"publication", "journal"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths[0].TotalWeight != 1 {
+		t.Fatalf("uniform fallback weight = %v", paths[0].TotalWeight)
+	}
+}
+
+func TestFacadeDatabaseAccessor(t *testing.T) {
+	d := fixtureDB(t)
+	sys := New(d, embedding.New(), nil, Options{})
+	if sys.Database() != d {
+		t.Fatal("Database accessor")
+	}
+}
