@@ -1,0 +1,32 @@
+# Mirrors the CI steps (.github/workflows/ci.yml) so local runs and CI
+# agree on what "green" means.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet serve
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+serve: build
+	$(GO) run ./cmd/templar-serve -dataset mas -addr :8080

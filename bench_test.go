@@ -11,8 +11,12 @@ import (
 	"testing"
 
 	"templar/internal/datasets"
+	"templar/internal/embedding"
 	"templar/internal/eval"
 	"templar/internal/fragment"
+	"templar/internal/keyword"
+	"templar/internal/qfg"
+	"templar/internal/sqlparse"
 )
 
 var defaultOpts = eval.Options{K: 5, Lambda: 0.8, Obscurity: fragment.NoConstOp}
@@ -156,3 +160,41 @@ func BenchmarkEvaluateSingleDataset(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkMapKeywords measures per-call MAPKEYWORDS cost on the serving
+// hot path: the benchmark workload's keyword sets requested over and over,
+// as a production NLIDB front-end would. The indexed variant answers from
+// the mapper's precomputed candidate index and bounded similarity cache;
+// the seed variant re-scans the database and re-derives every embedding
+// similarity per call.
+func benchmarkMapKeywords(b *testing.B, disableIndex bool) {
+	ds := datasets.MAS()
+	entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
+	for _, task := range ds.Tasks {
+		q, err := sqlparse.Parse(task.Gold)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
+	}
+	graph, err := qfg.Build(entries, fragment.NoConstOp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapper := keyword.NewMapper(ds.DB, embedding.New(), graph,
+		keyword.Options{K: 5, Lambda: 0.8, DisableIndex: disableIndex})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.MapKeywords(ds.Tasks[i%len(ds.Tasks)].Keywords); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapKeywordsIndexed is the serving-layer configuration.
+func BenchmarkMapKeywordsIndexed(b *testing.B) { benchmarkMapKeywords(b, false) }
+
+// BenchmarkMapKeywordsSeedScan is the seed per-call scan path, kept as the
+// baseline the indexed mapper must beat on repeated keywords.
+func BenchmarkMapKeywordsSeedScan(b *testing.B) { benchmarkMapKeywords(b, true) }

@@ -1,0 +1,99 @@
+// Command templar-serve runs the concurrent HTTP serving layer over one
+// shared Templar instance bound to a bundled benchmark dataset. The query
+// fragment graph is trained from the dataset's full gold-SQL log at
+// startup, the keyword mapper precomputes its candidate index, and every
+// request is answered by the same shared, read-only system under a bounded
+// worker pool.
+//
+// Usage:
+//
+//	templar-serve -dataset mas -addr :8080 -workers 8
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	POST /v1/map-keywords  {"spec":"papers:select;Databases:where","top":3}
+//	POST /v1/infer-joins   {"relations":["publication","domain"],"top_k":3}
+//	POST /v1/translate     {"queries":[{"spec":"papers:select;Databases:where"}]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"templar/internal/datasets"
+	"templar/internal/embedding"
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+	"templar/internal/qfg"
+	"templar/internal/serve"
+	"templar/internal/sqlparse"
+	"templar/internal/templar"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataset = flag.String("dataset", "mas", "benchmark dataset (mas, yelp, imdb)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = min(GOMAXPROCS, 8))")
+		kappa   = flag.Int("kappa", 5, "kappa: candidates kept per keyword")
+		lambda  = flag.Float64("lambda", 0.8, "lambda: similarity vs log evidence weight")
+		logJoin = flag.Bool("log-join", true, "use log-driven join path weights")
+	)
+	flag.Parse()
+
+	var ds *datasets.Dataset
+	for _, d := range datasets.All() {
+		if strings.EqualFold(d.Name, *dataset) {
+			ds = d
+		}
+	}
+	if ds == nil {
+		fatal(fmt.Errorf("unknown dataset %q (want mas, yelp or imdb)", *dataset))
+	}
+
+	graph, err := buildQFG(ds)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	sys := templar.New(ds.DB, embedding.New(), graph, templar.Options{
+		Keyword: keyword.Options{K: *kappa, Lambda: *lambda},
+		LogJoin: *logJoin,
+	})
+	srv := serve.NewServer(sys, ds.Name, *workers)
+	log.Printf("templar-serve: dataset=%s log=%d queries index built in %s workers=%d",
+		ds.Name, graph.Queries(), time.Since(start).Round(time.Millisecond), srv.Pool().Workers())
+	log.Printf("templar-serve: listening on %s", *addr)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+// buildQFG folds every benchmark gold query into the training log.
+func buildQFG(ds *datasets.Dataset) (*qfg.Graph, error) {
+	entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
+	for _, t := range ds.Tasks {
+		q, err := sqlparse.Parse(t.Gold)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.ID, err)
+		}
+		entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
+	}
+	return qfg.Build(entries, fragment.NoConstOp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "templar-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module templar
+
+go 1.21

@@ -6,14 +6,13 @@ package eval
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"templar/internal/datasets"
 	"templar/internal/embedding"
 	"templar/internal/fragment"
 	"templar/internal/keyword"
 	"templar/internal/nlidb"
+	"templar/internal/pool"
 	"templar/internal/qfg"
 	"templar/internal/sqlparse"
 )
@@ -88,10 +87,7 @@ func (o Options) withDefaults() Options {
 		o.Noise = nlidb.DefaultNaLIRNoise()
 	}
 	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
-		if o.Parallelism > 8 {
-			o.Parallelism = 8
-		}
+		o.Parallelism = pool.DefaultWorkers()
 	}
 	return o
 }
@@ -153,41 +149,27 @@ func Evaluate(ds *datasets.Dataset, systems []SystemName, opts Options) (Result,
 }
 
 // scoreFold evaluates all systems on one held-out fold, fanning tasks out
-// over a bounded worker pool. Metric accumulation is order-independent, so
-// results are identical to the sequential evaluation.
+// over the same bounded worker pool the HTTP serving layer's batched
+// /v1/translate endpoint uses. Per-task results land in disjoint slots and
+// are folded sequentially, so results are identical to the sequential
+// evaluation.
 func scoreFold(ds *datasets.Dataset, idxs []int, systems []SystemName, built map[SystemName]*nlidb.System, parallelism int) map[SystemName]Metrics {
-	type unit struct {
-		name SystemName
-		m    Metrics
-	}
-	work := make(chan int)
-	results := make(chan unit)
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range work {
-				task := ds.Tasks[ti]
-				for _, name := range systems {
-					results <- unit{name, scoreTask(built[name], task)}
-				}
-			}
-		}()
-	}
-	go func() {
-		for _, ti := range idxs {
-			work <- ti
+	perTask := make([]map[SystemName]Metrics, len(idxs))
+	pool.New(parallelism).ForEach(len(idxs), func(i int) {
+		task := ds.Tasks[idxs[i]]
+		mm := make(map[SystemName]Metrics, len(systems))
+		for _, name := range systems {
+			mm[name] = scoreTask(built[name], task)
 		}
-		close(work)
-		wg.Wait()
-		close(results)
-	}()
+		perTask[i] = mm
+	})
 	out := make(map[SystemName]Metrics, len(systems))
-	for u := range results {
-		cur := out[u.name]
-		cur.Add(u.m)
-		out[u.name] = cur
+	for _, mm := range perTask {
+		for _, name := range systems {
+			cur := out[name]
+			cur.Add(mm[name])
+			out[name] = cur
+		}
 	}
 	return out
 }

@@ -1,0 +1,84 @@
+package joinpath
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestInferRepeatedSelfJoinIsolated guards the precomputed-base refactor:
+// self-join forking extends a clone, never the shared base graph, so a
+// second Infer on the same Generator must see an unforked graph and return
+// identical paths.
+func TestInferRepeatedSelfJoinIsolated(t *testing.T) {
+	gen := NewGenerator(masGraph(t), nil)
+	bag := []string{"author", "author", "publication"}
+	first, err := gen.Infer(bag, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := gen.Infer(bag, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged:\nfirst %v\nagain %v", i+2, first, again)
+		}
+	}
+	// A plain bag after a forked bag must not see leftover clones.
+	plain, err := gen.Infer([]string{"author", "publication"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range plain[0].Relations {
+		if BaseRelation(rel) != rel {
+			t.Fatalf("clone %q leaked into plain inference %v", rel, plain[0])
+		}
+	}
+}
+
+// TestInferConcurrent exercises one shared Generator from many goroutines
+// (run with -race); every goroutine must see the sequential answer.
+func TestInferConcurrent(t *testing.T) {
+	gen := NewGenerator(masGraph(t), nil)
+	bags := [][]string{
+		{"author", "publication"},
+		{"author", "author", "publication"},
+		{"publication", "domain"},
+		{"journal", "conference"},
+	}
+	want := make([][]Path, len(bags))
+	for i, bag := range bags {
+		paths, err := gen.Infer(bag, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = paths
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 8; r++ {
+				i := (w + r) % len(bags)
+				paths, err := gen.Infer(bags[i], 3)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(paths, want[i]) {
+					t.Errorf("concurrent Infer(%v) diverged", bags[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

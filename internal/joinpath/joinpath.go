@@ -132,9 +132,17 @@ func (p Path) canonical() string {
 }
 
 // Generator infers join paths over a schema graph with a weight function.
+//
+// A Generator is safe for concurrent use: the relation-instance adjacency
+// graph (including every edge weight, which may be a log-driven Dice
+// computation) is precomputed once at construction, and each Infer call
+// works on a private clone so self-join forking never mutates shared state.
 type Generator struct {
 	graph  *schema.Graph
 	weight WeightFunc
+	// base is the precomputed relation-instance graph; Infer clones it
+	// instead of re-deriving relations, FK edges and weights per call.
+	base *relGraph
 }
 
 // NewGenerator builds a Generator. A nil weight function means uniform.
@@ -142,7 +150,7 @@ func NewGenerator(g *schema.Graph, w WeightFunc) *Generator {
 	if w == nil {
 		w = UniformWeights
 	}
-	return &Generator{graph: g, weight: w}
+	return &Generator{graph: g, weight: w, base: buildRelGraph(g, w)}
 }
 
 // Infer implements INFERJOINS: it returns up to topK join paths spanning the
@@ -162,7 +170,13 @@ func (gen *Generator) Infer(bag []string, topK int) ([]Path, error) {
 		}
 	}
 
-	rg := buildRelGraph(gen.graph, gen.weight)
+	// Self-join forking is the only mutation of the relation graph, so the
+	// shared precomputed base serves duplicate-free bags (the common case)
+	// directly; only bags with duplicates pay for a private clone.
+	rg := gen.base
+	if hasDuplicates(bag) {
+		rg = gen.base.clone()
+	}
 	terminals, err := rg.applyBag(bag)
 	if err != nil {
 		return nil, err
@@ -259,6 +273,36 @@ type tree struct {
 	vertices map[int]bool
 	edges    []treeEdge
 	total    float64
+}
+
+// hasDuplicates reports whether the relation bag names any relation twice.
+func hasDuplicates(bag []string) bool {
+	seen := make(map[string]bool, len(bag))
+	for _, r := range bag {
+		if seen[r] {
+			return true
+		}
+		seen[r] = true
+	}
+	return false
+}
+
+// clone deep-copies the graph so self-join forking can extend it freely;
+// concurrent Infer calls each get an isolated copy of the shared base.
+func (rg *relGraph) clone() *relGraph {
+	c := &relGraph{
+		names:  append([]string(nil), rg.names...),
+		idx:    make(map[string]int, len(rg.idx)),
+		adj:    make([][]halfEdge, len(rg.adj)),
+		weight: rg.weight,
+	}
+	for name, i := range rg.idx {
+		c.idx[name] = i
+	}
+	for i, hes := range rg.adj {
+		c.adj[i] = append([]halfEdge(nil), hes...)
+	}
+	return c
 }
 
 func buildRelGraph(g *schema.Graph, w WeightFunc) *relGraph {

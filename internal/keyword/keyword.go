@@ -131,6 +131,14 @@ type Options struct {
 	// force their relations, which would double-count evidence; this flag
 	// exists for the design ablation.
 	IncludeFromInQFG bool
+	// DisableIndex restores the seed per-call scan path: no precomputed
+	// candidate index and no similarity memo cache. Kept for ablations and
+	// the indexed-vs-scan benchmark; results are identical either way.
+	DisableIndex bool
+	// SimCacheSize bounds the similarity memo cache (total entries across
+	// all shards, approximately — see simCache). Default 65536. Ignored
+	// when DisableIndex is set.
+	SimCacheSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -146,15 +154,28 @@ func (o Options) withDefaults() Options {
 	if o.MaxConfigurations <= 0 {
 		o.MaxConfigurations = 5000
 	}
+	if o.SimCacheSize <= 0 {
+		o.SimCacheSize = 65536
+	}
 	return o
 }
 
 // Mapper executes MAPKEYWORDS against one database.
+//
+// A Mapper is safe for concurrent use: the database, model, QFG and
+// candidate index are read-only after construction, and the similarity memo
+// cache is internally synchronized. The bound database must not be mutated
+// while the Mapper is in use (the precomputed index would go stale).
 type Mapper struct {
 	db    *db.Database
 	model *embedding.Model
 	graph *qfg.Graph // nil disables log-driven scoring (pure baseline)
 	opts  Options
+	// index precomputes candidate retrieval structures (nil when
+	// Options.DisableIndex restores the per-call scan path).
+	index *candidateIndex
+	// cache memoizes model.Similarity calls (nil when DisableIndex).
+	cache *simCache
 }
 
 // NewMapper builds a Mapper. Passing a nil QFG yields the baseline behavior
@@ -162,11 +183,37 @@ type Mapper struct {
 // §VII-A2). When a QFG is supplied, fragment lookups always use the graph's
 // own obscurity level — Options.Obscurity is overridden, because querying a
 // NoConstOp graph with Full fragments (or vice versa) can never match.
+//
+// Unless Options.DisableIndex is set, NewMapper precomputes an inverted
+// index over schema names and column values (so candidate retrieval stops
+// scanning tables per call) and installs a bounded memo cache for embedding
+// similarities; both preserve the exact seed-path results.
 func NewMapper(database *db.Database, model *embedding.Model, graph *qfg.Graph, opts Options) *Mapper {
 	if graph != nil {
 		opts.Obscurity = graph.Obscurity()
 	}
-	return &Mapper{db: database, model: model, graph: graph, opts: opts.withDefaults()}
+	m := &Mapper{db: database, model: model, graph: graph, opts: opts.withDefaults()}
+	if !m.opts.DisableIndex {
+		m.index = buildCandidateIndex(database)
+		m.cache = newSimCache(m.opts.SimCacheSize)
+	}
+	return m
+}
+
+// similarity scores two phrases through the bounded memo cache when one is
+// installed. Model.Similarity is symmetric and deterministic, so cached
+// values are exact.
+func (m *Mapper) similarity(a, b string) float64 {
+	if m.cache == nil {
+		return m.model.Similarity(a, b)
+	}
+	k := makeSimKey(a, b)
+	if v, ok := m.cache.get(k); ok {
+		return v
+	}
+	v := m.model.Similarity(a, b)
+	m.cache.put(k, v)
+	return v
 }
 
 // MapKeywords implements Algorithm 1: candidate retrieval, scoring/pruning,
@@ -192,7 +239,9 @@ func (m *Mapper) MapKeywords(keywords []Keyword) ([]Configuration, error) {
 // ---------------------------------------------------------------------------
 // Algorithm 2: candidate retrieval.
 
-// keywordCands maps one keyword to its unscored candidates.
+// keywordCands maps one keyword to its unscored candidates. Retrieval goes
+// through the precomputed index when one exists; the helpers below fall
+// back to the seed per-call database scans otherwise.
 func (m *Mapper) keywordCands(kw Keyword) []Mapping {
 	var out []Mapping
 	if num, ok := extractNumber(kw.Text); ok {
@@ -200,7 +249,7 @@ func (m *Mapper) keywordCands(kw Keyword) []Mapping {
 		if op == "" {
 			op = "="
 		}
-		for _, match := range m.db.FindNumericAttrs(num, op) {
+		for _, match := range m.findNumericAttrs(num, op) {
 			out = append(out, Mapping{
 				Keyword: kw.Text,
 				Kind:    KindPred,
@@ -214,7 +263,7 @@ func (m *Mapper) keywordCands(kw Keyword) []Mapping {
 	}
 	switch kw.Meta.Context {
 	case fragment.From:
-		for _, rel := range m.db.Schema().Relations() {
+		for _, rel := range m.relationCands() {
 			out = append(out, Mapping{Keyword: kw.Text, Kind: KindRelation, Rel: rel})
 		}
 	case fragment.Select:
@@ -222,17 +271,12 @@ func (m *Mapper) keywordCands(kw Keyword) []Mapping {
 		if len(kw.Meta.Aggs) > 0 {
 			agg = kw.Meta.Aggs[0]
 		}
-		for _, q := range m.db.Schema().QualifiedAttributes() {
-			rel, attr, _ := splitQualified(q)
-			// Surrogate key columns are never user-meaningful projections.
-			if m.db.IsKeyColumn(rel, attr) {
-				continue
-			}
+		for _, ra := range m.selectCands() {
 			out = append(out, Mapping{
 				Keyword: kw.Text,
 				Kind:    KindAttr,
-				Rel:     rel,
-				Attr:    attr,
+				Rel:     ra.rel,
+				Attr:    ra.attr,
 				Agg:     agg,
 				GroupBy: kw.Meta.GroupBy,
 			})
@@ -240,7 +284,7 @@ func (m *Mapper) keywordCands(kw Keyword) []Mapping {
 	default:
 		// WHERE context: full-text search for matching text values (§V-A).
 		const maxValuesPerAttr = 8
-		for _, match := range m.db.FindTextAttrs(kw.Text) {
+		for _, match := range m.findTextAttrs(kw.Text) {
 			vals := match.Values
 			if len(vals) > maxValuesPerAttr {
 				vals = m.bestValues(kw.Text, vals, maxValuesPerAttr)
@@ -260,6 +304,47 @@ func (m *Mapper) keywordCands(kw Keyword) []Mapping {
 	return out
 }
 
+// relationCands lists the FROM-context candidate relations.
+func (m *Mapper) relationCands() []string {
+	if m.index != nil {
+		return m.index.fromRels
+	}
+	return m.db.Schema().Relations()
+}
+
+// selectCands lists the SELECT-context candidate attributes: every non-key
+// attribute (surrogate key columns are never user-meaningful projections).
+func (m *Mapper) selectCands() []relAttr {
+	if m.index != nil {
+		return m.index.selectAttrs
+	}
+	var out []relAttr
+	for _, q := range m.db.Schema().QualifiedAttributes() {
+		rel, attr, _ := splitQualified(q)
+		if m.db.IsKeyColumn(rel, attr) {
+			continue
+		}
+		out = append(out, relAttr{rel, attr})
+	}
+	return out
+}
+
+// findTextAttrs runs the boolean-mode full-text probe of Algorithm 2.
+func (m *Mapper) findTextAttrs(keyword string) []db.TextMatch {
+	if m.index != nil {
+		return m.index.findTextAttrs(keyword)
+	}
+	return m.db.FindTextAttrs(keyword)
+}
+
+// findNumericAttrs runs the numeric-predicate probe of Algorithm 2.
+func (m *Mapper) findNumericAttrs(n float64, op string) []db.NumericMatch {
+	if m.index != nil {
+		return m.index.findNumericAttrs(n, op)
+	}
+	return m.db.FindNumericAttrs(n, op)
+}
+
 // bestValues keeps the n values most similar to the keyword.
 func (m *Mapper) bestValues(keyword string, vals []string, n int) []string {
 	type scored struct {
@@ -268,7 +353,7 @@ func (m *Mapper) bestValues(keyword string, vals []string, n int) []string {
 	}
 	ss := make([]scored, len(vals))
 	for i, v := range vals {
-		ss[i] = scored{v, m.model.Similarity(keyword, v)}
+		ss[i] = scored{v, m.similarity(keyword, v)}
 	}
 	sort.SliceStable(ss, func(i, j int) bool { return ss[i].s > ss[j].s })
 	out := make([]string, 0, n)
@@ -298,7 +383,7 @@ func (m *Mapper) scoreAndPrune(kw Keyword, cands []Mapping) []Mapping {
 			if strings.TrimSpace(stext) == "" {
 				c.Sim = 0.5
 			} else {
-				c.Sim = m.model.Similarity(stext, c.label())
+				c.Sim = m.similarity(stext, c.label())
 			}
 			_ = num
 			continue
@@ -329,9 +414,9 @@ func (m Mapping) label() string {
 func (m *Mapper) simText(keyword string, c Mapping) float64 {
 	switch c.Kind {
 	case KindRelation:
-		return m.model.Similarity(keyword, c.label())
+		return m.similarity(keyword, c.label())
 	case KindAttr:
-		s := m.model.Similarity(keyword, c.label())
+		s := m.similarity(keyword, c.label())
 		// Default-projection prior: when a keyword names an entity without
 		// distinguishing between its attributes ("journals", "businesses"),
 		// prefer the relation's human-readable label column over siblings
@@ -345,8 +430,8 @@ func (m *Mapper) simText(keyword string, c Mapping) float64 {
 		}
 		return s
 	default:
-		valueSim := m.model.Similarity(keyword, c.Value.S)
-		labelSim := 0.9 * m.model.Similarity(keyword, c.label())
+		valueSim := m.similarity(keyword, c.Value.S)
+		labelSim := 0.9 * m.similarity(keyword, c.label())
 		if labelSim > valueSim {
 			return labelSim
 		}

@@ -89,6 +89,28 @@ func NewSystem(name string, database *db.Database, model *embedding.Model, cfg C
 	}
 }
 
+// NewFromParts assembles a System around a prebuilt mapper and join-path
+// generator, so a serving layer can run translation through the same
+// index/cache-backed components it uses for direct mapping calls. The
+// Keyword, QFG, LogJoin and JoinWeights fields of cfg are ignored — they
+// are already baked into the parts; Noise, TopConfigs and TopPaths apply.
+func NewFromParts(name string, mapper *keyword.Mapper, joins *joinpath.Generator, cfg Config) *System {
+	if cfg.TopConfigs <= 0 {
+		cfg.TopConfigs = 8
+	}
+	if cfg.TopPaths <= 0 {
+		cfg.TopPaths = 3
+	}
+	return &System{
+		name:       name,
+		mapper:     mapper,
+		joins:      joins,
+		noise:      cfg.Noise,
+		topConfigs: cfg.TopConfigs,
+		topPaths:   cfg.TopPaths,
+	}
+}
+
 // NewPipeline builds the SQLizer-style baseline of §VII-A2: word-embedding
 // keyword mapping with no log information and minimum-length join paths.
 func NewPipeline(database *db.Database, model *embedding.Model, opts keyword.Options) *System {

@@ -1,0 +1,72 @@
+// Package pool provides the bounded worker pool shared by the HTTP serving
+// layer and the evaluation harness, so both fan batches out through the
+// same code with one global parallelism cap.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds how many units of CPU-heavy work run at once. One Pool is
+// shared by every endpoint of a server, so total parallelism stays capped
+// no matter how many clients are connected.
+type Pool struct {
+	sem chan struct{}
+}
+
+// New builds a pool with the given worker count; values < 1 default to
+// min(GOMAXPROCS, 8).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// DefaultWorkers is the default parallelism bound: min(GOMAXPROCS, 8).
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// Workers returns the pool's parallelism bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Run executes fn once a worker slot is free, blocking until it completes.
+func (p *Pool) Run(fn func()) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}
+
+// ForEach runs fn(0..n-1) across the pool and blocks until every call has
+// returned. At most min(n, Workers()) goroutines are spawned, each pulling
+// indexes from a shared channel and acquiring a slot per item, so large
+// batches never multiply goroutine count and concurrent ForEach calls (and
+// interleaved Run calls) share the same global bound fairly.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				p.Run(func() { fn(i) })
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

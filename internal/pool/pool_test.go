@@ -1,0 +1,96 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestForEachBoundsParallelism(t *testing.T) {
+	p := New(3)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	var mu sync.Mutex
+	running, peak := 0, 0
+	out := make([]int, 100)
+	p.ForEach(len(out), func(i int) {
+		mu.Lock()
+		running++
+		if running > peak {
+			peak = running
+		}
+		mu.Unlock()
+		out[i] = i * i
+		mu.Lock()
+		running--
+		mu.Unlock()
+	})
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if peak > 3 {
+		t.Fatalf("observed %d concurrent workers, want <= 3", peak)
+	}
+	if peak < 1 {
+		t.Fatal("pool never ran")
+	}
+}
+
+// TestForEachGoroutineBounded guards against per-item goroutine spawning:
+// a batch far larger than the worker count must not inflate the goroutine
+// population by more than the worker count (plus scheduling slack).
+func TestForEachGoroutineBounded(t *testing.T) {
+	p := New(2)
+	before := runtime.NumGoroutine()
+	var mu sync.Mutex
+	maxG := 0
+	p.ForEach(10000, func(i int) {
+		if i%100 == 0 {
+			mu.Lock()
+			if g := runtime.NumGoroutine(); g > maxG {
+				maxG = g
+			}
+			mu.Unlock()
+		}
+	})
+	if maxG > before+16 {
+		t.Fatalf("goroutines grew from %d to %d during a 10k-item batch on a 2-worker pool", before, maxG)
+	}
+}
+
+func TestRunAndForEachShareBound(t *testing.T) {
+	p := New(1)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Run(func() {
+			mu.Lock()
+			order = append(order, -1)
+			mu.Unlock()
+		})
+	}()
+	p.ForEach(3, func(i int) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+	})
+	wg.Wait()
+	if len(order) != 4 {
+		t.Fatalf("ran %d units, want 4", len(order))
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if New(0).Workers() != DefaultWorkers() {
+		t.Fatal("New(0) should use the default bound")
+	}
+	if d := DefaultWorkers(); d < 1 || d > 8 {
+		t.Fatalf("DefaultWorkers() = %d, want 1..8", d)
+	}
+}

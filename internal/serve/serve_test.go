@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/embedding"
+	"templar/internal/fragment"
+	"templar/internal/keyword"
+	"templar/internal/qfg"
+	"templar/internal/sqlparse"
+	"templar/internal/templar"
+)
+
+// buildSystem assembles a Templar instance over a benchmark dataset with
+// the QFG trained from the full gold-SQL log.
+func buildSystem(t testing.TB, ds *datasets.Dataset, opts keyword.Options) *templar.System {
+	t.Helper()
+	entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
+	for _, task := range ds.Tasks {
+		q, err := sqlparse.Parse(task.Gold)
+		if err != nil {
+			t.Fatalf("%s: %v", task.ID, err)
+		}
+		entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
+	}
+	graph, err := qfg.Build(entries, fragment.NoConstOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return templar.New(ds.DB, embedding.New(), graph, templar.Options{Keyword: opts, LogJoin: true})
+}
+
+func newTestServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	ds := datasets.MAS()
+	srv := NewServer(buildSystem(t, ds, keyword.Options{}), ds.Name, 4)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postJSON posts a body and decodes the response into out, returning the
+// status code.
+func postJSON(t testing.TB, url string, body, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("status %d: undecodable body %q: %v", resp.StatusCode, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealth(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Dataset != "MAS" || h.Relations == 0 || h.Workers != 4 {
+		t.Fatalf("unexpected health %+v", h)
+	}
+}
+
+func TestMapKeywordsHandler(t *testing.T) {
+	ts := newTestServer(t)
+	url := ts.URL + "/v1/map-keywords"
+
+	var resp MapKeywordsResponse
+	status := postJSON(t, url, MapKeywordsRequest{
+		KeywordsInput: KeywordsInput{Spec: "papers:select;Databases:where"},
+		Top:           3,
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if len(resp.Configurations) == 0 || len(resp.Configurations) > 3 {
+		t.Fatalf("got %d configurations, want 1..3", len(resp.Configurations))
+	}
+	top := resp.Configurations[0]
+	if len(top.Mappings) != 2 || top.Score <= 0 {
+		t.Fatalf("malformed top configuration %+v", top)
+	}
+
+	// The structured form must be equivalent to the spec form.
+	var structured MapKeywordsResponse
+	status = postJSON(t, url, MapKeywordsRequest{
+		KeywordsInput: KeywordsInput{Keywords: []KeywordJSON{
+			{Text: "papers", Context: "select"},
+			{Text: "Databases", Context: "where"},
+		}},
+		Top: 3,
+	}, &structured)
+	if status != http.StatusOK {
+		t.Fatalf("structured status = %d", status)
+	}
+	if !reflect.DeepEqual(resp, structured) {
+		t.Fatal("spec and structured keyword forms disagree")
+	}
+}
+
+func TestMapKeywordsErrors(t *testing.T) {
+	ts := newTestServer(t)
+	url := ts.URL + "/v1/map-keywords"
+
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"empty", MapKeywordsRequest{}, http.StatusBadRequest},
+		{"both forms", MapKeywordsRequest{KeywordsInput: KeywordsInput{
+			Spec:     "papers:select",
+			Keywords: []KeywordJSON{{Text: "papers", Context: "select"}},
+		}}, http.StatusBadRequest},
+		{"bad context", MapKeywordsRequest{KeywordsInput: KeywordsInput{
+			Keywords: []KeywordJSON{{Text: "papers", Context: "sideways"}},
+		}}, http.StatusBadRequest},
+		{"unmappable keyword", MapKeywordsRequest{KeywordsInput: KeywordsInput{
+			Keywords: []KeywordJSON{{Text: "zzzqqqxxyy", Context: "where"}},
+		}}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		var er ErrorResponse
+		if status := postJSON(t, url, tc.body, &er); status != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, status, tc.want)
+		} else if er.Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestInferJoinsHandler(t *testing.T) {
+	ts := newTestServer(t)
+	url := ts.URL + "/v1/infer-joins"
+
+	var resp InferJoinsResponse
+	if status := postJSON(t, url, InferJoinsRequest{Relations: []string{"publication", "domain"}, TopK: 3}, &resp); status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if len(resp.Paths) == 0 {
+		t.Fatal("no paths")
+	}
+	if p := resp.Paths[0]; len(p.Relations) < 2 || len(p.Edges) == 0 || p.Goodness <= 0 {
+		t.Fatalf("malformed path %+v", p)
+	}
+
+	// Self-join bag: duplicated relation must fork an instance.
+	var fork InferJoinsResponse
+	if status := postJSON(t, url, InferJoinsRequest{Relations: []string{"author", "author", "publication"}}, &fork); status != http.StatusOK {
+		t.Fatalf("self-join status = %d", status)
+	}
+	found := false
+	for _, rel := range fork.Paths[0].Relations {
+		if rel == "author#2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self-join fork missing from %v", fork.Paths[0].Relations)
+	}
+
+	var er ErrorResponse
+	if status := postJSON(t, url, InferJoinsRequest{Relations: []string{"nonesuch"}}, &er); status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown relation status = %d", status)
+	}
+	if status := postJSON(t, url, InferJoinsRequest{}, &er); status != http.StatusBadRequest {
+		t.Fatalf("empty bag status = %d", status)
+	}
+}
+
+func TestTranslateHandler(t *testing.T) {
+	ts := newTestServer(t)
+
+	var resp TranslateResponse
+	status := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{Queries: []KeywordsInput{
+		{Spec: "papers:select;Databases:where"},
+		{Spec: "oops"}, // malformed: per-query error, not batch failure
+		{Spec: "authors:select;Data Mining:where"},
+	}}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	for _, i := range []int{0, 2} {
+		r := resp.Results[i]
+		if r.Error != "" || r.SQL == "" || r.Config == nil || r.Path == nil {
+			t.Fatalf("result %d malformed: %+v", i, r)
+		}
+	}
+	if resp.Results[1].Error == "" || resp.Results[1].SQL != "" {
+		t.Fatalf("result 1 should carry only an error: %+v", resp.Results[1])
+	}
+
+	var er ErrorResponse
+	if status := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{}, &er); status != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d", status)
+	}
+}
+
+// TestConcurrentClients hammers one shared system from many goroutines
+// across all three endpoints (run under -race to exercise the mapper cache,
+// the cloned join graphs and the worker pool) and requires every client to
+// observe the same answers.
+func TestConcurrentClients(t *testing.T) {
+	ts := newTestServer(t)
+
+	var wantMap MapKeywordsResponse
+	if s := postJSON(t, ts.URL+"/v1/map-keywords", MapKeywordsRequest{
+		KeywordsInput: KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 1,
+	}, &wantMap); s != http.StatusOK {
+		t.Fatalf("warmup map status = %d", s)
+	}
+	var wantTr TranslateResponse
+	if s := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{Queries: []KeywordsInput{
+		{Spec: "papers:select;Databases:where"},
+		{Spec: "authors:select;Data Mining:where"},
+	}}, &wantTr); s != http.StatusOK {
+		t.Fatalf("warmup translate status = %d", s)
+	}
+
+	const clients, rounds = 8, 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				switch (c + r) % 3 {
+				case 0:
+					var got MapKeywordsResponse
+					if s := postJSON(t, ts.URL+"/v1/map-keywords", MapKeywordsRequest{
+						KeywordsInput: KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 1,
+					}, &got); s != http.StatusOK {
+						t.Errorf("client %d: map status %d", c, s)
+						return
+					} else if !reflect.DeepEqual(got, wantMap) {
+						t.Errorf("client %d: map answer diverged", c)
+						return
+					}
+				case 1:
+					var got InferJoinsResponse
+					if s := postJSON(t, ts.URL+"/v1/infer-joins", InferJoinsRequest{
+						Relations: []string{"author", "author", "publication"},
+					}, &got); s != http.StatusOK {
+						t.Errorf("client %d: joins status %d", c, s)
+						return
+					}
+				default:
+					var got TranslateResponse
+					if s := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{Queries: []KeywordsInput{
+						{Spec: "papers:select;Databases:where"},
+						{Spec: "authors:select;Data Mining:where"},
+					}}, &got); s != http.StatusOK {
+						t.Errorf("client %d: translate status %d", c, s)
+						return
+					} else if !reflect.DeepEqual(got, wantTr) {
+						t.Errorf("client %d: translate answer diverged", c)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestIndexedMapperMatchesSeedPath verifies the hot-path refactor changes
+// nothing observable: for every benchmark task of every dataset, the
+// indexed/cached mapper must return exactly the configurations (and the
+// translator exactly the translation) of the seed per-call scan path.
+func TestIndexedMapperMatchesSeedPath(t *testing.T) {
+	for _, ds := range datasets.All() {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			indexed := buildSystem(t, ds, keyword.Options{})
+			seed := buildSystem(t, ds, keyword.Options{DisableIndex: true})
+			for _, task := range ds.Tasks {
+				gotCfg, gotErr := indexed.MapKeywords(task.Keywords)
+				wantCfg, wantErr := seed.MapKeywords(task.Keywords)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s: error mismatch: indexed=%v seed=%v", task.ID, gotErr, wantErr)
+				}
+				if !reflect.DeepEqual(gotCfg, wantCfg) {
+					t.Fatalf("%s: configurations diverged\nindexed: %v\nseed:    %v", task.ID, gotCfg, wantCfg)
+				}
+				gotTr, gotErr := indexed.Translate(task.Keywords)
+				wantTr, wantErr := seed.Translate(task.Keywords)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s: translate error mismatch: indexed=%v seed=%v", task.ID, gotErr, wantErr)
+				}
+				if !reflect.DeepEqual(gotTr, wantTr) {
+					t.Fatalf("%s: translations diverged\nindexed: %+v\nseed:    %+v", task.ID, gotTr, wantTr)
+				}
+			}
+		})
+	}
+}

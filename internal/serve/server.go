@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"templar/internal/keyword"
+	"templar/internal/pool"
+	"templar/internal/templar"
+)
+
+// maxBodyBytes caps request bodies; keyword batches are small.
+const maxBodyBytes = 1 << 20
+
+// Server exposes one shared templar.System over HTTP. All CPU-heavy work
+// (mapping, inference, translation) runs inside the worker pool, so
+// concurrent clients share a fixed parallelism budget; the System itself is
+// safe for concurrent use, so no request-level locking is needed.
+type Server struct {
+	sys     *templar.System
+	dataset string
+	pool    *pool.Pool
+}
+
+// NewServer binds a server to a system. dataset names the bound benchmark
+// for diagnostics; workers < 1 picks the pool default.
+func NewServer(sys *templar.System, dataset string, workers int) *Server {
+	return &Server{sys: sys, dataset: dataset, pool: pool.New(workers)}
+}
+
+// Pool returns the server's worker pool.
+func (s *Server) Pool() *pool.Pool { return s.pool }
+
+// Handler returns the route table:
+//
+//	GET  /healthz          — liveness and binding info
+//	POST /v1/map-keywords  — MAPKEYWORDS over the shared mapper
+//	POST /v1/infer-joins   — INFERJOINS over the shared generator
+//	POST /v1/translate     — batched full NLQ→SQL translation
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/map-keywords", s.handleMapKeywords)
+	mux.HandleFunc("/v1/infer-joins", s.handleInferJoins)
+	mux.HandleFunc("/v1/translate", s.handleTranslate)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:    "ok",
+		Dataset:   s.dataset,
+		Relations: len(s.sys.Database().Schema().Relations()),
+		Workers:   s.pool.Workers(),
+	})
+}
+
+func (s *Server) handleMapKeywords(w http.ResponseWriter, r *http.Request) {
+	var req MapKeywordsRequest
+	if !readPost(w, r, &req) {
+		return
+	}
+	kws, err := req.decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var configs []keyword.Configuration
+	s.pool.Run(func() { configs, err = s.sys.MapKeywords(kws) })
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MapKeywordsResponse{Configurations: fromConfigurations(configs, req.Top)})
+}
+
+func (s *Server) handleInferJoins(w http.ResponseWriter, r *http.Request) {
+	var req InferJoinsRequest
+	if !readPost(w, r, &req) {
+		return
+	}
+	if len(req.Relations) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: no relations"))
+		return
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 3
+	}
+	resp := InferJoinsResponse{}
+	var err error
+	s.pool.Run(func() {
+		paths, ierr := s.sys.InferJoins(req.Relations, topK)
+		if ierr != nil {
+			err = ierr
+			return
+		}
+		resp.Paths = make([]PathJSON, len(paths))
+		for i, p := range paths {
+			resp.Paths[i] = fromPath(p)
+		}
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	var req TranslateRequest
+	if !readPost(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty batch"))
+		return
+	}
+	results := make([]TranslateResult, len(req.Queries))
+	s.pool.ForEach(len(req.Queries), func(i int) {
+		// Batch items run on pool goroutines, outside net/http's
+		// per-request recover: a panic here would kill the whole server,
+		// so contain it as a per-item error like any other failure.
+		defer func() {
+			if r := recover(); r != nil {
+				results[i] = TranslateResult{Error: fmt.Sprintf("serve: internal error: %v", r)}
+			}
+		}()
+		kws, err := req.Queries[i].decode()
+		if err != nil {
+			results[i] = TranslateResult{Error: err.Error()}
+			return
+		}
+		tr, err := s.sys.Translate(kws)
+		if err != nil {
+			results[i] = TranslateResult{Error: err.Error()}
+			return
+		}
+		results[i] = fromTranslation(tr)
+	})
+	writeJSON(w, http.StatusOK, TranslateResponse{Results: results})
+}
+
+// readPost enforces the method, decodes the JSON body into dst and reports
+// whether the handler should continue.
+func readPost(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,242 @@
+// Package serve is the concurrent HTTP serving layer over one shared
+// templar.System: request/response wire types, a bounded worker pool, and
+// handlers for keyword mapping, join inference and batched translation.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"templar/internal/fragment"
+	"templar/internal/joinpath"
+	"templar/internal/keyword"
+	"templar/internal/nlidb"
+)
+
+// KeywordJSON is one parsed NLQ keyword on the wire.
+type KeywordJSON struct {
+	Text string `json:"text"`
+	// Context is "select", "where" or "from".
+	Context string `json:"context"`
+	// Op is the comparison operator for numeric WHERE keywords.
+	Op string `json:"op,omitempty"`
+	// Agg is an aggregate (COUNT, SUM, AVG, MIN, MAX) for SELECT keywords.
+	Agg string `json:"agg,omitempty"`
+	// GroupBy marks the mapped attribute for grouping.
+	GroupBy bool `json:"group_by,omitempty"`
+}
+
+// KeywordsInput carries keywords either structured or as a compact
+// keyword.ParseSpec string ("papers:select;Databases:where"); exactly one
+// of the two must be set.
+type KeywordsInput struct {
+	Keywords []KeywordJSON `json:"keywords,omitempty"`
+	Spec     string        `json:"spec,omitempty"`
+}
+
+// decode converts the input to mapper keywords.
+func (in KeywordsInput) decode() ([]keyword.Keyword, error) {
+	switch {
+	case in.Spec != "" && len(in.Keywords) > 0:
+		return nil, fmt.Errorf("serve: set either keywords or spec, not both")
+	case in.Spec != "":
+		return keyword.ParseSpec(in.Spec)
+	case len(in.Keywords) == 0:
+		return nil, fmt.Errorf("serve: no keywords")
+	}
+	out := make([]keyword.Keyword, len(in.Keywords))
+	for i, kj := range in.Keywords {
+		if strings.TrimSpace(kj.Text) == "" {
+			return nil, fmt.Errorf("serve: keyword %d has empty text", i)
+		}
+		kw := keyword.Keyword{Text: kj.Text}
+		switch strings.ToLower(kj.Context) {
+		case "select":
+			kw.Meta.Context = fragment.Select
+		case "where":
+			kw.Meta.Context = fragment.Where
+		case "from":
+			kw.Meta.Context = fragment.From
+		default:
+			return nil, fmt.Errorf("serve: keyword %d has unknown context %q", i, kj.Context)
+		}
+		kw.Meta.Op = kj.Op
+		if kj.Agg != "" {
+			kw.Meta.Aggs = []string{strings.ToUpper(kj.Agg)}
+		}
+		kw.Meta.GroupBy = kj.GroupBy
+		out[i] = kw
+	}
+	return out, nil
+}
+
+// MapKeywordsRequest is the body of POST /v1/map-keywords.
+type MapKeywordsRequest struct {
+	KeywordsInput
+	// Top caps the returned configurations (0 = all).
+	Top int `json:"top,omitempty"`
+}
+
+// MappingJSON is one keyword→fragment mapping on the wire.
+type MappingJSON struct {
+	Keyword   string  `json:"keyword"`
+	Kind      string  `json:"kind"` // "relation", "attribute", "predicate"
+	Relation  string  `json:"relation"`
+	Attribute string  `json:"attribute,omitempty"`
+	Agg       string  `json:"agg,omitempty"`
+	GroupBy   bool    `json:"group_by,omitempty"`
+	Op        string  `json:"op,omitempty"`
+	Value     string  `json:"value,omitempty"`
+	Fragment  string  `json:"fragment"`
+	Sim       float64 `json:"sim"`
+}
+
+// ConfigurationJSON is one ranked keyword-mapping configuration.
+type ConfigurationJSON struct {
+	Mappings []MappingJSON `json:"mappings"`
+	SimScore float64       `json:"sim_score"`
+	QFGScore float64       `json:"qfg_score"`
+	Score    float64       `json:"score"`
+}
+
+// MapKeywordsResponse is the body of a successful map-keywords call.
+type MapKeywordsResponse struct {
+	Configurations []ConfigurationJSON `json:"configurations"`
+}
+
+// InferJoinsRequest is the body of POST /v1/infer-joins. Relations is a bag:
+// repeating a relation requests self-join forking.
+type InferJoinsRequest struct {
+	Relations []string `json:"relations"`
+	TopK      int      `json:"top_k,omitempty"`
+}
+
+// EdgeJSON is one join edge ("author.oid = organization.oid").
+type EdgeJSON struct {
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Join   string  `json:"join"`
+	Weight float64 `json:"weight"`
+}
+
+// PathJSON is one inferred join path.
+type PathJSON struct {
+	Relations   []string   `json:"relations"`
+	Edges       []EdgeJSON `json:"edges"`
+	TotalWeight float64    `json:"total_weight"`
+	Score       float64    `json:"score"`
+	Goodness    float64    `json:"goodness"`
+}
+
+// InferJoinsResponse is the body of a successful infer-joins call.
+type InferJoinsResponse struct {
+	Paths []PathJSON `json:"paths"`
+}
+
+// TranslateRequest is the body of POST /v1/translate: a batch of keyword
+// queries translated concurrently over the server's worker pool.
+type TranslateRequest struct {
+	Queries []KeywordsInput `json:"queries"`
+}
+
+// TranslateResult is one batch entry: a translation or a per-query error
+// (one bad query never fails its batch siblings).
+type TranslateResult struct {
+	SQL      string             `json:"sql,omitempty"`
+	Rendered string             `json:"rendered,omitempty"`
+	Score    float64            `json:"score,omitempty"`
+	Tie      bool               `json:"tie,omitempty"`
+	Config   *ConfigurationJSON `json:"config,omitempty"`
+	Path     *PathJSON          `json:"path,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// TranslateResponse is the body of a successful translate call.
+type TranslateResponse struct {
+	Results []TranslateResult `json:"results"`
+}
+
+// ErrorResponse is the uniform error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Dataset   string `json:"dataset"`
+	Relations int    `json:"relations"`
+	Workers   int    `json:"workers"`
+}
+
+// ---------------------------------------------------------------------------
+// Conversions from internal types.
+
+func fromConfiguration(cfg keyword.Configuration) ConfigurationJSON {
+	out := ConfigurationJSON{
+		Mappings: make([]MappingJSON, len(cfg.Mappings)),
+		SimScore: cfg.SimScore,
+		QFGScore: cfg.QFGScore,
+		Score:    cfg.Score,
+	}
+	for i, mp := range cfg.Mappings {
+		mj := MappingJSON{
+			Keyword:  mp.Keyword,
+			Kind:     mp.Kind.String(),
+			Relation: mp.Rel,
+			GroupBy:  mp.GroupBy,
+			Fragment: mp.Fragment(fragment.Full).String(),
+			Sim:      mp.Sim,
+		}
+		if mp.Kind != keyword.KindRelation {
+			mj.Attribute = mp.Attr
+		}
+		switch mp.Kind {
+		case keyword.KindAttr:
+			mj.Agg = mp.Agg
+		case keyword.KindPred:
+			mj.Op = mp.Op
+			mj.Value = mp.Value.String()
+		}
+		out.Mappings[i] = mj
+	}
+	return out
+}
+
+func fromConfigurations(cfgs []keyword.Configuration, top int) []ConfigurationJSON {
+	if top > 0 && len(cfgs) > top {
+		cfgs = cfgs[:top]
+	}
+	out := make([]ConfigurationJSON, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = fromConfiguration(cfg)
+	}
+	return out
+}
+
+func fromPath(p joinpath.Path) PathJSON {
+	out := PathJSON{
+		Relations:   p.Relations,
+		Edges:       make([]EdgeJSON, len(p.Edges)),
+		TotalWeight: p.TotalWeight,
+		Score:       p.Score,
+		Goodness:    p.Goodness,
+	}
+	for i, e := range p.Edges {
+		out.Edges[i] = EdgeJSON{From: e.FromInst, To: e.ToInst, Join: e.String(), Weight: e.Weight}
+	}
+	return out
+}
+
+func fromTranslation(tr *nlidb.Translation) TranslateResult {
+	cfg := fromConfiguration(tr.Config)
+	path := fromPath(tr.Path)
+	return TranslateResult{
+		SQL:      tr.SQL,
+		Rendered: tr.Rendered,
+		Score:    tr.Score,
+		Tie:      tr.Tie,
+		Config:   &cfg,
+		Path:     &path,
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"templar/internal/embedding"
 	"templar/internal/joinpath"
 	"templar/internal/keyword"
+	"templar/internal/nlidb"
 	"templar/internal/qfg"
 )
 
@@ -33,10 +34,19 @@ type Options struct {
 
 // System is a Templar instance bound to one database, similarity model and
 // query fragment graph.
+//
+// A System is safe for concurrent use by multiple goroutines: the keyword
+// mapper precomputes its candidate index at construction and memoizes
+// similarities behind an internally synchronized bounded cache, the join
+// generator clones its precomputed adjacency graph per call, and the
+// database, model and QFG are never written after New returns. The one
+// caller obligation is to stop mutating the database (Insert) before
+// constructing the System.
 type System struct {
-	database *db.Database
-	mapper   *keyword.Mapper
-	joins    *joinpath.Generator
+	database   *db.Database
+	mapper     *keyword.Mapper
+	joins      *joinpath.Generator
+	translator *nlidb.System
 }
 
 // New builds a Templar instance. graph may be nil, which degrades both calls
@@ -46,15 +56,25 @@ func New(database *db.Database, model *embedding.Model, graph *qfg.Graph, opts O
 	if opts.LogJoin && graph != nil {
 		w = joinpath.LogWeights(graph)
 	}
+	mapper := keyword.NewMapper(database, model, graph, opts.Keyword)
+	joins := joinpath.NewGenerator(database.Schema(), w)
 	return &System{
-		database: database,
-		mapper:   keyword.NewMapper(database, model, graph, opts.Keyword),
-		joins:    joinpath.NewGenerator(database.Schema(), w),
+		database:   database,
+		mapper:     mapper,
+		joins:      joins,
+		translator: nlidb.NewFromParts("Templar", mapper, joins, nlidb.Config{}),
 	}
 }
 
 // Database returns the bound database.
 func (s *System) Database() *db.Database { return s.database }
+
+// Mapper returns the shared keyword mapper (index- and cache-backed unless
+// disabled via Options.Keyword.DisableIndex).
+func (s *System) Mapper() *keyword.Mapper { return s.mapper }
+
+// Joins returns the shared join path generator.
+func (s *System) Joins() *joinpath.Generator { return s.joins }
 
 // MapKeywords executes MAPKEYWORDS (Φ = MAPKEYWORDS(D, S, M)): it returns
 // keyword-mapping configurations ranked from most to least likely.
@@ -68,4 +88,12 @@ func (s *System) MapKeywords(keywords []keyword.Keyword) ([]keyword.Configuratio
 // likely.
 func (s *System) InferJoins(relationBag []string, topK int) ([]joinpath.Path, error) {
 	return s.joins.Infer(relationBag, topK)
+}
+
+// Translate runs the full NLQ→SQL pipeline over the shared mapper and join
+// generator: MAPKEYWORDS → INFERJOINS per configuration → SQL construction
+// → ranking. It is the one-call front the serving layer exposes; NLIDBs
+// that own their own SQL construction keep using MapKeywords + InferJoins.
+func (s *System) Translate(kws []keyword.Keyword) (*nlidb.Translation, error) {
+	return s.translator.Translate("", false, kws)
 }
