@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet serve
+.PHONY: all build test race bench bench-json fuzz fmt vet serve
 
 all: build vet test
 
@@ -18,6 +18,18 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json records a machine-readable benchmark trajectory point:
+# raw output in bench.txt, JSON (via cmd/bench2json) in BENCH_latest.json.
+# Two steps (no pipeline) so a failing benchmark fails the target.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > bench.txt
+	$(GO) run ./cmd/bench2json < bench.txt > BENCH_latest.json
+	@echo "wrote bench.txt and BENCH_latest.json"
+
+fuzz:
+	$(GO) test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s
+	$(GO) test ./internal/sqlparse -fuzz 'FuzzParseLog$$' -fuzztime 30s
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -17,6 +17,7 @@ import (
 	"templar/internal/keyword"
 	"templar/internal/qfg"
 	"templar/internal/sqlparse"
+	templarpkg "templar/internal/templar"
 )
 
 var defaultOpts = eval.Options{K: 5, Lambda: 0.8, Obscurity: fragment.NoConstOp}
@@ -198,3 +199,53 @@ func BenchmarkMapKeywordsIndexed(b *testing.B) { benchmarkMapKeywords(b, false) 
 // BenchmarkMapKeywordsSeedScan is the seed per-call scan path, kept as the
 // baseline the indexed mapper must beat on repeated keywords.
 func BenchmarkMapKeywordsSeedScan(b *testing.B) { benchmarkMapKeywords(b, true) }
+
+// benchmarkTranslate measures the full in-process NLQ→SQL pipeline per
+// call (MAPKEYWORDS → INFERJOINS → SQL construction → ranking), tracking
+// allocations, under each QFG scoring path.
+func benchmarkTranslate(b *testing.B, disableSnapshot bool) {
+	ds := datasets.MAS()
+	entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
+	for _, task := range ds.Tasks {
+		q, err := sqlparse.Parse(task.Gold)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
+	}
+	graph, err := qfg.Build(entries, fragment.NoConstOp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := templarpkg.New(ds.DB, embedding.New(), graph, templarpkg.Options{
+		Keyword: keyword.Options{K: 5, Lambda: 0.8, DisableSnapshot: disableSnapshot},
+		LogJoin: true,
+	})
+	specs := []string{
+		"papers:select;Databases:where",
+		"authors:select;Data Mining:where",
+	}
+	kws := make([][]keyword.Keyword, len(specs))
+	for i, s := range specs {
+		k, err := keyword.ParseSpec(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kws[i] = k
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Translate(kws[i%len(kws)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslateSnapshotQFG is the serving configuration: ranking
+// against the compiled interned-fragment snapshot.
+func BenchmarkTranslateSnapshotQFG(b *testing.B) { benchmarkTranslate(b, false) }
+
+// BenchmarkTranslateMapQFG ranks through the map-backed QFG (the seed
+// scoring path), kept as the baseline the snapshot must beat.
+func BenchmarkTranslateMapQFG(b *testing.B) { benchmarkTranslate(b, true) }

@@ -1,13 +1,16 @@
 // Command templar-serve runs the concurrent HTTP serving layer over one
 // shared Templar instance bound to a bundled benchmark dataset. The query
 // fragment graph is trained from the dataset's full gold-SQL log at
-// startup, the keyword mapper precomputes its candidate index, and every
-// request is answered by the same shared, read-only system under a bounded
-// worker pool.
+// startup and compiled into an immutable interned-fragment snapshot; the
+// keyword mapper precomputes its candidate index, and every request is
+// answered by the same shared, read-only engine under a bounded worker
+// pool. The log stays live: POST /v1/log appends user queries, and each
+// append republishes a fresh snapshot copy-on-write without blocking
+// in-flight readers.
 //
 // Usage:
 //
-//	templar-serve -dataset mas -addr :8080 -workers 8
+//	templar-serve -dataset mas -addr :8080 -workers 8 [-pprof]
 //
 // Endpoints:
 //
@@ -15,6 +18,11 @@
 //	POST /v1/map-keywords  {"spec":"papers:select;Databases:where","top":3}
 //	POST /v1/infer-joins   {"relations":["publication","domain"],"top_k":3}
 //	POST /v1/translate     {"queries":[{"spec":"papers:select;Databases:where"}]}
+//	POST /v1/log           {"queries":[{"sql":"SELECT ...","count":2}]}
+//
+// With -pprof, the net/http/pprof profiling endpoints are mounted under
+// /debug/pprof/ on the same listener (CPU: /debug/pprof/profile, heap:
+// /debug/pprof/heap, …).
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -38,12 +47,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dataset = flag.String("dataset", "mas", "benchmark dataset (mas, yelp, imdb)")
-		workers = flag.Int("workers", 0, "worker pool size (0 = min(GOMAXPROCS, 8))")
-		kappa   = flag.Int("kappa", 5, "kappa: candidates kept per keyword")
-		lambda  = flag.Float64("lambda", 0.8, "lambda: similarity vs log evidence weight")
-		logJoin = flag.Bool("log-join", true, "use log-driven join path weights")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataset   = flag.String("dataset", "mas", "benchmark dataset (mas, yelp, imdb)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = min(GOMAXPROCS, 8))")
+		kappa     = flag.Int("kappa", 5, "kappa: candidates kept per keyword")
+		lambda    = flag.Float64("lambda", 0.8, "lambda: similarity vs log evidence weight")
+		logJoin   = flag.Bool("log-join", true, "use log-driven join path weights")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -62,17 +72,33 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
-	sys := templar.New(ds.DB, embedding.New(), graph, templar.Options{
+	live := qfg.NewLive(graph)
+	sys := templar.NewLive(ds.DB, embedding.New(), live, templar.Options{
 		Keyword: keyword.Options{K: *kappa, Lambda: *lambda},
 		LogJoin: *logJoin,
 	})
 	srv := serve.NewServer(sys, ds.Name, *workers)
-	log.Printf("templar-serve: dataset=%s log=%d queries index built in %s workers=%d",
-		ds.Name, graph.Queries(), time.Since(start).Round(time.Millisecond), srv.Pool().Workers())
+	snap := live.CurrentSnapshot()
+	log.Printf("templar-serve: dataset=%s log=%d queries (%d fragments, %d edges) index+snapshot built in %s workers=%d",
+		ds.Name, snap.Queries(), snap.Vertices(), snap.Edges(),
+		time.Since(start).Round(time.Millisecond), srv.Pool().Workers())
+
+	handler := srv.Handler()
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("templar-serve: pprof enabled at /debug/pprof/")
+	}
 	log.Printf("templar-serve: listening on %s", *addr)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if err := httpSrv.ListenAndServe(); err != nil {

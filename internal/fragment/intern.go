@@ -1,0 +1,73 @@
+package fragment
+
+import "sync"
+
+// NoID is the sentinel returned for fragments that have never been interned.
+// It can never be a valid fragment ID (an Interner refuses to grow that far).
+const NoID = ^uint32(0)
+
+// Interner assigns dense uint32 IDs to fragments, one shared table per
+// dataset. IDs are stable for the lifetime of the Interner, so snapshots
+// compiled from successive versions of a growing QFG agree on the ID of
+// every fragment they share — a fragment interned after a snapshot was
+// compiled simply falls outside that snapshot's arrays and scores as absent.
+//
+// An Interner is safe for concurrent use. Lookups take a read lock only;
+// Intern takes the write lock only when it actually inserts.
+type Interner struct {
+	mu    sync.RWMutex
+	ids   map[Fragment]uint32
+	frags []Fragment
+}
+
+// NewInterner returns an empty interning table.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Fragment]uint32)}
+}
+
+// Intern returns f's ID, assigning the next dense ID on first sight.
+func (in *Interner) Intern(f Fragment) uint32 {
+	in.mu.RLock()
+	id, ok := in.ids[f]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[f]; ok {
+		return id
+	}
+	id = uint32(len(in.frags))
+	if id == NoID {
+		panic("fragment: interner overflow")
+	}
+	in.ids[f] = id
+	in.frags = append(in.frags, f)
+	return id
+}
+
+// Lookup returns f's ID, or NoID if f has never been interned.
+func (in *Interner) Lookup(f Fragment) uint32 {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if id, ok := in.ids[f]; ok {
+		return id
+	}
+	return NoID
+}
+
+// Fragment returns the fragment behind an ID. It panics on IDs that were
+// never assigned (including NoID), mirroring slice indexing.
+func (in *Interner) Fragment(id uint32) Fragment {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.frags[id]
+}
+
+// Len returns how many fragments have been interned.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.frags)
+}

@@ -1,0 +1,133 @@
+package fragment_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"templar/internal/datasets"
+	"templar/internal/fragment"
+	"templar/internal/sqlparse"
+)
+
+// TestInternerProperties checks the interning laws on arbitrary fragments:
+// Intern is idempotent, IDs are dense and unique, and Fragment(Intern(f))
+// round-trips.
+func TestInternerProperties(t *testing.T) {
+	in := fragment.NewInterner()
+	seen := make(map[uint32]fragment.Fragment)
+	prop := func(ctx uint8, expr string) bool {
+		f := fragment.Fragment{Context: fragment.Context(ctx % 5), Expr: expr}
+		id := in.Intern(f)
+		if id == fragment.NoID {
+			return false
+		}
+		if id2 := in.Intern(f); id2 != id {
+			return false
+		}
+		if in.Lookup(f) != id {
+			return false
+		}
+		if in.Fragment(id) != f {
+			return false
+		}
+		if prev, dup := seen[id]; dup && prev != f {
+			return false
+		}
+		seen[id] = f
+		// IDs are dense: every assigned ID is below Len.
+		return int(id) < in.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternerLookupAbsent(t *testing.T) {
+	in := fragment.NewInterner()
+	if got := in.Lookup(fragment.Relation("x")); got != fragment.NoID {
+		t.Fatalf("Lookup on empty interner = %d, want NoID", got)
+	}
+	if in.Len() != 0 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+}
+
+// TestInternerRoundTripsDatasetLogs is the satellite property test: every
+// fragment extractable from all three dataset gold-SQL logs, at every
+// obscurity level, must round-trip through one shared interning table with
+// a dense unique ID.
+func TestInternerRoundTripsDatasetLogs(t *testing.T) {
+	in := fragment.NewInterner()
+	ids := make(map[uint32]fragment.Fragment)
+	total := 0
+	for _, ds := range datasets.All() {
+		for _, task := range ds.Tasks {
+			q, err := sqlparse.Parse(task.Gold)
+			if err != nil {
+				t.Fatalf("%s: %v", task.ID, err)
+			}
+			if err := q.Resolve(nil); err != nil {
+				t.Fatalf("%s: %v", task.ID, err)
+			}
+			for _, ob := range fragment.Levels() {
+				for _, f := range fragment.Extract(q, ob) {
+					id := in.Intern(f)
+					if got := in.Fragment(id); got != f {
+						t.Fatalf("%s: round-trip %v -> %d -> %v", task.ID, f, id, got)
+					}
+					if prev, dup := ids[id]; dup && prev != f {
+						t.Fatalf("%s: ID %d assigned to both %v and %v", task.ID, id, prev, f)
+					}
+					ids[id] = f
+					total++
+				}
+			}
+		}
+	}
+	if in.Len() != len(ids) {
+		t.Fatalf("Len = %d, distinct IDs = %d", in.Len(), len(ids))
+	}
+	if in.Len() == 0 || total == 0 {
+		t.Fatal("no fragments extracted — test premise broken")
+	}
+	t.Logf("interned %d distinct fragments from %d extractions", in.Len(), total)
+}
+
+// TestInternerConcurrent hammers Intern/Lookup from many goroutines (run
+// under -race): same fragment must resolve to the same ID everywhere.
+func TestInternerConcurrent(t *testing.T) {
+	in := fragment.NewInterner()
+	frags := []fragment.Fragment{
+		fragment.Relation("journal"),
+		fragment.Relation("publication"),
+		fragment.Attr("publication.title", ""),
+		fragment.Attr("publication.title", "COUNT"),
+		{Context: fragment.Where, Expr: "publication.year ?op ?val"},
+	}
+	var wg sync.WaitGroup
+	got := make([][]uint32, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]uint32, len(frags))
+			for i := 0; i < 1000; i++ {
+				f := frags[i%len(frags)]
+				got[g][i%len(frags)] = in.Intern(f)
+				in.Lookup(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(got); g++ {
+		for i := range frags {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d saw ID %d for %v, goroutine 0 saw %d", g, got[g][i], frags[i], got[0][i])
+			}
+		}
+	}
+	if in.Len() != len(frags) {
+		t.Fatalf("Len = %d, want %d", in.Len(), len(frags))
+	}
+}

@@ -276,7 +276,19 @@ type tree struct {
 }
 
 // hasDuplicates reports whether the relation bag names any relation twice.
+// Bags are tiny (one relation per query keyword), so the common case scans
+// without allocating; the map path guards pathological batch inputs.
 func hasDuplicates(bag []string) bool {
+	if len(bag) <= 16 {
+		for i := 1; i < len(bag); i++ {
+			for j := 0; j < i; j++ {
+				if bag[i] == bag[j] {
+					return true
+				}
+			}
+		}
+		return false
+	}
 	seen := make(map[string]bool, len(bag))
 	for _, r := range bag {
 		if seen[r] {

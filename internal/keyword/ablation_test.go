@@ -16,14 +16,14 @@ func TestArithmeticMeanOption(t *testing.T) {
 		{Kind: KindPred, Rel: "domain", Attr: "name", Op: "=", Sim: 0.8,
 			Value: sqlparse.Value{Kind: sqlparse.StringVal, S: "Databases"}},
 	}}
-	m.scoreConfig(&cfg)
+	m.scoreConfigAdhoc(&cfg)
 	if math.Abs(cfg.SimScore-0.65) > 1e-12 {
 		t.Fatalf("arithmetic SimScore = %v, want 0.65", cfg.SimScore)
 	}
 	// Geometric mean penalizes imbalance harder than the arithmetic mean.
 	geo := NewMapper(masMini(t), embedding.New(), nil, Options{})
 	cfg2 := Configuration{Mappings: append([]Mapping(nil), cfg.Mappings...)}
-	geo.scoreConfig(&cfg2)
+	geo.scoreConfigAdhoc(&cfg2)
 	if cfg2.SimScore >= cfg.SimScore {
 		t.Fatalf("geometric %v should be below arithmetic %v for unequal scores", cfg2.SimScore, cfg.SimScore)
 	}
@@ -39,8 +39,8 @@ func TestIncludeFromInQFGOption(t *testing.T) {
 	}}
 	cfgA := Configuration{Mappings: append([]Mapping(nil), cfg.Mappings...)}
 	cfgB := Configuration{Mappings: append([]Mapping(nil), cfg.Mappings...)}
-	base.scoreConfig(&cfgA)
-	withFrom.scoreConfig(&cfgB)
+	base.scoreConfigAdhoc(&cfgA)
+	withFrom.scoreConfigAdhoc(&cfgB)
 	// Excluding FROM leaves a single non-relation fragment (marginal
 	// evidence); including it creates the (journal, journal.name) pair,
 	// whose Dice is high precisely because SQL forces the relation —

@@ -135,6 +135,12 @@ type Options struct {
 	// candidate index and no similarity memo cache. Kept for ablations and
 	// the indexed-vs-scan benchmark; results are identical either way.
 	DisableIndex bool
+	// DisableSnapshot restores the map-backed QFG scoring path: Dice
+	// lookups go through the mutable Graph's mutex and fragment-keyed maps
+	// instead of the compiled interned-ID snapshot. Kept for parity tests
+	// and the snapshot-vs-map ranking benchmark; results are identical
+	// either way.
+	DisableSnapshot bool
 	// SimCacheSize bounds the similarity memo cache (total entries across
 	// all shards, approximately — see simCache). Default 65536. Ignored
 	// when DisableIndex is set.
@@ -170,7 +176,12 @@ type Mapper struct {
 	db    *db.Database
 	model *embedding.Model
 	graph *qfg.Graph // nil disables log-driven scoring (pure baseline)
-	opts  Options
+	// src yields the compiled QFG snapshot configurations are ranked
+	// against (nil when Options.DisableSnapshot restores the map path, or
+	// when there is no QFG at all). A *qfg.Live source lets log appends
+	// republish without rebuilding the Mapper.
+	src  qfg.SnapshotSource
+	opts Options
 	// index precomputes candidate retrieval structures (nil when
 	// Options.DisableIndex restores the per-call scan path).
 	index *candidateIndex
@@ -193,11 +204,52 @@ func NewMapper(database *db.Database, model *embedding.Model, graph *qfg.Graph, 
 		opts.Obscurity = graph.Obscurity()
 	}
 	m := &Mapper{db: database, model: model, graph: graph, opts: opts.withDefaults()}
+	if graph != nil && !m.opts.DisableSnapshot {
+		// Compile the graph once; the Mapper then ranks configurations
+		// against the immutable snapshot with zero locking. Callers that
+		// keep appending to their log use NewSnapshotMapper with a
+		// qfg.Live source instead.
+		m.src = graph.Snapshot(nil)
+	}
 	if !m.opts.DisableIndex {
 		m.index = buildCandidateIndex(database)
 		m.cache = newSimCache(m.opts.SimCacheSize)
 	}
 	return m
+}
+
+// NewSnapshotMapper builds a Mapper that ranks against whatever snapshot
+// src currently publishes — pass a fixed *qfg.Snapshot for a frozen log, or
+// a *qfg.Live so copy-on-write republishes after log appends reach the
+// Mapper without rebuilding it. The snapshot is loaded once per MapKeywords
+// call (one atomic read), so a single request always scores against one
+// consistent view. Options.Obscurity is overridden by the snapshot's own
+// level, as in NewMapper.
+func NewSnapshotMapper(database *db.Database, model *embedding.Model, src qfg.SnapshotSource, opts Options) *Mapper {
+	if src != nil {
+		if snap := src.CurrentSnapshot(); snap != nil {
+			opts.Obscurity = snap.Obscurity()
+		}
+	}
+	m := &Mapper{db: database, model: model, src: src, opts: opts.withDefaults()}
+	if !m.opts.DisableIndex {
+		m.index = buildCandidateIndex(database)
+		m.cache = newSimCache(m.opts.SimCacheSize)
+	}
+	return m
+}
+
+// WithSource returns a shallow copy of the Mapper bound to a different
+// snapshot source, sharing the candidate index, similarity cache, database
+// and model (all safe for concurrent use). A serving engine uses it to pin
+// one republished snapshot for the lifetime of a request pipeline, so
+// configuration scores and join weights derive from the same log state.
+// The source must publish snapshots of the same obscurity lineage as the
+// Mapper was built with.
+func (m *Mapper) WithSource(src qfg.SnapshotSource) *Mapper {
+	c := *m
+	c.src = src
+	return &c
 }
 
 // similarity scores two phrases through the bounded memo cache when one is
@@ -219,6 +271,12 @@ func (m *Mapper) similarity(a, b string) float64 {
 // MapKeywords implements Algorithm 1: candidate retrieval, scoring/pruning,
 // and configuration generation. It returns configurations sorted by
 // descending Score.
+//
+// The returned configurations share one backing array for their Mappings
+// (allocated once per call rather than once per configuration), so
+// retaining a single Configuration past the call keeps the whole
+// enumeration reachable; callers that hold onto individual configurations
+// long-term should copy the Mappings slice they keep.
 func (m *Mapper) MapKeywords(keywords []Keyword) ([]Configuration, error) {
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("keyword: no keywords")
@@ -488,7 +546,39 @@ func trimZero(ms []Mapping) []Mapping {
 // ---------------------------------------------------------------------------
 // Configuration generation and ranking (§V-C).
 
+// candID is a candidate mapping's interned fragment ID for snapshot-based
+// QFG scoring; use marks candidates that participate in ScoreQFG pairs
+// (relations are excluded unless IncludeFromInQFG).
+type candID struct {
+	id  uint32
+	use bool
+}
+
 func (m *Mapper) genAndScoreConfigs(perKeyword [][]Mapping) []Configuration {
+	// Load the current snapshot once per request: every configuration of
+	// this call ranks against one consistent view, and candidate fragments
+	// are translated to interned IDs here — once per candidate, not once
+	// per probe of the cartesian product.
+	var snap *qfg.Snapshot
+	if m.src != nil {
+		snap = m.src.CurrentSnapshot()
+	}
+	var perIDs [][]candID
+	if snap != nil {
+		ob := snap.Obscurity()
+		perIDs = make([][]candID, len(perKeyword))
+		for i, cands := range perKeyword {
+			ids := make([]candID, len(cands))
+			for j, mp := range cands {
+				if mp.Kind == KindRelation && !m.opts.IncludeFromInQFG {
+					continue
+				}
+				ids[j] = candID{id: snap.Lookup(mp.Fragment(ob)), use: true}
+			}
+			perIDs[i] = ids
+		}
+	}
+
 	total := 1
 	for _, cands := range perKeyword {
 		total *= len(cands)
@@ -498,20 +588,30 @@ func (m *Mapper) genAndScoreConfigs(perKeyword [][]Mapping) []Configuration {
 		}
 	}
 	configs := make([]Configuration, 0, total)
+	// One backing array serves every configuration's Mappings slice, sized
+	// so the appends below never regrow it mid-enumeration.
+	backing := make([]Mapping, 0, total*len(perKeyword))
 	current := make([]Mapping, len(perKeyword))
+	curIDs := make([]candID, len(perKeyword))
+	var scratch []fragment.Fragment // reused by the map-backed score path
 	var rec func(i int)
 	rec = func(i int) {
 		if len(configs) >= m.opts.MaxConfigurations {
 			return
 		}
 		if i == len(perKeyword) {
-			cfg := Configuration{Mappings: append([]Mapping(nil), current...)}
-			m.scoreConfig(&cfg)
+			start := len(backing)
+			backing = append(backing, current...)
+			cfg := Configuration{Mappings: backing[start:len(backing):len(backing)]}
+			m.scoreConfig(&cfg, snap, curIDs, &scratch)
 			configs = append(configs, cfg)
 			return
 		}
-		for _, c := range perKeyword[i] {
-			current[i] = c
+		for ci := range perKeyword[i] {
+			current[i] = perKeyword[i][ci]
+			if perIDs != nil {
+				curIDs[i] = perIDs[i][ci]
+			}
 			rec(i + 1)
 		}
 	}
@@ -520,8 +620,10 @@ func (m *Mapper) genAndScoreConfigs(perKeyword [][]Mapping) []Configuration {
 	return configs
 }
 
-// scoreConfig fills the three scores of a configuration.
-func (m *Mapper) scoreConfig(cfg *Configuration) {
+// scoreConfig fills the three scores of a configuration. ids carries the
+// interned fragment ID per mapping when a snapshot is in use; scratch is a
+// reusable fragment buffer for the map-backed path.
+func (m *Mapper) scoreConfig(cfg *Configuration, snap *qfg.Snapshot, ids []candID, scratch *[]fragment.Fragment) {
 	// Scoreσ: geometric mean of mapping similarities (§V-C1 prefers the
 	// geometric mean to dampen per-keyword score-range variation; the
 	// arithmetic variant is kept for the design ablation).
@@ -545,50 +647,128 @@ func (m *Mapper) scoreConfig(cfg *Configuration) {
 
 	// ScoreQFG: geometric mean of Dice over pairs of non-FROM fragments
 	// (§V-C2 excludes relations — they are redundant with the attributes
-	// that force them, and join inference handles them separately).
-	if m.graph != nil {
-		var frags []fragment.Fragment
-		for _, mp := range cfg.Mappings {
-			if mp.Kind == KindRelation && !m.opts.IncludeFromInQFG {
-				continue
-			}
-			frags = append(frags, mp.Fragment(m.opts.Obscurity))
-		}
-		pairs := 0
-		diceLog := 0.0
-		zero := false
-		for i := 0; i < len(frags); i++ {
-			for j := i + 1; j < len(frags); j++ {
-				d := m.graph.Dice(frags[i], frags[j])
-				pairs++
-				if d <= 0 {
-					zero = true
-					continue
-				}
-				diceLog += math.Log(d)
-			}
-		}
-		switch {
-		case pairs == 0 && len(frags) == 1:
-			// A single non-relation fragment has no pairs; fall back to
-			// its marginal evidence: relative frequency in the log.
-			if q := m.graph.Queries(); q > 0 {
-				cfg.QFGScore = float64(m.graph.Occurrences(frags[0])) / float64(q)
-			}
-		case pairs == 0:
-			cfg.QFGScore = 0
-		case zero:
-			cfg.QFGScore = 0
-		default:
-			cfg.QFGScore = math.Exp(diceLog / float64(pairs))
-		}
+	// that force them, and join inference handles them separately). The
+	// snapshot path is the serving hot path: interned IDs against CSR
+	// arrays, no locks, no hashing. The map path is the DisableSnapshot
+	// ablation; both produce bit-identical scores.
+	switch {
+	case snap != nil:
+		m.scoreQFGSnapshot(cfg, snap, ids)
+	case m.graph != nil:
+		m.scoreQFGMap(cfg, scratch)
 	}
 
 	lambda := m.opts.Lambda
-	if m.graph == nil {
+	if m.graph == nil && m.src == nil {
 		lambda = 1
 	}
 	cfg.Score = lambda*cfg.SimScore + (1-lambda)*cfg.QFGScore
+}
+
+// scoreConfigAdhoc scores one standalone configuration, translating its
+// fragments to IDs on the spot (tests and diagnostics; the enumeration in
+// genAndScoreConfigs precomputes IDs for whole candidate sets instead).
+func (m *Mapper) scoreConfigAdhoc(cfg *Configuration) {
+	var snap *qfg.Snapshot
+	if m.src != nil {
+		snap = m.src.CurrentSnapshot()
+	}
+	var ids []candID
+	if snap != nil {
+		ob := snap.Obscurity()
+		ids = make([]candID, len(cfg.Mappings))
+		for i, mp := range cfg.Mappings {
+			if mp.Kind == KindRelation && !m.opts.IncludeFromInQFG {
+				continue
+			}
+			ids[i] = candID{id: snap.Lookup(mp.Fragment(ob)), use: true}
+		}
+	}
+	var scratch []fragment.Fragment
+	m.scoreConfig(cfg, snap, ids, &scratch)
+}
+
+// scoreQFGSnapshot computes ScoreQFG with interned-ID probes against the
+// immutable snapshot. The pair iteration order matches scoreQFGMap exactly,
+// so the floating-point accumulation is bit-identical.
+func (m *Mapper) scoreQFGSnapshot(cfg *Configuration, snap *qfg.Snapshot, ids []candID) {
+	nqf, pairs := 0, 0
+	diceLog := 0.0
+	zero := false
+	soleID := fragment.NoID
+	for i := 0; i < len(ids); i++ {
+		if !ids[i].use {
+			continue
+		}
+		nqf++
+		soleID = ids[i].id
+		for j := i + 1; j < len(ids); j++ {
+			if !ids[j].use {
+				continue
+			}
+			d := snap.DiceID(ids[i].id, ids[j].id)
+			pairs++
+			if d <= 0 {
+				zero = true
+				continue
+			}
+			diceLog += math.Log(d)
+		}
+	}
+	switch {
+	case pairs == 0 && nqf == 1:
+		// A single non-relation fragment has no pairs; fall back to its
+		// marginal evidence: relative frequency in the log.
+		if q := snap.Queries(); q > 0 {
+			cfg.QFGScore = float64(snap.OccurrencesID(soleID)) / float64(q)
+		}
+	case pairs == 0:
+		cfg.QFGScore = 0
+	case zero:
+		cfg.QFGScore = 0
+	default:
+		cfg.QFGScore = math.Exp(diceLog / float64(pairs))
+	}
+}
+
+// scoreQFGMap computes ScoreQFG through the mutable Graph's mutex and maps
+// (the seed path, kept behind Options.DisableSnapshot for parity tests and
+// the ranking benchmark).
+func (m *Mapper) scoreQFGMap(cfg *Configuration, scratch *[]fragment.Fragment) {
+	frags := (*scratch)[:0]
+	for _, mp := range cfg.Mappings {
+		if mp.Kind == KindRelation && !m.opts.IncludeFromInQFG {
+			continue
+		}
+		frags = append(frags, mp.Fragment(m.opts.Obscurity))
+	}
+	*scratch = frags
+	pairs := 0
+	diceLog := 0.0
+	zero := false
+	for i := 0; i < len(frags); i++ {
+		for j := i + 1; j < len(frags); j++ {
+			d := m.graph.Dice(frags[i], frags[j])
+			pairs++
+			if d <= 0 {
+				zero = true
+				continue
+			}
+			diceLog += math.Log(d)
+		}
+	}
+	switch {
+	case pairs == 0 && len(frags) == 1:
+		if q := m.graph.Queries(); q > 0 {
+			cfg.QFGScore = float64(m.graph.Occurrences(frags[0])) / float64(q)
+		}
+	case pairs == 0:
+		cfg.QFGScore = 0
+	case zero:
+		cfg.QFGScore = 0
+	default:
+		cfg.QFGScore = math.Exp(diceLog / float64(pairs))
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -231,7 +231,7 @@ func TestConfigurationScoresGeometricMean(t *testing.T) {
 		{Kind: KindPred, Rel: "domain", Attr: "name", Op: "=", Sim: 0.8,
 			Value: sqlparse.Value{Kind: sqlparse.StringVal, S: "Databases"}},
 	}}
-	m.scoreConfig(&cfg)
+	m.scoreConfigAdhoc(&cfg)
 	want := math.Sqrt(0.5 * 0.8)
 	if math.Abs(cfg.SimScore-want) > 1e-9 {
 		t.Fatalf("SimScore = %v, want %v", cfg.SimScore, want)

@@ -63,11 +63,34 @@ type Config struct {
 	TopPaths int
 }
 
-// NewSystem assembles a named NLIDB.
+// QFGParts is the QFG wiring shared by NewSystem and templar.New. With a
+// graph (and the snapshot ablation off) it compiles one immutable
+// interned-ID snapshot shared by both consumers — the keyword mapper ranks
+// configurations against it and, when logJoin is set, the join weight
+// function derives Dice from it at generator build time. On the
+// DisableSnapshot ablation (or with no graph) the mapper and weights read
+// the map-backed graph, and the returned snapshot is nil.
+func QFGParts(database *db.Database, model *embedding.Model, graph *qfg.Graph, opts keyword.Options, logJoin bool) (*keyword.Mapper, *qfg.Snapshot, joinpath.WeightFunc) {
+	var w joinpath.WeightFunc
+	if graph != nil && !opts.DisableSnapshot {
+		snap := graph.Snapshot(nil)
+		if logJoin {
+			w = joinpath.LogWeights(snap)
+		}
+		return keyword.NewSnapshotMapper(database, model, snap, opts), snap, w
+	}
+	if logJoin && graph != nil {
+		w = joinpath.LogWeights(graph)
+	}
+	return keyword.NewMapper(database, model, graph, opts), nil, w
+}
+
+// NewSystem assembles a named NLIDB over the shared QFGParts wiring.
 func NewSystem(name string, database *db.Database, model *embedding.Model, cfg Config) *System {
+	mapper, _, derived := QFGParts(database, model, cfg.QFG, cfg.Keyword, cfg.LogJoin)
 	w := cfg.JoinWeights
-	if w == nil && cfg.LogJoin && cfg.QFG != nil {
-		w = joinpath.LogWeights(cfg.QFG)
+	if w == nil {
+		w = derived
 	}
 	if cfg.TopConfigs <= 0 {
 		cfg.TopConfigs = 8
@@ -81,7 +104,7 @@ func NewSystem(name string, database *db.Database, model *embedding.Model, cfg C
 	}
 	return &System{
 		name:       name,
-		mapper:     keyword.NewMapper(database, model, cfg.QFG, cfg.Keyword),
+		mapper:     mapper,
 		joins:      joinpath.NewGenerator(database.Schema(), w),
 		noise:      cfg.Noise,
 		topConfigs: cfg.TopConfigs,
@@ -207,6 +230,10 @@ func (s *System) Translate(nlq string, hazard bool, kws []keyword.Keyword) (*Tra
 		}
 	}
 	tr := cands[best].tr
+	// The winning configuration's Mappings slice is a view into the
+	// mapper's shared enumeration arena; copy it so a retained Translation
+	// doesn't pin every enumerated configuration in memory.
+	tr.Config.Mappings = append([]keyword.Mapping(nil), tr.Config.Mappings...)
 	for i := range cands {
 		if i == best {
 			continue

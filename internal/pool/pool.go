@@ -4,6 +4,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -43,12 +44,39 @@ func (p *Pool) Run(fn func()) {
 	fn()
 }
 
+// RunCtx executes fn once a worker slot is free, unless ctx is done first —
+// a queued task whose client has disconnected never claims a worker. A task
+// that has already started is not interrupted; fn observes cancellation
+// itself if it wants to stop early.
+func (p *Pool) RunCtx(ctx context.Context, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
+}
+
 // ForEach runs fn(0..n-1) across the pool and blocks until every call has
 // returned. At most min(n, Workers()) goroutines are spawned, each pulling
 // indexes from a shared channel and acquiring a slot per item, so large
 // batches never multiply goroutine count and concurrent ForEach calls (and
 // interleaved Run calls) share the same global bound fairly.
 func (p *Pool) ForEach(n int, fn func(i int)) {
+	_ = p.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no further
+// indexes are dispatched and queued items stop competing for worker slots.
+// It waits for items already running to return, then reports ctx.Err().
+// Items that never ran are simply skipped — the caller decides what a
+// partial batch means.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
 	workers := p.Workers()
 	if workers > n {
 		workers = n
@@ -60,13 +88,22 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				p.Run(func() { fn(i) })
+				if p.RunCtx(ctx, func() { fn(i) }) != nil {
+					// Drain remaining indexes so the feeder never blocks.
+					continue
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
+	return ctx.Err()
 }

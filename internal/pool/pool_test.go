@@ -1,9 +1,13 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachBoundsParallelism(t *testing.T) {
@@ -83,6 +87,68 @@ func TestRunAndForEachShareBound(t *testing.T) {
 	wg.Wait()
 	if len(order) != 4 {
 		t.Fatalf("ran %d units, want 4", len(order))
+	}
+}
+
+func TestRunCtxCanceledBeforeSlot(t *testing.T) {
+	p := New(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Run(func() { close(started); <-release })
+	}()
+	<-started
+
+	// The only slot is busy; a canceled context must bail out instead of
+	// queueing for it.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := p.RunCtx(ctx, func() { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("canceled task must not run")
+	}
+	close(release)
+	wg.Wait()
+
+	// With the slot free again, RunCtx runs normally.
+	if err := p.RunCtx(context.Background(), func() { ran = true }); err != nil || !ran {
+		t.Fatalf("RunCtx after release: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestForEachCtxStopsDispatching(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := p.ForEachCtx(ctx, 10000, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachCtx = %v, want context.Canceled", err)
+	}
+	// In-flight items finish; the vast majority of the batch never runs.
+	if n := ran.Load(); n >= 100 {
+		t.Fatalf("%d items ran after cancellation, want early stop", n)
+	}
+}
+
+func TestForEachCtxNilErrorWhenComplete(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int32
+	if err := p.ForEachCtx(context.Background(), 64, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 64 {
+		t.Fatalf("ran %d, want 64", ran.Load())
 	}
 }
 

@@ -1,0 +1,85 @@
+package qfg
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"templar/internal/fragment"
+	"templar/internal/sqlparse"
+)
+
+// Live couples a mutable builder Graph with an atomically published
+// Snapshot: readers load the current snapshot with one atomic pointer read
+// and never block, while log appends mutate the builder and republish a
+// freshly compiled snapshot (copy-on-write). All snapshots share one
+// interning table, so fragment IDs stay stable across republishes.
+//
+// Appends recompile the full snapshot, so they cost O(V + E); they are
+// expected to be rare relative to reads (a serving layer folding user
+// queries back into its log). Concurrent appends serialize on an internal
+// mutex.
+type Live struct {
+	mu       sync.Mutex // serializes builder mutations + republish
+	builder  *Graph
+	interner *fragment.Interner
+	snap     atomic.Pointer[Snapshot]
+}
+
+// NewLive wraps a builder graph and publishes its first snapshot. The
+// builder must not be mutated directly afterwards — append through Live.
+func NewLive(g *Graph) *Live {
+	l := &Live{builder: g, interner: fragment.NewInterner()}
+	l.snap.Store(g.Snapshot(l.interner))
+	return l
+}
+
+// CurrentSnapshot returns the latest published snapshot (lock-free).
+func (l *Live) CurrentSnapshot() *Snapshot { return l.snap.Load() }
+
+// Obscurity returns the builder graph's obscurity level.
+func (l *Live) Obscurity() fragment.Obscurity { return l.builder.Obscurity() }
+
+// AddQuery folds one alias-resolved query into the log and republishes.
+func (l *Live) AddQuery(q *sqlparse.Query, count int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.builder.AddQuery(q, count)
+	l.snap.Store(l.builder.Snapshot(l.interner))
+}
+
+// AddQueries folds a batch of alias-resolved queries into the log and
+// republishes once: readers see either none or all of the batch, and the
+// O(V + E) snapshot compile is paid per batch, not per query. counts[i] is
+// the multiplicity of queries[i]; a nil counts applies 1 to every query.
+func (l *Live) AddQueries(queries []*sqlparse.Query, counts []int) {
+	if counts != nil && len(counts) != len(queries) {
+		// Fail before touching the builder: a partial batch must never be
+		// half-applied.
+		panic("qfg: AddQueries counts length does not match queries")
+	}
+	if len(queries) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, q := range queries {
+		count := 1
+		if counts != nil {
+			count = counts[i]
+		}
+		l.builder.AddQuery(q, count)
+	}
+	l.snap.Store(l.builder.Snapshot(l.interner))
+}
+
+// AddSession folds an ordered session of alias-resolved queries into the
+// log (see Graph.AddSession) and republishes.
+func (l *Live) AddSession(queries []*sqlparse.Query, count int, decay float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.builder.AddSession(queries, count, decay); err != nil {
+		return err
+	}
+	l.snap.Store(l.builder.Snapshot(l.interner))
+	return nil
+}

@@ -1,0 +1,76 @@
+package qfg_test
+
+import (
+	"math"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/fragment"
+	"templar/internal/qfg"
+	"templar/internal/sqlparse"
+)
+
+// buildDatasetGraph folds a dataset's full gold-SQL log into a QFG.
+func buildDatasetGraph(t *testing.T, ds *datasets.Dataset, ob fragment.Obscurity) *qfg.Graph {
+	t.Helper()
+	entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
+	for _, task := range ds.Tasks {
+		q, err := sqlparse.Parse(task.Gold)
+		if err != nil {
+			t.Fatalf("%s: %v", task.ID, err)
+		}
+		entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
+	}
+	g, err := qfg.Build(entries, ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSnapshotParityAllDatasets is the tentpole acceptance test: on IMDB,
+// MAS and Yelp, at all three obscurity levels, the compiled snapshot must
+// agree bit-for-bit with the map-backed graph on nv for every fragment and
+// on Dice for every fragment pair (present × present, present × absent and
+// absent × absent alike).
+func TestSnapshotParityAllDatasets(t *testing.T) {
+	for _, ds := range datasets.All() {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			for _, ob := range fragment.Levels() {
+				g := buildDatasetGraph(t, ds, ob)
+				s := g.Snapshot(nil)
+
+				if s.Queries() != g.Queries() || s.Vertices() != g.Vertices() || s.Edges() != g.Edges() {
+					t.Fatalf("%v: shape mismatch: snapshot (%d, %d, %d) vs graph (%d, %d, %d)", ob,
+						s.Queries(), s.Vertices(), s.Edges(), g.Queries(), g.Vertices(), g.Edges())
+				}
+
+				frags := make([]fragment.Fragment, 0, g.Vertices()+1)
+				for _, e := range g.Top(1 << 30) {
+					frags = append(frags, e.Fragment)
+				}
+				frags = append(frags, fragment.Relation("never_logged_relation"))
+
+				for _, f := range frags {
+					if got, want := s.Occurrences(f), g.Occurrences(f); got != want {
+						t.Fatalf("%v: nv(%v) = %d, want %d", ob, f, got, want)
+					}
+				}
+				mismatches := 0
+				for i, a := range frags {
+					for j := i; j < len(frags); j++ {
+						b := frags[j]
+						got, want := s.Dice(a, b), g.Dice(a, b)
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Errorf("%v: Dice(%v, %v) = %v, want %v", ob, a, b, got, want)
+							if mismatches++; mismatches > 5 {
+								t.Fatalf("too many mismatches")
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -272,13 +272,4 @@ func BenchmarkAddQuery(b *testing.B) {
 	}
 }
 
-func BenchmarkDice(b *testing.B) {
-	entries, _ := sqlparse.ParseLog(figure3Log)
-	g, _ := Build(entries, fragment.NoConstOp)
-	x := fragment.Relation("journal")
-	y := fragment.Relation("publication")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		g.Dice(x, y)
-	}
-}
+// Dice benchmarks (map-backed vs compiled snapshot) live in snapshot_test.go.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -19,9 +20,8 @@ import (
 	"templar/internal/templar"
 )
 
-// buildSystem assembles a Templar instance over a benchmark dataset with
-// the QFG trained from the full gold-SQL log.
-func buildSystem(t testing.TB, ds *datasets.Dataset, opts keyword.Options) *templar.System {
+// buildGraph trains a QFG from a dataset's full gold-SQL log.
+func buildGraph(t testing.TB, ds *datasets.Dataset) *qfg.Graph {
 	t.Helper()
 	entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
 	for _, task := range ds.Tasks {
@@ -35,7 +35,21 @@ func buildSystem(t testing.TB, ds *datasets.Dataset, opts keyword.Options) *temp
 	if err != nil {
 		t.Fatal(err)
 	}
-	return templar.New(ds.DB, embedding.New(), graph, templar.Options{Keyword: opts, LogJoin: true})
+	return graph
+}
+
+// buildSystem assembles a Templar instance over a benchmark dataset with
+// the QFG trained from the full gold-SQL log.
+func buildSystem(t testing.TB, ds *datasets.Dataset, opts keyword.Options) *templar.System {
+	t.Helper()
+	return templar.New(ds.DB, embedding.New(), buildGraph(t, ds), templar.Options{Keyword: opts, LogJoin: true})
+}
+
+// buildLiveSystem is buildSystem over a live (appendable) log.
+func buildLiveSystem(t testing.TB, ds *datasets.Dataset, opts keyword.Options) *templar.System {
+	t.Helper()
+	live := qfg.NewLive(buildGraph(t, ds))
+	return templar.NewLive(ds.DB, embedding.New(), live, templar.Options{Keyword: opts, LogJoin: true})
 }
 
 func newTestServer(t testing.TB) *httptest.Server {
@@ -300,6 +314,214 @@ func TestConcurrentClients(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
+}
+
+// TestLogAppendHandler exercises the live-log path: appends through
+// /v1/log must republish the snapshot (visible in /healthz) while a frozen
+// system rejects appends with 409.
+func TestLogAppendHandler(t *testing.T) {
+	ds := datasets.MAS()
+	srv := NewServer(buildLiveSystem(t, ds, keyword.Options{}), ds.Name, 4)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var before HealthResponse
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&before); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !before.LiveLog || before.LogQueries == 0 {
+		t.Fatalf("live health = %+v", before)
+	}
+
+	var ar LogAppendResponse
+	status := postJSON(t, ts.URL+"/v1/log", LogAppendRequest{Queries: []LogEntryJSON{
+		{SQL: "SELECT p.title FROM publication p WHERE p.citation_num > 50", Count: 3},
+		{SQL: "SELECT a.name FROM author a"},
+	}}, &ar)
+	if status != http.StatusOK {
+		t.Fatalf("append status = %d", status)
+	}
+	if ar.Appended != 2 || ar.LogQueries != before.LogQueries+4 {
+		t.Fatalf("append response %+v (before %d queries)", ar, before.LogQueries)
+	}
+
+	// A session append blends cross-query evidence without error.
+	status = postJSON(t, ts.URL+"/v1/log", LogAppendRequest{
+		Queries: []LogEntryJSON{
+			{SQL: "SELECT j.name FROM journal j"},
+			{SQL: "SELECT p.title FROM publication p"},
+		},
+		Session: true,
+	}, &ar)
+	if status != http.StatusOK {
+		t.Fatalf("session append status = %d", status)
+	}
+
+	// Bad SQL rejects the whole batch atomically.
+	var er ErrorResponse
+	status = postJSON(t, ts.URL+"/v1/log", LogAppendRequest{Queries: []LogEntryJSON{
+		{SQL: "SELECT a.name FROM author a"},
+		{SQL: "SELEC nonsense"},
+	}}, &er)
+	if status != http.StatusBadRequest || er.Error == "" {
+		t.Fatalf("bad SQL: status %d, err %q", status, er.Error)
+	}
+	var after HealthResponse
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if after.LogQueries != ar.LogQueries {
+		t.Fatalf("rejected batch changed the log: %d vs %d", after.LogQueries, ar.LogQueries)
+	}
+
+	// Frozen systems refuse appends.
+	frozen := httptest.NewServer(NewServer(buildSystem(t, ds, keyword.Options{}), ds.Name, 2).Handler())
+	t.Cleanup(frozen.Close)
+	if status := postJSON(t, frozen.URL+"/v1/log", LogAppendRequest{Queries: []LogEntryJSON{
+		{SQL: "SELECT a.name FROM author a"},
+	}}, &er); status != http.StatusConflict {
+		t.Fatalf("frozen append status = %d, want 409", status)
+	}
+}
+
+// TestLiveAppendsDuringTraffic hammers translate/map/log concurrently (run
+// under -race): appends republish snapshots while readers translate, and
+// nobody blocks or tears.
+func TestLiveAppendsDuringTraffic(t *testing.T) {
+	ds := datasets.MAS()
+	srv := NewServer(buildLiveSystem(t, ds, keyword.Options{}), ds.Name, 4)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	const clients, rounds = 6, 5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if (c+r)%2 == 0 {
+					var got TranslateResponse
+					if s := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{Queries: []KeywordsInput{
+						{Spec: "papers:select;Databases:where"},
+					}}, &got); s != http.StatusOK {
+						t.Errorf("client %d: translate status %d", c, s)
+						return
+					} else if got.Results[0].Error != "" {
+						t.Errorf("client %d: translate error %q", c, got.Results[0].Error)
+						return
+					}
+				} else {
+					var ar LogAppendResponse
+					if s := postJSON(t, ts.URL+"/v1/log", LogAppendRequest{Queries: []LogEntryJSON{
+						{SQL: "SELECT p.title FROM publication p WHERE p.year > 2015"},
+					}}, &ar); s != http.StatusOK {
+						t.Errorf("client %d: append status %d", c, s)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestCanceledRequestContext drives the handlers with an already-canceled
+// request context: they must return promptly without writing a response
+// (the client is gone) and without panicking.
+func TestCanceledRequestContext(t *testing.T) {
+	ds := datasets.MAS()
+	srv := NewServer(buildSystem(t, ds, keyword.Options{}), ds.Name, 2)
+	h := srv.Handler()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, tc := range []struct {
+		path string
+		body any
+	}{
+		{"/v1/map-keywords", MapKeywordsRequest{KeywordsInput: KeywordsInput{Spec: "papers:select"}}},
+		{"/v1/translate", TranslateRequest{Queries: []KeywordsInput{{Spec: "papers:select;Databases:where"}}}},
+	} {
+		buf, err := json.Marshal(tc.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, tc.path, bytes.NewReader(buf)).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Body.Len() != 0 {
+			t.Errorf("%s: canceled request still wrote %q", tc.path, rec.Body.String())
+		}
+	}
+}
+
+// TestSnapshotMapperMatchesMapPath is the consumer-level parity gate for
+// the interned-fragment snapshot: for every benchmark task of every
+// dataset, configurations and translations ranked against the compiled
+// snapshot must equal the map-backed QFG path exactly.
+func TestSnapshotMapperMatchesMapPath(t *testing.T) {
+	for _, ds := range datasets.All() {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			snapshot := buildSystem(t, ds, keyword.Options{})
+			mapped := buildSystem(t, ds, keyword.Options{DisableSnapshot: true})
+			for _, task := range ds.Tasks {
+				gotCfg, gotErr := snapshot.MapKeywords(task.Keywords)
+				wantCfg, wantErr := mapped.MapKeywords(task.Keywords)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s: error mismatch: snapshot=%v map=%v", task.ID, gotErr, wantErr)
+				}
+				if !reflect.DeepEqual(gotCfg, wantCfg) {
+					t.Fatalf("%s: configurations diverged\nsnapshot: %v\nmap:      %v", task.ID, gotCfg, wantCfg)
+				}
+				gotTr, gotErr := snapshot.Translate(task.Keywords)
+				wantTr, wantErr := mapped.Translate(task.Keywords)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s: translate error mismatch: snapshot=%v map=%v", task.ID, gotErr, wantErr)
+				}
+				if !reflect.DeepEqual(gotTr, wantTr) {
+					t.Fatalf("%s: translations diverged\nsnapshot: %+v\nmap:      %+v", task.ID, gotTr, wantTr)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTranslateEndToEnd measures POST /v1/translate through the full
+// handler stack (decode, pool, mapper, join inference, SQL construction,
+// encode) with the snapshot-backed scoring path.
+func BenchmarkTranslateEndToEnd(b *testing.B) {
+	ds := datasets.MAS()
+	srv := NewServer(buildSystem(b, ds, keyword.Options{}), ds.Name, 4)
+	h := srv.Handler()
+	body, err := json.Marshal(TranslateRequest{Queries: []KeywordsInput{
+		{Spec: "papers:select;Databases:where"},
+		{Spec: "authors:select;Data Mining:where"},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/translate", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
 }
 
 // TestIndexedMapperMatchesSeedPath verifies the hot-path refactor changes

@@ -7,6 +7,7 @@ import (
 
 	"templar/internal/keyword"
 	"templar/internal/pool"
+	"templar/internal/sqlparse"
 	"templar/internal/templar"
 )
 
@@ -34,16 +35,19 @@ func (s *Server) Pool() *pool.Pool { return s.pool }
 
 // Handler returns the route table:
 //
-//	GET  /healthz          — liveness and binding info
+//	GET  /healthz          — liveness, binding info and QFG log stats
 //	POST /v1/map-keywords  — MAPKEYWORDS over the shared mapper
 //	POST /v1/infer-joins   — INFERJOINS over the shared generator
 //	POST /v1/translate     — batched full NLQ→SQL translation
+//	POST /v1/log           — append SQL queries to the live log (409 when
+//	                         the system was built over a frozen log)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/v1/map-keywords", s.handleMapKeywords)
 	mux.HandleFunc("/v1/infer-joins", s.handleInferJoins)
 	mux.HandleFunc("/v1/translate", s.handleTranslate)
+	mux.HandleFunc("/v1/log", s.handleLog)
 	return mux
 }
 
@@ -52,12 +56,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:    "ok",
 		Dataset:   s.dataset,
 		Relations: len(s.sys.Database().Schema().Relations()),
 		Workers:   s.pool.Workers(),
-	})
+		LiveLog:   s.sys.Live() != nil,
+	}
+	if snap := s.sys.Snapshot(); snap != nil {
+		resp.LogQueries = snap.Queries()
+		resp.LogFragments = snap.Vertices()
+		resp.LogEdges = snap.Edges()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMapKeywords(w http.ResponseWriter, r *http.Request) {
@@ -71,7 +82,9 @@ func (s *Server) handleMapKeywords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var configs []keyword.Configuration
-	s.pool.Run(func() { configs, err = s.sys.MapKeywords(kws) })
+	if s.pool.RunCtx(r.Context(), func() { configs, err = s.sys.MapKeywords(kws) }) != nil {
+		return // client gone before a worker freed up; nothing to answer
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -94,7 +107,7 @@ func (s *Server) handleInferJoins(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := InferJoinsResponse{}
 	var err error
-	s.pool.Run(func() {
+	if s.pool.RunCtx(r.Context(), func() {
 		paths, ierr := s.sys.InferJoins(req.Relations, topK)
 		if ierr != nil {
 			err = ierr
@@ -104,7 +117,9 @@ func (s *Server) handleInferJoins(w http.ResponseWriter, r *http.Request) {
 		for i, p := range paths {
 			resp.Paths[i] = fromPath(p)
 		}
-	})
+	}) != nil {
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -122,7 +137,9 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := make([]TranslateResult, len(req.Queries))
-	s.pool.ForEach(len(req.Queries), func(i int) {
+	// The request context rides into the pool: once the client disconnects,
+	// queued batch items stop claiming workers.
+	err := s.pool.ForEachCtx(r.Context(), len(req.Queries), func(i int) {
 		// Batch items run on pool goroutines, outside net/http's
 		// per-request recover: a panic here would kill the whole server,
 		// so contain it as a per-item error like any other failure.
@@ -143,7 +160,78 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		}
 		results[i] = fromTranslation(tr)
 	})
+	if err != nil {
+		return // canceled batch: the client is no longer listening
+	}
 	writeJSON(w, http.StatusOK, TranslateResponse{Results: results})
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	var req LogAppendRequest
+	if !readPost(w, r, &req) {
+		return
+	}
+	live := s.sys.Live()
+	if live == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: log appends disabled: system built over a frozen log"))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: no queries"))
+		return
+	}
+	// Parsing and the O(V+E) snapshot recompile are CPU-heavy, so appends
+	// share the worker pool (and honor disconnects) like every endpoint.
+	var resp LogAppendResponse
+	var appendErr error
+	if s.pool.RunCtx(r.Context(), func() {
+		// Parse and alias-resolve the whole batch before touching the log,
+		// so one malformed query rejects the batch instead of half-applying.
+		parsed := make([]*sqlparse.Query, len(req.Queries))
+		counts := make([]int, len(req.Queries))
+		for i, e := range req.Queries {
+			q, err := sqlparse.Parse(e.SQL)
+			if err != nil {
+				appendErr = fmt.Errorf("serve: query %d: %w", i, err)
+				return
+			}
+			if err := q.Resolve(nil); err != nil {
+				appendErr = fmt.Errorf("serve: query %d: %w", i, err)
+				return
+			}
+			parsed[i] = q
+			counts[i] = e.Count
+			if counts[i] <= 0 {
+				counts[i] = 1
+			}
+		}
+		if req.Session {
+			decay := req.Decay
+			if decay == 0 {
+				decay = 0.5
+			}
+			if err := live.AddSession(parsed, 1, decay); err != nil {
+				appendErr = err
+				return
+			}
+		} else {
+			live.AddQueries(parsed, counts)
+		}
+		snap := live.CurrentSnapshot()
+		resp = LogAppendResponse{
+			Appended:     len(parsed),
+			LogQueries:   snap.Queries(),
+			LogFragments: snap.Vertices(),
+			LogEdges:     snap.Edges(),
+		}
+	}) != nil {
+		return // client gone before a worker freed up
+	}
+	if appendErr != nil {
+		writeError(w, http.StatusBadRequest, appendErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // readPost enforces the method, decodes the JSON body into dst and reports

@@ -156,6 +156,33 @@ type TranslateResponse struct {
 	Results []TranslateResult `json:"results"`
 }
 
+// LogEntryJSON is one SQL query appended to the live log.
+type LogEntryJSON struct {
+	SQL string `json:"sql"`
+	// Count is the query's multiplicity (how many times it was issued);
+	// values < 1 default to 1. Ignored for session appends.
+	Count int `json:"count,omitempty"`
+}
+
+// LogAppendRequest is the body of POST /v1/log. With Session set, the
+// queries are folded as one ordered user session (cross-query fragment
+// pairs gain decayed co-occurrence evidence); otherwise each query is an
+// independent log entry.
+type LogAppendRequest struct {
+	Queries []LogEntryJSON `json:"queries"`
+	Session bool           `json:"session,omitempty"`
+	// Decay is the per-step session decay in (0, 1]; 0 defaults to 0.5.
+	Decay float64 `json:"decay,omitempty"`
+}
+
+// LogAppendResponse reports the log shape after a successful append.
+type LogAppendResponse struct {
+	Appended     int `json:"appended"`
+	LogQueries   int `json:"log_queries"`
+	LogFragments int `json:"log_fragments"`
+	LogEdges     int `json:"log_edges"`
+}
+
 // ErrorResponse is the uniform error envelope.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -167,6 +194,13 @@ type HealthResponse struct {
 	Dataset   string `json:"dataset"`
 	Relations int    `json:"relations"`
 	Workers   int    `json:"workers"`
+	// LiveLog reports whether POST /v1/log appends are enabled.
+	LiveLog bool `json:"live_log"`
+	// LogQueries/LogFragments/LogEdges describe the QFG snapshot currently
+	// serving requests (all zero for a log-free baseline).
+	LogQueries   int `json:"log_queries"`
+	LogFragments int `json:"log_fragments"`
+	LogEdges     int `json:"log_edges"`
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,70 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser's only failure mode on arbitrary input is a
+// returned error — never a panic. The parser feeds the log miner, which
+// chews through whatever SQL a production query log contains, so crashing
+// on malformed input would take the trainer down with it.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT j.name FROM journal j",
+		"SELECT p.title FROM journal j, publication p WHERE j.name = 'TMC' AND p.pid = j.pid",
+		"SELECT COUNT(p.pid) FROM publication p GROUP BY p.year ORDER BY COUNT(p.pid) DESC",
+		"SELECT a.name FROM author a WHERE a.age BETWEEN 20 AND 30",
+		"SELECT b.name FROM business b WHERE b.city IN ('SF', 'LA')",
+		"SELECT * FROM t",
+		"SELECT t.a FROM t WHERE t.b = -1.5e3",
+		"select t.a from t where t.b = 'unterminated",
+		"SELECT FROM WHERE",
+		"SELECT t.a FROM t WHERE t.b = 'it''s'",
+		"SELECT t.a FROM t WHERE ((t.b = 1)",
+		"\x00\xff SELECT",
+		"25x: SELECT j.name FROM journal j",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Fatal("Parse returned nil query with nil error")
+		}
+		if err == nil {
+			// A successfully parsed query must render and re-parse: the
+			// String form is what the QFG pipeline canonicalizes on.
+			rendered := q.String()
+			if strings.TrimSpace(rendered) == "" {
+				t.Fatalf("parsed query rendered empty for input %q", src)
+			}
+			if _, err := Parse(rendered); err != nil {
+				t.Fatalf("rendering is not re-parseable: %q -> %q: %v", src, rendered, err)
+			}
+		}
+	})
+}
+
+// FuzzParseLog covers the log-file front-end (multiplicity prefixes,
+// comments, blank lines) the same way.
+func FuzzParseLog(f *testing.F) {
+	f.Add("25x: SELECT j.name FROM journal j\n5x: SELECT p.title FROM publication p")
+	f.Add("# comment\n\nSELECT j.name FROM journal j")
+	f.Add("0x: SELECT j.name FROM journal j")
+	f.Add("x: 25x: --")
+	f.Fuzz(func(t *testing.T, src string) {
+		entries, err := ParseLog(src)
+		if err == nil {
+			for i, e := range entries {
+				if e.Query == nil {
+					t.Fatalf("entry %d has nil query", i)
+				}
+				if e.Count <= 0 {
+					t.Fatalf("entry %d has non-positive count %d", i, e.Count)
+				}
+			}
+		}
+	})
+}

@@ -11,9 +11,17 @@
 //	t := templar.New(database, model, g, templar.Options{})
 //	configs, _ := t.MapKeywords(keywords)
 //	paths, _ := t.InferJoins([]string{"publication", "domain"}, 3)
+//
+// A serving layer that keeps folding user queries back into its log wraps
+// the graph in a qfg.Live and uses NewLive instead: every append republishes
+// an immutable snapshot, and the System swaps its scoring/weighting engine
+// behind an atomic pointer without ever blocking readers.
 package templar
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"templar/internal/db"
 	"templar/internal/embedding"
 	"templar/internal/joinpath"
@@ -32,38 +40,124 @@ type Options struct {
 	LogJoin bool
 }
 
-// System is a Templar instance bound to one database, similarity model and
-// query fragment graph.
-//
-// A System is safe for concurrent use by multiple goroutines: the keyword
-// mapper precomputes its candidate index at construction and memoizes
-// similarities behind an internally synchronized bounded cache, the join
-// generator clones its precomputed adjacency graph per call, and the
-// database, model and QFG are never written after New returns. The one
-// caller obligation is to stop mutating the database (Insert) before
-// constructing the System.
-type System struct {
-	database   *db.Database
-	mapper     *keyword.Mapper
+// engine is one immutable compiled view the System serves from: the QFG
+// snapshot it was derived from, the join generator whose edge weights were
+// baked from that snapshot, and the translator over a mapper pinned to
+// that same snapshot. Engines are swapped whole behind an atomic pointer,
+// so a Translate call scores configurations and weighs join edges against
+// one mutually consistent log state.
+type engine struct {
+	snap       *qfg.Snapshot // nil when the system has no QFG
 	joins      *joinpath.Generator
 	translator *nlidb.System
 }
 
-// New builds a Templar instance. graph may be nil, which degrades both calls
-// to their log-free baselines (useful for ablations).
+// System is a Templar instance bound to one database, similarity model and
+// query fragment graph.
+//
+// A System is safe for concurrent use by multiple goroutines: the keyword
+// mapper precomputes its candidate index at construction and ranks against
+// an immutable interned-ID QFG snapshot, the join generator clones its
+// precomputed adjacency graph per call, and the current engine is read with
+// one atomic load. With NewLive, log appends republish a fresh snapshot and
+// the engine is rebuilt copy-on-write — in-flight readers keep the engine
+// they loaded and are never blocked. The one caller obligation is to stop
+// mutating the database (Insert) before constructing the System.
+type System struct {
+	database *db.Database
+	model    *embedding.Model
+	opts     Options
+	mapper   *keyword.Mapper
+	live     *qfg.Live // nil when the log is frozen
+	// cur is the engine serving requests; rebuildMu serializes the
+	// copy-on-write rebuild after a live republish (readers that lose the
+	// TryLock race serve the previous engine instead of blocking).
+	cur       atomic.Pointer[engine]
+	rebuildMu sync.Mutex
+}
+
+// New builds a Templar instance over a frozen query log. graph may be nil,
+// which degrades both calls to their log-free baselines (useful for
+// ablations). The graph is compiled once into an immutable snapshot unless
+// Options.Keyword.DisableSnapshot selects the map-backed scoring path.
 func New(database *db.Database, model *embedding.Model, graph *qfg.Graph, opts Options) *System {
-	var w joinpath.WeightFunc
-	if opts.LogJoin && graph != nil {
-		w = joinpath.LogWeights(graph)
+	s := &System{database: database, model: model, opts: opts}
+	mapper, snap, w := nlidb.QFGParts(database, model, graph, opts.Keyword, opts.LogJoin)
+	s.mapper = mapper
+	if snap != nil {
+		s.cur.Store(s.buildEngine(snap))
+		return s
 	}
-	mapper := keyword.NewMapper(database, model, graph, opts.Keyword)
+	// Map-backed ablation path (or no QFG at all): the engine carries no
+	// snapshot; weights, if any, read the graph directly.
 	joins := joinpath.NewGenerator(database.Schema(), w)
-	return &System{
-		database:   database,
-		mapper:     mapper,
+	s.cur.Store(&engine{
+		joins:      joins,
+		translator: nlidb.NewFromParts("Templar", s.mapper, joins, nlidb.Config{}),
+	})
+	return s
+}
+
+// NewLive builds a Templar instance over a live, growing query log: the
+// mapper ranks against whatever snapshot the Live graph currently
+// publishes, and the join generator (whose log-driven weights are baked at
+// build time) is rebuilt copy-on-write whenever a republish is observed.
+// Options.Keyword.DisableSnapshot is ignored — live serving is always
+// snapshot-based.
+func NewLive(database *db.Database, model *embedding.Model, live *qfg.Live, opts Options) *System {
+	opts.Keyword.DisableSnapshot = false
+	s := &System{database: database, model: model, opts: opts, live: live}
+	s.mapper = keyword.NewSnapshotMapper(database, model, live, opts.Keyword)
+	s.cur.Store(s.buildEngine(live.CurrentSnapshot()))
+	return s
+}
+
+// buildEngine compiles the per-snapshot serving state. The translator's
+// mapper is pinned to the engine's snapshot (sharing the candidate index
+// and similarity cache with the System's base mapper), so one Translate
+// call never mixes configuration scores from a newer republish with join
+// weights from an older one.
+func (s *System) buildEngine(snap *qfg.Snapshot) *engine {
+	var w joinpath.WeightFunc
+	if s.opts.LogJoin && snap != nil {
+		w = joinpath.LogWeights(snap)
+	}
+	joins := joinpath.NewGenerator(s.database.Schema(), w)
+	mapper := s.mapper
+	if snap != nil {
+		mapper = mapper.WithSource(snap)
+	}
+	return &engine{
+		snap:       snap,
 		joins:      joins,
 		translator: nlidb.NewFromParts("Templar", mapper, joins, nlidb.Config{}),
 	}
+}
+
+// engine returns the current serving engine, rebuilding it first when the
+// live graph has republished a newer snapshot. Readers never block: if
+// another goroutine already holds the rebuild lock, the previous engine —
+// a complete, consistent view of an older log state — serves the request.
+func (s *System) engine() *engine {
+	e := s.cur.Load()
+	if s.live == nil {
+		return e
+	}
+	snap := s.live.CurrentSnapshot()
+	if e.snap == snap {
+		return e
+	}
+	if !s.rebuildMu.TryLock() {
+		return e
+	}
+	defer s.rebuildMu.Unlock()
+	snap = s.live.CurrentSnapshot()
+	if e = s.cur.Load(); e.snap == snap {
+		return e
+	}
+	e = s.buildEngine(snap)
+	s.cur.Store(e)
+	return e
 }
 
 // Database returns the bound database.
@@ -73,8 +167,18 @@ func (s *System) Database() *db.Database { return s.database }
 // disabled via Options.Keyword.DisableIndex).
 func (s *System) Mapper() *keyword.Mapper { return s.mapper }
 
-// Joins returns the shared join path generator.
-func (s *System) Joins() *joinpath.Generator { return s.joins }
+// Joins returns the current join path generator. With a live log the
+// returned generator is a point-in-time view; prefer InferJoins, which
+// picks up republished weights per call.
+func (s *System) Joins() *joinpath.Generator { return s.engine().joins }
+
+// Live returns the live query log behind the system, or nil when the log
+// is frozen. Serving layers append user queries through it.
+func (s *System) Live() *qfg.Live { return s.live }
+
+// Snapshot returns the QFG snapshot the current engine serves from (nil
+// for a log-free baseline), for diagnostics endpoints.
+func (s *System) Snapshot() *qfg.Snapshot { return s.engine().snap }
 
 // MapKeywords executes MAPKEYWORDS (Φ = MAPKEYWORDS(D, S, M)): it returns
 // keyword-mapping configurations ranked from most to least likely.
@@ -87,7 +191,7 @@ func (s *System) MapKeywords(keywords []keyword.Keyword) ([]keyword.Configuratio
 // forking), it returns up to topK join paths ranked from most to least
 // likely.
 func (s *System) InferJoins(relationBag []string, topK int) ([]joinpath.Path, error) {
-	return s.joins.Infer(relationBag, topK)
+	return s.engine().joins.Infer(relationBag, topK)
 }
 
 // Translate runs the full NLQ→SQL pipeline over the shared mapper and join
@@ -95,5 +199,5 @@ func (s *System) InferJoins(relationBag []string, topK int) ([]joinpath.Path, er
 // → ranking. It is the one-call front the serving layer exposes; NLIDBs
 // that own their own SQL construction keep using MapKeywords + InferJoins.
 func (s *System) Translate(kws []keyword.Keyword) (*nlidb.Translation, error) {
-	return s.translator.Translate("", false, kws)
+	return s.engine().translator.Translate("", false, kws)
 }
