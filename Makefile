@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt vet serve
+.PHONY: all build test race bench bench-json fuzz fmt vet docs-check serve
 
 all: build vet test
 
@@ -40,5 +40,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# docs-check guards the documentation layer: gofmt drift anywhere
+# (including examples/), go vet, and no broken relative links in the
+# repo's Markdown (cmd/docs-check).
+docs-check: fmt vet
+	$(GO) run ./cmd/docs-check
+
 serve: build
-	$(GO) run ./cmd/templar-serve -dataset mas -addr :8080
+	$(GO) run ./cmd/templar-serve -datasets mas,yelp,imdb -store ./snapshots -addr :8080

@@ -1,0 +1,84 @@
+// Command docs-check validates the documentation layer: it walks every
+// Markdown file in the repository and verifies that relative links point
+// at files or directories that actually exist, so docs can't silently rot
+// as code moves. External links (http/https/mailto) and pure anchors are
+// skipped; a `#fragment` suffix on a relative link is ignored for the
+// existence check.
+//
+// It is wired into `make docs-check` (with the gofmt drift check and
+// `go vet`) and runs in CI. Run it from the repository root:
+//
+//	go run ./cmd/docs-check
+//
+// Exit status is non-zero if any link is broken, listing every offender.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links [text](target). Reference-style
+// links and autolinks are out of scope — the repo's docs use inline form.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	broken := 0
+	checked := 0
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		// PAPERS.md and SNIPPETS.md are retrieved reference corpora whose
+		// links point into their source repositories, not this one.
+		if path == "PAPERS.md" || path == "SNIPPETS.md" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			checked++
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "docs-check: %s: broken link %q (%s)\n", path, m[1], resolved)
+				broken++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docs-check:", err)
+		os.Exit(1)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docs-check: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("docs-check: %d relative link(s) OK\n", checked)
+}

@@ -1,14 +1,23 @@
-// Command qfg-inspect builds a Query Fragment Graph from a SQL log and
-// prints its most frequent fragments and strongest co-occurrences — a
-// direct view of the Figure 3 construction in the paper.
+// Command qfg-inspect builds, inspects and packs Query Fragment Graphs.
 //
-// Usage:
+// With no subcommand it mines a SQL log and prints the most frequent
+// fragments and strongest co-occurrences — a direct view of the Figure 3
+// construction in the paper:
 //
 //	qfg-inspect -log queries.sql                 # top fragments
 //	qfg-inspect -log queries.sql -top 20
 //	qfg-inspect -log queries.sql -fragment 'publication.title' -context SELECT
 //	qfg-inspect -dataset mas                     # use a benchmark's gold SQL as the log
 //	echo "SELECT j.name FROM journal j" | qfg-inspect
+//
+// The pack, unpack and info subcommands work the versioned snapshot store
+// codec (internal/store) that templar-serve cold-starts from:
+//
+//	qfg-inspect pack -dataset mas -o mas.qfg     # mine + compile + pack
+//	qfg-inspect pack -log queries.sql -o log.qfg
+//	qfg-inspect info mas.qfg                     # header + stats, no dump
+//	qfg-inspect unpack mas.qfg                   # dump the fragment table
+//	qfg-inspect unpack -top 20 mas.qfg
 //
 // Log lines may carry a "Nx:" repetition prefix as in the paper's Figure 3a.
 package main
@@ -18,72 +27,51 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"templar/internal/datasets"
 	"templar/internal/fragment"
 	"templar/internal/qfg"
 	"templar/internal/sqlparse"
+	"templar/internal/store"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "pack":
+			runPack(os.Args[2:])
+			return
+		case "unpack":
+			runUnpack(os.Args[2:])
+			return
+		case "info":
+			runInfo(os.Args[2:])
+			return
+		}
+	}
+	runInspect(os.Args[1:])
+}
+
+func runInspect(args []string) {
+	fs := flag.NewFlagSet("qfg-inspect", flag.ExitOnError)
 	var (
-		logPath   = flag.String("log", "", "path to a SQL log file ('-' or empty reads stdin)")
-		dataset   = flag.String("dataset", "", "use a benchmark's gold SQL as the log (mas, yelp, imdb)")
-		obscurity = flag.String("obscurity", "NoConstOp", "obscurity level (Full, NoConst, NoConstOp)")
-		top       = flag.Int("top", 15, "number of fragments to list")
-		frag      = flag.String("fragment", "", "show co-occurrence neighbors of this fragment expression")
-		context   = flag.String("context", "SELECT", "clause context of -fragment (SELECT, FROM, WHERE)")
+		logPath   = fs.String("log", "", "path to a SQL log file ('-' or empty reads stdin)")
+		dataset   = fs.String("dataset", "", "use a benchmark's gold SQL as the log (mas, yelp, imdb)")
+		obscurity = fs.String("obscurity", "NoConstOp", "obscurity level (Full, NoConst, NoConstOp)")
+		top       = fs.Int("top", 15, "number of fragments to list")
+		frag      = fs.String("fragment", "", "show co-occurrence neighbors of this fragment expression")
+		context   = fs.String("context", "SELECT", "clause context of -fragment (SELECT, FROM, WHERE)")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
-	ob, err := parseObscurity(*obscurity)
-	if err != nil {
-		fatal(err)
-	}
-
-	var logText string
-	switch {
-	case *dataset != "":
-		var ds *datasets.Dataset
-		for _, d := range datasets.All() {
-			if strings.EqualFold(d.Name, *dataset) {
-				ds = d
-			}
-		}
-		if ds == nil {
-			fatal(fmt.Errorf("unknown dataset %q", *dataset))
-		}
-		var b strings.Builder
-		for _, t := range ds.Tasks {
-			b.WriteString(t.Gold)
-			b.WriteByte('\n')
-		}
-		logText = b.String()
-	case *logPath == "" || *logPath == "-":
-		data, err := io.ReadAll(os.Stdin)
-		if err != nil {
-			fatal(err)
-		}
-		logText = string(data)
-	default:
-		data, err := os.ReadFile(*logPath)
-		if err != nil {
-			fatal(err)
-		}
-		logText = string(data)
-	}
-
-	entries, err := sqlparse.ParseLog(logText)
-	if err != nil {
-		fatal(err)
-	}
-	g, err := qfg.Build(entries, ob)
+	g, _, err := mineGraph(*dataset, *logPath, *obscurity)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("QFG at %s: %d queries, %d fragments, %d co-occurrence edges\n\n",
-		ob, g.Queries(), g.Vertices(), g.Edges())
+		g.Obscurity(), g.Queries(), g.Vertices(), g.Edges())
 
 	if *frag != "" {
 		ctx, err := parseContext(*context)
@@ -105,6 +93,157 @@ func main() {
 	for _, e := range g.Top(*top) {
 		fmt.Printf("  %5dx %s\n", e.Count, e.Fragment)
 	}
+}
+
+// runPack mines a log (or benchmark) and writes a packed snapshot archive.
+func runPack(args []string) {
+	fs := flag.NewFlagSet("qfg-inspect pack", flag.ExitOnError)
+	var (
+		logPath   = fs.String("log", "", "path to a SQL log file ('-' or empty reads stdin)")
+		dataset   = fs.String("dataset", "", "use a benchmark's gold SQL as the log (mas, yelp, imdb)")
+		obscurity = fs.String("obscurity", "NoConstOp", "obscurity level (Full, NoConst, NoConstOp)")
+		out       = fs.String("o", "", "output file (default <dataset>.qfg)")
+		name      = fs.String("name", "", "dataset name recorded in the archive (default: -dataset, or 'log')")
+	)
+	fs.Parse(args)
+
+	g, dsName, err := mineGraph(*dataset, *logPath, *obscurity)
+	if err != nil {
+		fatal(err)
+	}
+	if *name != "" {
+		dsName = *name
+	}
+	if dsName == "" {
+		dsName = "log"
+	}
+	path := *out
+	if path == "" {
+		path = store.Filename(dsName)
+	}
+	snap := g.Snapshot(nil)
+	if err := store.WriteFile(path, dsName, snap); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("packed %s: %d queries, %d fragments, %d edges at %s → %s (%d bytes)\n",
+		dsName, snap.Queries(), snap.Vertices(), snap.Edges(), snap.Obscurity(), path, st.Size())
+}
+
+// runInfo prints a packed archive's header and stats without dumping it.
+func runInfo(args []string) {
+	fs := flag.NewFlagSet("qfg-inspect info", flag.ExitOnError)
+	fs.Parse(args)
+	path, ar := readArchive(fs)
+	st, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	snap := ar.Snapshot
+	fmt.Printf("%s: packed QFG snapshot (format v%d, %d bytes)\n", path, store.Version, st.Size())
+	fmt.Printf("  dataset:   %s\n", ar.Dataset)
+	fmt.Printf("  obscurity: %s\n", snap.Obscurity())
+	fmt.Printf("  queries:   %d\n", snap.Queries())
+	fmt.Printf("  fragments: %d interned (%d in snapshot)\n", snap.Interner().Len(), snap.Vertices())
+	fmt.Printf("  edges:     %d\n", snap.Edges())
+}
+
+// runUnpack dumps a packed archive's fragment table in ID order.
+func runUnpack(args []string) {
+	fs := flag.NewFlagSet("qfg-inspect unpack", flag.ExitOnError)
+	top := fs.Int("top", 0, "only dump the N most frequent fragments (0 = all, in ID order)")
+	fs.Parse(args)
+	path, ar := readArchive(fs)
+	snap := ar.Snapshot
+	fmt.Printf("%s: dataset=%s %s, %d queries, %d fragments, %d edges\n",
+		path, ar.Dataset, snap.Obscurity(), snap.Queries(), snap.Vertices(), snap.Edges())
+	frags := snap.Interner().Fragments()
+	if *top > 0 {
+		// The occurrence counts are already flat in the snapshot: sort IDs
+		// by nv instead of rehydrating the whole builder graph.
+		ids := make([]int, len(frags))
+		for i := range ids {
+			ids[i] = i
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := snap.OccurrencesID(uint32(ids[i])), snap.OccurrencesID(uint32(ids[j]))
+			if a != b {
+				return a > b
+			}
+			return ids[i] < ids[j]
+		})
+		if len(ids) > *top {
+			ids = ids[:*top]
+		}
+		for _, id := range ids {
+			fmt.Printf("  %5dx %s\n", snap.OccurrencesID(uint32(id)), frags[id])
+		}
+		return
+	}
+	for id, f := range frags {
+		fmt.Printf("  %6d  nv=%-5d %s\n", id, snap.OccurrencesID(uint32(id)), f)
+	}
+}
+
+// readArchive loads the positional archive argument of a subcommand.
+func readArchive(fs *flag.FlagSet) (string, *store.Archive) {
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("want exactly one archive file argument, got %d", fs.NArg()))
+	}
+	path := fs.Arg(0)
+	ar, err := store.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	return path, ar
+}
+
+// mineGraph builds a QFG from a benchmark's gold SQL or a log file/stdin,
+// returning the dataset display name when one was used.
+func mineGraph(dataset, logPath, obscurity string) (*qfg.Graph, string, error) {
+	ob, err := parseObscurity(obscurity)
+	if err != nil {
+		return nil, "", err
+	}
+	var logText, name string
+	switch {
+	case dataset != "":
+		ds, ok := datasets.ByName(dataset)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown dataset %q", dataset)
+		}
+		name = ds.Name
+		var b strings.Builder
+		for _, t := range ds.Tasks {
+			b.WriteString(t.Gold)
+			b.WriteByte('\n')
+		}
+		logText = b.String()
+	case logPath == "" || logPath == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, "", err
+		}
+		logText = string(data)
+	default:
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			return nil, "", err
+		}
+		logText = string(data)
+	}
+	entries, err := sqlparse.ParseLog(logText)
+	if err != nil {
+		return nil, "", err
+	}
+	g, err := qfg.Build(entries, ob)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, name, nil
 }
 
 func parseObscurity(s string) (fragment.Obscurity, error) {

@@ -1,24 +1,35 @@
-// Command templar-serve runs the concurrent HTTP serving layer over one
-// shared Templar instance bound to a bundled benchmark dataset. The query
-// fragment graph is trained from the dataset's full gold-SQL log at
-// startup and compiled into an immutable interned-fragment snapshot; the
-// keyword mapper precomputes its candidate index, and every request is
-// answered by the same shared, read-only engine under a bounded worker
-// pool. The log stays live: POST /v1/log appends user queries, and each
-// append republishes a fresh snapshot copy-on-write without blocking
-// in-flight readers.
+// Command templar-serve runs the concurrent multi-tenant HTTP serving
+// layer: one process hosts any number of named datasets, each behind its
+// own Templar engine, all sharing one bounded worker pool. Engines are
+// resolved per request from an atomic registry, so admin operations never
+// block traffic.
+//
+// Cold start is a file read when a snapshot store is configured: with
+// -store DIR, each dataset's packed QFG snapshot (DIR/<name>.qfg, see
+// internal/store) is loaded when present — no SQL-log re-mine — and written
+// after building otherwise, so the *next* boot is fast. Either way the log
+// stays live: POST /v1/{dataset}/log appends user queries and republishes
+// an immutable snapshot copy-on-write without blocking in-flight readers.
 //
 // Usage:
 //
-//	templar-serve -dataset mas -addr :8080 -workers 8 [-pprof]
+//	templar-serve -datasets mas,yelp,imdb -store ./snapshots -addr :8080 [-workers 8] [-pprof]
 //
-// Endpoints:
+// The first -datasets entry is the default dataset: the legacy unprefixed
+// routes (/v1/map-keywords, …) alias it, so single-tenant clients keep
+// working unchanged.
 //
-//	GET  /healthz
-//	POST /v1/map-keywords  {"spec":"papers:select;Databases:where","top":3}
-//	POST /v1/infer-joins   {"relations":["publication","domain"],"top_k":3}
-//	POST /v1/translate     {"queries":[{"spec":"papers:select;Databases:where"}]}
-//	POST /v1/log           {"queries":[{"sql":"SELECT ...","count":2}]}
+// Endpoints (see README.md for the full request/response reference):
+//
+//	GET    /healthz
+//	POST   /v1/{dataset}/map-keywords   {"spec":"papers:select;Databases:where","top":3}
+//	POST   /v1/{dataset}/infer-joins    {"relations":["publication","domain"],"top_k":3}
+//	POST   /v1/{dataset}/translate      {"queries":[{"spec":"papers:select;Databases:where"}]}
+//	POST   /v1/{dataset}/log            {"queries":[{"sql":"SELECT ...","count":2}]}
+//	POST   /v1/map-keywords             (+ infer-joins, translate, log: default dataset)
+//	GET    /admin/datasets
+//	POST   /admin/datasets              {"name":"imdb"}  — load from store or build
+//	DELETE /admin/datasets/{name}
 //
 // With -pprof, the net/http/pprof profiling endpoints are mounted under
 // /debug/pprof/ on the same listener (CPU: /debug/pprof/profile, heap:
@@ -26,12 +37,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -42,46 +57,66 @@ import (
 	"templar/internal/qfg"
 	"templar/internal/serve"
 	"templar/internal/sqlparse"
+	"templar/internal/store"
 	"templar/internal/templar"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		dataset   = flag.String("dataset", "mas", "benchmark dataset (mas, yelp, imdb)")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = min(GOMAXPROCS, 8))")
-		kappa     = flag.Int("kappa", 5, "kappa: candidates kept per keyword")
-		lambda    = flag.Float64("lambda", 0.8, "lambda: similarity vs log evidence weight")
-		logJoin   = flag.Bool("log-join", true, "use log-driven join path weights")
-		withPprof = flag.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
+		addr       = flag.String("addr", ":8080", "listen address")
+		datasetCS  = flag.String("datasets", "mas", "comma-separated datasets to serve (mas, yelp, imdb); the first is the default")
+		dataset    = flag.String("dataset", "", "deprecated: single dataset (alias for -datasets)")
+		storeDir   = flag.String("store", "", "snapshot store directory: load packed .qfg snapshots when present, write them after building otherwise")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = min(GOMAXPROCS, 8))")
+		kappa      = flag.Int("kappa", 5, "kappa: candidates kept per keyword")
+		lambda     = flag.Float64("lambda", 0.8, "lambda: similarity vs log evidence weight")
+		logJoin    = flag.Bool("log-join", true, "use log-driven join path weights")
+		adminToken = flag.String("admin-token", "", "require 'Authorization: Bearer <token>' on /admin routes (empty = open)")
+		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
-	var ds *datasets.Dataset
-	for _, d := range datasets.All() {
-		if strings.EqualFold(d.Name, *dataset) {
-			ds = d
-		}
+	names := strings.Split(*datasetCS, ",")
+	if *dataset != "" {
+		names = []string{*dataset}
 	}
-	if ds == nil {
-		fatal(fmt.Errorf("unknown dataset %q (want mas, yelp or imdb)", *dataset))
-	}
-
-	graph, err := buildQFG(ds)
-	if err != nil {
-		fatal(err)
-	}
-	start := time.Now()
-	live := qfg.NewLive(graph)
-	sys := templar.NewLive(ds.DB, embedding.New(), live, templar.Options{
+	opts := templar.Options{
 		Keyword: keyword.Options{K: *kappa, Lambda: *lambda},
 		LogJoin: *logJoin,
-	})
-	srv := serve.NewServer(sys, ds.Name, *workers)
-	snap := live.CurrentSnapshot()
-	log.Printf("templar-serve: dataset=%s log=%d queries (%d fragments, %d edges) index+snapshot built in %s workers=%d",
-		ds.Name, snap.Queries(), snap.Vertices(), snap.Edges(),
-		time.Since(start).Round(time.Millisecond), srv.Pool().Workers())
+	}
+	loader := func(ctx context.Context, name string) (*serve.Tenant, error) {
+		return loadTenant(ctx, name, *storeDir, opts)
+	}
+
+	reg := serve.NewRegistry()
+	defaultName := ""
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		tenant, err := loadTenant(context.Background(), name, *storeDir, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.Add(tenant); err != nil {
+			fatal(err)
+		}
+		if defaultName == "" {
+			defaultName = tenant.Name
+		}
+		snap := tenant.Sys.Snapshot()
+		log.Printf("templar-serve: dataset=%s source=%s log=%d queries (%d fragments, %d edges) ready in %s",
+			tenant.Name, tenant.Source, snap.Queries(), snap.Vertices(), snap.Edges(),
+			tenant.LoadTime.Round(time.Millisecond))
+	}
+	if defaultName == "" {
+		fatal(fmt.Errorf("no datasets to serve (want -datasets mas,yelp,imdb)"))
+	}
+
+	srv := serve.NewRegistryServer(reg, defaultName, *workers, loader).WithAdminToken(*adminToken)
+	log.Printf("templar-serve: serving %d dataset(s), default=%s workers=%d",
+		reg.Len(), defaultName, srv.Pool().Workers())
 
 	handler := srv.Handler()
 	if *withPprof {
@@ -106,10 +141,67 @@ func main() {
 	}
 }
 
-// buildQFG folds every benchmark gold query into the training log.
-func buildQFG(ds *datasets.Dataset) (*qfg.Graph, error) {
+// loadTenant materializes one dataset's serving engine: from the snapshot
+// store when a packed file exists (cold start = one file read), by
+// re-mining the gold-SQL log otherwise — in which case the freshly built
+// snapshot is packed back into the store so the next boot is fast. The
+// engine always serves a live log; appends keep working either way because
+// a store-loaded snapshot is rehydrated into a builder graph. ctx honors
+// the Loader contract: an admin client that disconnects mid-build stops
+// the re-mine instead of finishing a doomed engine on a pool worker.
+func loadTenant(ctx context.Context, name, storeDir string, opts templar.Options) (*serve.Tenant, error) {
+	ds, ok := datasets.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (want mas, yelp or imdb)", serve.ErrUnknownDataset, name)
+	}
+
+	start := time.Now()
+	var live *qfg.Live
+	source := "built"
+	path := ""
+	if storeDir != "" {
+		path = filepath.Join(storeDir, store.Filename(ds.Name))
+		switch ar, err := store.ReadFile(path); {
+		case err == nil:
+			live = qfg.NewLiveFromSnapshot(ar.Snapshot)
+			source = "store"
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot for this dataset: fall through to the build.
+		default:
+			// Unreadable archive (truncated, corrupt, foreign): rebuild from
+			// the log and overwrite it below rather than failing the boot.
+			log.Printf("templar-serve: ignoring snapshot %s: %v", path, err)
+		}
+	}
+	if live == nil {
+		graph, err := buildQFG(ctx, ds)
+		if err != nil {
+			return nil, err
+		}
+		live = qfg.NewLive(graph)
+		if path != "" {
+			if err := os.MkdirAll(storeDir, 0o777); err != nil {
+				return nil, err
+			}
+			if err := store.WriteFile(path, ds.Name, live.CurrentSnapshot()); err != nil {
+				return nil, fmt.Errorf("packing %s: %w", path, err)
+			}
+			log.Printf("templar-serve: packed %s snapshot into %s", ds.Name, path)
+		}
+	}
+	sys := templar.NewLive(ds.DB, embedding.New(), live, opts)
+	return &serve.Tenant{Name: ds.Name, Sys: sys, Source: source, LoadTime: time.Since(start)}, nil
+}
+
+// buildQFG folds every benchmark gold query into the training log,
+// checking for cancellation between queries so an abandoned admin load
+// frees its pool worker promptly.
+func buildQFG(ctx context.Context, ds *datasets.Dataset) (*qfg.Graph, error) {
 	entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
 	for _, t := range ds.Tasks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		q, err := sqlparse.Parse(t.Gold)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", t.ID, err)

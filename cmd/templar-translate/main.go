@@ -42,13 +42,8 @@ func main() {
 	)
 	flag.Parse()
 
-	var ds *datasets.Dataset
-	for _, d := range datasets.All() {
-		if strings.EqualFold(d.Name, *dataset) {
-			ds = d
-		}
-	}
-	if ds == nil {
+	ds, ok := datasets.ByName(*dataset)
+	if !ok {
 		fatal(fmt.Errorf("unknown dataset %q", *dataset))
 	}
 	if *list {

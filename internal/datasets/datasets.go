@@ -14,6 +14,7 @@ package datasets
 
 import (
 	"fmt"
+	"strings"
 
 	"templar/internal/db"
 	"templar/internal/fragment"
@@ -87,6 +88,18 @@ type TableIIRow struct {
 // All returns the three benchmarks in the paper's order.
 func All() []*Dataset {
 	return []*Dataset{MAS(), Yelp(), IMDB()}
+}
+
+// ByName builds the benchmark with the given name (case-insensitive),
+// reporting false for names that aren't bundled. It is the one dataset
+// resolution path shared by the CLI commands and the serving loader.
+func ByName(name string) (*Dataset, bool) {
+	for _, d := range All() {
+		if strings.EqualFold(d.Name, name) {
+			return d, true
+		}
+	}
+	return nil, false
 }
 
 // ---------------------------------------------------------------------------

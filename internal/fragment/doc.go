@@ -1,0 +1,24 @@
+// Package fragment defines the query fragment (paper Definition 3), the
+// atomic building block Templar mines from SQL query logs: a pair of a SQL
+// expression (or non-join predicate) and the clause context it resides in.
+//
+// It also implements the three obscurity levels of §IV — Full, NoConst and
+// NoConstOp — which progressively replace literal constants and comparison
+// operators with placeholders so that recurring semantic contexts in the
+// log can match regardless of the specific values queried.
+//
+// # Entry points
+//
+// Extract returns the distinct fragments of one alias-resolved query at an
+// obscurity level — the per-query unit the QFG is built from. Relation,
+// Attr and Pred construct individual fragments for the common shapes;
+// Fragment values compare by value and are usable as map keys directly.
+//
+// Interner assigns dense uint32 IDs to fragments, one shared table per
+// dataset, so compiled QFG snapshots replace map lookups with array
+// indexing on the scoring hot path. IDs are stable for the lifetime of the
+// table: snapshots compiled from successive versions of a growing log
+// agree on every shared fragment's ID, and NoID marks fragments a
+// snapshot has never seen. Fragments/NewInternerFromFragments round-trip
+// the table in ID order for the snapshot store codec (internal/store).
+package fragment

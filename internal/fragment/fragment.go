@@ -1,11 +1,3 @@
-// Package fragment defines the query fragment (paper Definition 3), the
-// atomic building block Templar mines from SQL query logs: a pair of a SQL
-// expression (or non-join predicate) and the clause context it resides in.
-//
-// It also implements the three obscurity levels of §IV — Full, NoConst and
-// NoConstOp — which progressively replace literal constants and comparison
-// operators with placeholders so that recurring semantic contexts in the log
-// can match regardless of the specific values queried.
 package fragment
 
 import (

@@ -1,6 +1,9 @@
 package fragment
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // NoID is the sentinel returned for fragments that have never been interned.
 // It can never be a valid fragment ID (an Interner refuses to grow that far).
@@ -70,4 +73,34 @@ func (in *Interner) Len() int {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	return len(in.frags)
+}
+
+// Fragments returns the interned fragments in ID order (index i holds the
+// fragment with ID i). The returned slice is a copy, so serializers can
+// walk it without holding any lock while the table keeps growing.
+func (in *Interner) Fragments() []Fragment {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return append([]Fragment(nil), in.frags...)
+}
+
+// NewInternerFromFragments rebuilds an interning table from a fragment
+// list in ID order, as produced by Fragments — the deserialization half of
+// the snapshot store codec. It fails on duplicate fragments, which can
+// never occur in a table built through Intern.
+func NewInternerFromFragments(frags []Fragment) (*Interner, error) {
+	in := &Interner{
+		ids:   make(map[Fragment]uint32, len(frags)),
+		frags: append([]Fragment(nil), frags...),
+	}
+	for i, f := range in.frags {
+		if prev, ok := in.ids[f]; ok {
+			return nil, fmt.Errorf("fragment: duplicate fragment %v at IDs %d and %d", f, prev, i)
+		}
+		if uint32(i) == NoID {
+			return nil, fmt.Errorf("fragment: interner overflow at %d fragments", i)
+		}
+		in.ids[f] = uint32(i)
+	}
+	return in, nil
 }

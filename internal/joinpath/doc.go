@@ -1,0 +1,33 @@
+// Package joinpath implements Templar's join path inference (paper §VI):
+// given a bag of relations known to be part of the SQL translation, find
+// the most likely join paths over the schema graph.
+//
+// Join path generation is modeled as the Steiner tree problem and solved
+// with the classic KMB approximation (Kou, Markowsky, Berman 1981 — the
+// paper's reference [21]). Edge weights are either uniform (the baseline:
+// minimal number of join edges, i.e. the shortest join path) or log-driven:
+//
+//	wL(v1, v2) = 1 − Dice(q(v1), q(v2))
+//
+// so that relation pairs frequently joined in the SQL query log become
+// cheap to traverse (§VI-A2).
+//
+// Self-joins — a bag containing the same relation more than once — are
+// handled by forking the schema graph (Algorithm 4): the duplicated
+// relation and everything that references it are cloned, with the fork
+// terminating at FK-PK edges pointing away from the clone, which reattach
+// to the shared graph (Figure 4).
+//
+// # Entry points
+//
+// NewGenerator precomputes the weighted adjacency graph once per schema
+// and weight function; Infer then answers one relation bag, cloning the
+// precomputed graph per call so a Generator is safe for any number of
+// concurrent callers. LogWeights derives the log-driven weight function
+// from anything exposing Dice over relation pairs (a qfg.Graph or a
+// compiled qfg.Snapshot — with live logs, weights are baked from the
+// current snapshot at engine-build time, see templar.System). CountWeights
+// is the raw-co-occurrence ablation; UniformWeights is the shortest-path
+// baseline. Path carries the inferred join edges with their Score and the
+// Goodness value the NLIDB ranking blends in.
+package joinpath

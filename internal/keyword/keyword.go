@@ -1,10 +1,3 @@
-// Package keyword implements Templar's Keyword Mapper (paper §V,
-// Algorithms 1–3): mapping NLQ keywords to candidate query fragments,
-// scoring and pruning the candidates with a word-similarity model, and
-// ranking whole configurations with the blend of the similarity score and
-// the Query Fragment Graph's co-occurrence evidence:
-//
-//	Score(φ) = λ·Scoreσ(φ) + (1−λ)·ScoreQFG(φ)
 package keyword
 
 import (

@@ -397,3 +397,47 @@ func BenchmarkTranslatePipelinePlus(b *testing.B) {
 		}
 	}
 }
+
+// TestNewSystemFromSnapshotMatchesNewSystem pins the snapshot-backed
+// constructor (the store cold-start wiring) to the graph-backed one: both
+// must produce identical configurations and translations.
+func TestNewSystemFromSnapshotMatchesNewSystem(t *testing.T) {
+	d := exampleDB(t)
+	graph := exampleQFG(t)
+	cfg := Config{Keyword: keyword.Options{Obscurity: fragment.NoConstOp}, LogJoin: true}
+	built := NewSystem("Pipeline+", d, embedding.New(), Config{
+		Keyword: cfg.Keyword, QFG: graph, LogJoin: true,
+	})
+	loaded := NewSystemFromSnapshot("Pipeline+", d, embedding.New(), graph.Snapshot(nil), cfg)
+
+	kws := exampleKeywords()
+	wantCfg, wantErr := built.TopMappings("", false, kws)
+	gotCfg, gotErr := loaded.TopMappings("", false, kws)
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("error mismatch: snapshot=%v graph=%v", gotErr, wantErr)
+	}
+	if !reflect.DeepEqual(gotCfg, wantCfg) {
+		t.Fatalf("configurations diverged:\nsnapshot: %v\ngraph:    %v", gotCfg, wantCfg)
+	}
+	wantTr, err := built.Translate("", false, kws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTr, err := loaded.Translate("", false, kws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTr, wantTr) {
+		t.Fatalf("translations diverged:\nsnapshot: %+v\ngraph:    %+v", gotTr, wantTr)
+	}
+
+	// Nil snapshot degrades to the log-free baseline.
+	baseline := NewSystemFromSnapshot("Pipeline", d, embedding.New(), nil, Config{Keyword: cfg.Keyword})
+	cfgs, err := baseline.TopMappings("", false, kws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[0].QFGScore != 0 {
+		t.Fatal("nil snapshot must yield zero log score")
+	}
+}

@@ -85,6 +85,24 @@ func QFGParts(database *db.Database, model *embedding.Model, graph *qfg.Graph, o
 	return keyword.NewMapper(database, model, graph, opts), nil, w
 }
 
+// NewSystemFromSnapshot assembles a named NLIDB over a precompiled QFG
+// snapshot — e.g. one loaded from a packed internal/store archive — instead
+// of a builder graph: the mapper ranks against the snapshot, and with
+// cfg.LogJoin the join weights derive from it at generator build time.
+// cfg.QFG is ignored; cfg.JoinWeights still overrides the weight function.
+func NewSystemFromSnapshot(name string, database *db.Database, model *embedding.Model, snap *qfg.Snapshot, cfg Config) *System {
+	if snap == nil {
+		cfg.QFG = nil
+		return NewSystem(name, database, model, cfg)
+	}
+	mapper := keyword.NewSnapshotMapper(database, model, snap, cfg.Keyword)
+	w := cfg.JoinWeights
+	if w == nil && cfg.LogJoin {
+		w = joinpath.LogWeights(snap)
+	}
+	return NewFromParts(name, mapper, joinpath.NewGenerator(database.Schema(), w), cfg)
+}
+
 // NewSystem assembles a named NLIDB over the shared QFGParts wiring.
 func NewSystem(name string, database *db.Database, model *embedding.Model, cfg Config) *System {
 	mapper, _, derived := QFGParts(database, model, cfg.QFG, cfg.Keyword, cfg.LogJoin)

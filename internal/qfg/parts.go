@@ -1,0 +1,160 @@
+package qfg
+
+import (
+	"fmt"
+
+	"templar/internal/fragment"
+)
+
+// SnapshotParts is the raw compiled state of a Snapshot, exposed so a
+// serialization layer (internal/store) can round-trip snapshots to disk
+// without qfg depending on any encoding. The slices are the snapshot's own
+// backing arrays — callers must treat them as read-only.
+//
+// Invariants (enforced by NewSnapshotFromParts):
+//
+//   - len(RowStart) == len(NV) + 1, with RowStart[0] == 0 and the values
+//     non-decreasing; RowStart[len(NV)] == len(ColID)
+//   - ColID, Co and NECount are parallel arrays of the same length, which
+//     is even (every undirected edge is stored as two half-edges)
+//   - within one row, ColID is strictly increasing and every ID indexes NV
+type SnapshotParts struct {
+	Obscurity fragment.Obscurity
+	// Queries is the total logged queries at compile time.
+	Queries int
+	// NV[id] is the occurrence count of fragment id.
+	NV []int
+	// RowStart/ColID/Co/NECount are the CSR adjacency arrays: the
+	// neighbors of id are ColID[RowStart[id]:RowStart[id+1]], with the
+	// blended co-occurrence (float64(ne) + session evidence) in Co and the
+	// raw integer ne in NECount at the same index.
+	RowStart []uint32
+	ColID    []uint32
+	Co       []float64
+	NECount  []int
+}
+
+// Parts exposes the snapshot's compiled arrays for serialization. The
+// returned slices alias the snapshot — read-only.
+func (s *Snapshot) Parts() SnapshotParts {
+	return SnapshotParts{
+		Obscurity: s.obscurity,
+		Queries:   s.queries,
+		NV:        s.nv,
+		RowStart:  s.rowStart,
+		ColID:     s.colID,
+		Co:        s.co,
+		NECount:   s.neCount,
+	}
+}
+
+// NewSnapshotFromParts reassembles a Snapshot from deserialized parts and
+// the interning table its IDs refer to. The parts are validated against the
+// SnapshotParts invariants so a corrupt or truncated store file surfaces as
+// an error here instead of an out-of-range panic on the serving hot path.
+// The snapshot takes ownership of the slices; DiceID over the result is
+// bit-identical to the snapshot the parts were taken from.
+func NewSnapshotFromParts(in *fragment.Interner, p SnapshotParts) (*Snapshot, error) {
+	if in == nil {
+		return nil, fmt.Errorf("qfg: snapshot parts without an interner")
+	}
+	if in.Len() < len(p.NV) {
+		return nil, fmt.Errorf("qfg: %d fragment counts but only %d interned fragments", len(p.NV), in.Len())
+	}
+	if p.Queries < 0 {
+		return nil, fmt.Errorf("qfg: negative query count %d", p.Queries)
+	}
+	if len(p.RowStart) != len(p.NV)+1 {
+		return nil, fmt.Errorf("qfg: row index length %d for %d vertices", len(p.RowStart), len(p.NV))
+	}
+	half := len(p.ColID)
+	if len(p.Co) != half || len(p.NECount) != half {
+		return nil, fmt.Errorf("qfg: adjacency arrays disagree: %d cols, %d co, %d ne", half, len(p.Co), len(p.NECount))
+	}
+	if half%2 != 0 {
+		return nil, fmt.Errorf("qfg: odd half-edge count %d", half)
+	}
+	if p.RowStart[0] != 0 || int(p.RowStart[len(p.NV)]) != half {
+		return nil, fmt.Errorf("qfg: row index spans [%d, %d], want [0, %d]", p.RowStart[0], p.RowStart[len(p.NV)], half)
+	}
+	for id := 0; id < len(p.NV); id++ {
+		if p.NV[id] < 0 {
+			return nil, fmt.Errorf("qfg: negative occurrence count for fragment %d", id)
+		}
+		lo, hi := p.RowStart[id], p.RowStart[id+1]
+		if lo > hi || int(hi) > half {
+			return nil, fmt.Errorf("qfg: fragment %d row [%d, %d) out of bounds", id, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			if int(p.ColID[i]) >= len(p.NV) {
+				return nil, fmt.Errorf("qfg: fragment %d has neighbor %d outside %d vertices", id, p.ColID[i], len(p.NV))
+			}
+			if i > lo && p.ColID[i] <= p.ColID[i-1] {
+				return nil, fmt.Errorf("qfg: fragment %d adjacency not strictly sorted", id)
+			}
+			if p.NECount[i] < 0 {
+				return nil, fmt.Errorf("qfg: negative co-occurrence count on fragment %d", id)
+			}
+		}
+	}
+	return &Snapshot{
+		obscurity: p.Obscurity,
+		interner:  in,
+		queries:   p.Queries,
+		nv:        p.NV,
+		rowStart:  p.RowStart,
+		colID:     p.ColID,
+		co:        p.Co,
+		neCount:   p.NECount,
+		edges:     half / 2,
+	}, nil
+}
+
+// RehydrateGraph reconstructs a builder Graph from a compiled snapshot: nv
+// and ne come back as fragment-keyed maps, and any session evidence blended
+// into the snapshot's co-occurrence weights is recovered as the fractional
+// remainder over the integer ne. The result folds new queries exactly like
+// the graph the snapshot was compiled from, so a store-loaded dataset can
+// keep accepting live log appends.
+func RehydrateGraph(s *Snapshot) *Graph {
+	g := New(s.obscurity)
+	g.queries = s.queries
+	in := s.interner
+	frags := make([]fragment.Fragment, len(s.nv))
+	for id := range s.nv {
+		frags[id] = in.Fragment(uint32(id))
+		if s.nv[id] > 0 {
+			g.nv[frags[id]] = s.nv[id]
+		}
+	}
+	for a := 0; a < len(s.nv); a++ {
+		for i := s.rowStart[a]; i < s.rowStart[a+1]; i++ {
+			b := s.colID[i]
+			if uint32(a) >= b {
+				continue // each undirected edge is stored twice; keep a < b
+			}
+			pk := makePair(frags[a], frags[b])
+			if ne := s.neCount[i]; ne > 0 {
+				g.ne[pk] = ne
+			}
+			if sess := s.co[i] - float64(s.neCount[i]); sess > 0 {
+				if g.sessNe == nil {
+					g.sessNe = make(map[pairKey]float64)
+				}
+				g.sessNe[pk] = sess
+			}
+		}
+	}
+	return g
+}
+
+// NewLiveFromSnapshot builds a Live log around a loaded snapshot: the
+// snapshot itself is the first publication (so readers start from exactly
+// the stored state, bit for bit), the builder graph is rehydrated from it,
+// and the snapshot's interner keeps assigning IDs — fragments already in
+// the store keep their IDs across every subsequent republish.
+func NewLiveFromSnapshot(s *Snapshot) *Live {
+	l := &Live{builder: RehydrateGraph(s), interner: s.interner}
+	l.snap.Store(s)
+	return l
+}

@@ -1,13 +1,3 @@
-// Package qfg implements the Query Fragment Graph (paper Definition 6): a
-// graph whose vertices are query fragments observed in a SQL query log, with
-// an occurrence count nv per fragment and a co-occurrence count ne per pair
-// of fragments that appear together in at least one logged query.
-//
-// The QFG drives both of Templar's log-based scores:
-//
-//   - keyword-mapping configurations are ranked with the geometric mean of
-//     Dice coefficients over non-FROM fragment pairs (§V-C2), and
-//   - join-path edge weights are set to 1 − Dice over FROM fragments (§VI-A2).
 package qfg
 
 import (

@@ -1,0 +1,37 @@
+// Package serve is the concurrent, multi-tenant HTTP serving layer: one
+// process hosts any number of named datasets, each behind its own
+// templar.System, with every CPU-heavy request fanned through one shared
+// bounded worker pool.
+//
+// # Topology
+//
+// Registry maps dataset names (case-insensitive) to Tenants. The request
+// hot path resolves a tenant with a single atomic pointer load; admin
+// mutations clone and republish the tenant map copy-on-write — the same
+// publication discipline qfg.Live uses for snapshots and templar.System
+// for engines, one level up. Server wires the registry to the route
+// table:
+//
+//	GET    /healthz                     liveness + per-dataset QFG stats
+//	POST   /v1/{dataset}/map-keywords   MAPKEYWORDS on a named engine
+//	POST   /v1/{dataset}/infer-joins    INFERJOINS on a named engine
+//	POST   /v1/{dataset}/translate      batched NLQ→SQL translation
+//	POST   /v1/{dataset}/log            live log appends (atomic per batch)
+//	POST   /v1/map-keywords …           legacy aliases for the default dataset
+//	GET    /admin/datasets              tenants with engine stats
+//	POST   /admin/datasets              materialize a dataset via the Loader
+//	DELETE /admin/datasets/{name}       drop a tenant (the default is protected)
+//
+// NewServer builds the single-tenant shape (one dataset, legacy routes);
+// NewRegistryServer the multi-tenant one. A Loader teaches the server how
+// to materialize datasets on demand — cmd/templar-serve's loader reads
+// packed snapshots from an internal/store directory and falls back to
+// re-mining the SQL log.
+//
+// # Wire contract
+//
+// Request and response bodies are the JSON types in wire.go; errors use
+// the uniform ErrorResponse envelope. Batch translation reports per-item
+// errors so one bad query never fails its siblings; request contexts ride
+// into the worker pool, so disconnected clients stop consuming workers.
+package serve

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"templar/internal/templar"
+)
+
+// ErrUnknownDataset is returned (possibly wrapped) by a Loader when the
+// requested dataset name names nothing loadable; the admin handler maps it
+// to 404 instead of 500.
+var ErrUnknownDataset = errors.New("serve: unknown dataset")
+
+// Tenant is one named dataset hosted by a Registry: its Templar system
+// plus the provenance metadata the admin endpoints report.
+type Tenant struct {
+	// Name is the dataset's display name; registry lookups are
+	// case-insensitive over it.
+	Name string
+	// Sys is the serving engine (itself safe for concurrent use).
+	Sys *templar.System
+	// Source records where the engine came from: "built" (log re-mine),
+	// "store" (packed snapshot) or "preloaded" (handed in by the caller).
+	Source string
+	// LoadTime is how long building or loading the engine took.
+	LoadTime time.Duration
+}
+
+// Loader materializes a tenant on demand for POST /admin/datasets —
+// typically load-from-store-or-build (see cmd/templar-serve). Loaders run
+// inside the server's worker pool and must honor ctx cancellation; wrap
+// ErrUnknownDataset for names that cannot exist.
+type Loader func(ctx context.Context, name string) (*Tenant, error)
+
+// Registry holds the named engines a multi-tenant server routes between.
+// Lookups on the request hot path are one atomic pointer load — the tenant
+// map is immutable and replaced whole (copy-on-write) by the rare admin
+// mutations, which serialize on an internal mutex. This is the same
+// publication discipline templar.System uses for its engine and qfg.Live
+// for its snapshot, one level up.
+type Registry struct {
+	mu      sync.Mutex
+	tenants atomic.Pointer[map[string]*Tenant]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	m := make(map[string]*Tenant)
+	r.tenants.Store(&m)
+	return r
+}
+
+func tenantKey(name string) string { return strings.ToLower(name) }
+
+// Get returns the tenant serving name (case-insensitive), or nil.
+func (r *Registry) Get(name string) *Tenant {
+	return (*r.tenants.Load())[tenantKey(name)]
+}
+
+// Add registers a tenant, failing if the name is already taken.
+func (r *Registry) Add(t *Tenant) error {
+	if t == nil || t.Sys == nil {
+		return fmt.Errorf("serve: nil tenant")
+	}
+	if strings.TrimSpace(t.Name) == "" {
+		return fmt.Errorf("serve: tenant without a name")
+	}
+	key := tenantKey(t.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := *r.tenants.Load()
+	if _, ok := cur[key]; ok {
+		return fmt.Errorf("serve: dataset %q already registered", t.Name)
+	}
+	next := make(map[string]*Tenant, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = t
+	r.tenants.Store(&next)
+	return nil
+}
+
+// Remove drops a tenant by name, reporting whether it was present.
+// In-flight requests that already resolved the tenant finish against it;
+// the next lookup misses.
+func (r *Registry) Remove(name string) bool {
+	key := tenantKey(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := *r.tenants.Load()
+	if _, ok := cur[key]; !ok {
+		return false
+	}
+	next := make(map[string]*Tenant, len(cur)-1)
+	for k, v := range cur {
+		if k != key {
+			next[k] = v
+		}
+	}
+	r.tenants.Store(&next)
+	return true
+}
+
+// Tenants returns the registered tenants sorted by name.
+func (r *Registry) Tenants() []*Tenant {
+	cur := *r.tenants.Load()
+	out := make([]*Tenant, 0, len(cur))
+	for _, t := range cur {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return tenantKey(out[i].Name) < tenantKey(out[j].Name) })
+	return out
+}
+
+// Len returns how many tenants are registered.
+func (r *Registry) Len() int { return len(*r.tenants.Load()) }

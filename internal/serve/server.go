@@ -1,9 +1,13 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strings"
+	"time"
 
 	"templar/internal/keyword"
 	"templar/internal/pool"
@@ -14,64 +18,245 @@ import (
 // maxBodyBytes caps request bodies; keyword batches are small.
 const maxBodyBytes = 1 << 20
 
-// Server exposes one shared templar.System over HTTP. All CPU-heavy work
-// (mapping, inference, translation) runs inside the worker pool, so
-// concurrent clients share a fixed parallelism budget; the System itself is
-// safe for concurrent use, so no request-level locking is needed.
+// Server exposes a Registry of named Templar engines over HTTP. All
+// CPU-heavy work (mapping, inference, translation, engine loading) runs
+// inside one shared worker pool, so concurrent clients across every
+// dataset share a fixed parallelism budget; each engine is itself safe for
+// concurrent use, so no request-level locking is needed anywhere.
+//
+// Routes come in two families: dataset-scoped (/v1/{dataset}/...) and
+// legacy unprefixed (/v1/...), which alias the server's default dataset so
+// single-tenant clients keep working unchanged.
 type Server struct {
-	sys     *templar.System
-	dataset string
-	pool    *pool.Pool
+	reg         *Registry
+	defaultName string
+	pool        *pool.Pool
+	loader      Loader
+	adminToken  string
 }
 
-// NewServer binds a server to a system. dataset names the bound benchmark
-// for diagnostics; workers < 1 picks the pool default.
+// NewServer binds a single-tenant server to one system: a registry holding
+// only dataset, which also serves the legacy unprefixed routes. workers < 1
+// picks the pool default.
 func NewServer(sys *templar.System, dataset string, workers int) *Server {
-	return &Server{sys: sys, dataset: dataset, pool: pool.New(workers)}
+	reg := NewRegistry()
+	if err := reg.Add(&Tenant{Name: dataset, Sys: sys, Source: "preloaded"}); err != nil {
+		panic("serve: " + err.Error())
+	}
+	return NewRegistryServer(reg, dataset, workers, nil)
+}
+
+// NewRegistryServer binds a multi-tenant server to a registry.
+// defaultDataset names the tenant behind the legacy unprefixed routes (it
+// need not be registered yet — it may arrive later through the admin API).
+// loader, when non-nil, enables POST /admin/datasets to materialize new
+// tenants on demand.
+func NewRegistryServer(reg *Registry, defaultDataset string, workers int, loader Loader) *Server {
+	return &Server{reg: reg, defaultName: defaultDataset, pool: pool.New(workers), loader: loader}
+}
+
+// WithAdminToken requires `Authorization: Bearer token` on every /admin
+// route. The serving routes stay open: the admin API mutates tenants
+// (dropping one breaks its traffic, loading one burns pool workers), so
+// deployments that expose the listener beyond a trusted network should
+// set a token — or front /admin with their own auth. An empty token
+// leaves the admin API open, the single-operator development default.
+func (s *Server) WithAdminToken(token string) *Server {
+	s.adminToken = token
+	return s
 }
 
 // Pool returns the server's worker pool.
 func (s *Server) Pool() *pool.Pool { return s.pool }
 
+// Registry returns the server's tenant registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// DefaultDataset returns the dataset name the unprefixed routes alias.
+func (s *Server) DefaultDataset() string { return s.defaultName }
+
 // Handler returns the route table:
 //
-//	GET  /healthz          — liveness, binding info and QFG log stats
-//	POST /v1/map-keywords  — MAPKEYWORDS over the shared mapper
-//	POST /v1/infer-joins   — INFERJOINS over the shared generator
-//	POST /v1/translate     — batched full NLQ→SQL translation
-//	POST /v1/log           — append SQL queries to the live log (409 when
-//	                         the system was built over a frozen log)
+//	GET    /healthz                     — liveness, per-dataset QFG stats
+//	POST   /v1/{dataset}/map-keywords   — MAPKEYWORDS on a named engine
+//	POST   /v1/{dataset}/infer-joins    — INFERJOINS on a named engine
+//	POST   /v1/{dataset}/translate      — batched NLQ→SQL translation
+//	POST   /v1/{dataset}/log            — append queries to the named live log
+//	POST   /v1/map-keywords             — legacy alias: default dataset
+//	POST   /v1/infer-joins              —   "
+//	POST   /v1/translate                —   "
+//	POST   /v1/log                      —   "
+//	GET    /admin/datasets              — list tenants with engine stats
+//	POST   /admin/datasets              — load a dataset (store or build)
+//	DELETE /admin/datasets/{name}       — drop a tenant (default protected)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/map-keywords", s.handleMapKeywords)
-	mux.HandleFunc("/v1/infer-joins", s.handleInferJoins)
-	mux.HandleFunc("/v1/translate", s.handleTranslate)
-	mux.HandleFunc("/v1/log", s.handleLog)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	for route, h := range map[string]func(http.ResponseWriter, *http.Request, *templar.System){
+		"map-keywords": s.handleMapKeywords,
+		"infer-joins":  s.handleInferJoins,
+		"translate":    s.handleTranslate,
+		"log":          s.handleLog,
+	} {
+		mux.HandleFunc("POST /v1/"+route, s.withTenant(h))
+		mux.HandleFunc("POST /v1/{dataset}/"+route, s.withTenant(h))
+	}
+	mux.HandleFunc("GET /admin/datasets", s.handleAdminList)
+	mux.HandleFunc("POST /admin/datasets", s.handleAdminLoad)
+	mux.HandleFunc("DELETE /admin/datasets/{name}", s.handleAdminRemove)
 	return mux
 }
 
+// withTenant resolves the request's dataset — the {dataset} path segment,
+// or the default for legacy unprefixed routes — with one atomic registry
+// load, and 404s unknown names.
+func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *templar.System)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("dataset")
+		if name == "" {
+			name = s.defaultName
+		}
+		t := s.reg.Get(name)
+		if t == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown dataset %q", name))
+			return
+		}
+		h(w, r, t.Sys)
+	}
+}
+
+// tenantStatus renders one tenant's engine stats for health/admin bodies.
+func (s *Server) tenantStatus(t *Tenant) DatasetStatusJSON {
+	ds := DatasetStatusJSON{
+		Name:      t.Name,
+		Default:   strings.EqualFold(t.Name, s.defaultName),
+		Source:    t.Source,
+		Relations: len(t.Sys.Database().Schema().Relations()),
+		LiveLog:   t.Sys.Live() != nil,
+	}
+	if t.LoadTime > 0 {
+		ds.LoadMillis = float64(t.LoadTime) / float64(time.Millisecond)
+	}
+	if snap := t.Sys.Snapshot(); snap != nil {
+		ds.LogQueries = snap.Queries()
+		ds.LogFragments = snap.Vertices()
+		ds.LogEdges = snap.Edges()
+	}
+	return ds
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
 	resp := HealthResponse{
-		Status:    "ok",
-		Dataset:   s.dataset,
-		Relations: len(s.sys.Database().Schema().Relations()),
-		Workers:   s.pool.Workers(),
-		LiveLog:   s.sys.Live() != nil,
+		Status:  "ok",
+		Dataset: s.defaultName,
+		Workers: s.pool.Workers(),
 	}
-	if snap := s.sys.Snapshot(); snap != nil {
-		resp.LogQueries = snap.Queries()
-		resp.LogFragments = snap.Vertices()
-		resp.LogEdges = snap.Edges()
+	for _, t := range s.reg.Tenants() {
+		st := s.tenantStatus(t)
+		resp.Datasets = append(resp.Datasets, st)
+		if st.Default {
+			// The top-level fields mirror the default dataset, keeping the
+			// single-tenant health shape clients already parse.
+			resp.Dataset = t.Name
+			resp.Relations = st.Relations
+			resp.LiveLog = st.LiveLog
+			resp.LogQueries = st.LogQueries
+			resp.LogFragments = st.LogFragments
+			resp.LogEdges = st.LogEdges
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleMapKeywords(w http.ResponseWriter, r *http.Request) {
+// adminAuthorized enforces the optional admin bearer token, writing the
+// 401 itself when the check fails.
+func (s *Server) adminAuthorized(w http.ResponseWriter, r *http.Request) bool {
+	if s.adminToken == "" {
+		return true
+	}
+	got := []byte(r.Header.Get("Authorization"))
+	want := []byte("Bearer " + s.adminToken)
+	if subtle.ConstantTimeCompare(got, want) == 1 {
+		return true
+	}
+	writeError(w, http.StatusUnauthorized, fmt.Errorf("serve: admin authorization required"))
+	return false
+}
+
+func (s *Server) handleAdminList(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(w, r) {
+		return
+	}
+	resp := AdminDatasetsResponse{Datasets: []DatasetStatusJSON{}}
+	for _, t := range s.reg.Tenants() {
+		resp.Datasets = append(resp.Datasets, s.tenantStatus(t))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(w, r) {
+		return
+	}
+	var req AdminLoadRequest
+	if !readPost(w, r, &req) {
+		return
+	}
+	name := strings.TrimSpace(req.Name)
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: no dataset name"))
+		return
+	}
+	if s.loader == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("serve: dataset loading not configured"))
+		return
+	}
+	if t := s.reg.Get(name); t != nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: dataset %q already loaded", t.Name))
+		return
+	}
+	// Loading re-mines a log or decodes a snapshot — CPU-heavy, so it
+	// claims a pool worker like any other request.
+	var tenant *Tenant
+	var loadErr error
+	if s.pool.RunCtx(r.Context(), func() {
+		tenant, loadErr = s.loader(r.Context(), name)
+	}) != nil {
+		return // client gone before a worker freed up
+	}
+	if loadErr != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(loadErr, ErrUnknownDataset) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, loadErr)
+		return
+	}
+	if err := s.reg.Add(tenant); err != nil {
+		// Lost a concurrent load race for the same name.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.tenantStatus(tenant))
+}
+
+func (s *Server) handleAdminRemove(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(w, r) {
+		return
+	}
+	name := r.PathValue("name")
+	if strings.EqualFold(name, s.defaultName) {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: dataset %q is the default (legacy routes alias it); it cannot be removed", name))
+		return
+	}
+	if !s.reg.Remove(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown dataset %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, AdminRemoveResponse{Removed: name})
+}
+
+func (s *Server) handleMapKeywords(w http.ResponseWriter, r *http.Request, sys *templar.System) {
 	var req MapKeywordsRequest
 	if !readPost(w, r, &req) {
 		return
@@ -82,7 +267,7 @@ func (s *Server) handleMapKeywords(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var configs []keyword.Configuration
-	if s.pool.RunCtx(r.Context(), func() { configs, err = s.sys.MapKeywords(kws) }) != nil {
+	if s.pool.RunCtx(r.Context(), func() { configs, err = sys.MapKeywords(kws) }) != nil {
 		return // client gone before a worker freed up; nothing to answer
 	}
 	if err != nil {
@@ -92,7 +277,7 @@ func (s *Server) handleMapKeywords(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, MapKeywordsResponse{Configurations: fromConfigurations(configs, req.Top)})
 }
 
-func (s *Server) handleInferJoins(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleInferJoins(w http.ResponseWriter, r *http.Request, sys *templar.System) {
 	var req InferJoinsRequest
 	if !readPost(w, r, &req) {
 		return
@@ -108,7 +293,7 @@ func (s *Server) handleInferJoins(w http.ResponseWriter, r *http.Request) {
 	resp := InferJoinsResponse{}
 	var err error
 	if s.pool.RunCtx(r.Context(), func() {
-		paths, ierr := s.sys.InferJoins(req.Relations, topK)
+		paths, ierr := sys.InferJoins(req.Relations, topK)
 		if ierr != nil {
 			err = ierr
 			return
@@ -127,7 +312,7 @@ func (s *Server) handleInferJoins(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request, sys *templar.System) {
 	var req TranslateRequest
 	if !readPost(w, r, &req) {
 		return
@@ -153,7 +338,7 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 			results[i] = TranslateResult{Error: err.Error()}
 			return
 		}
-		tr, err := s.sys.Translate(kws)
+		tr, err := sys.Translate(kws)
 		if err != nil {
 			results[i] = TranslateResult{Error: err.Error()}
 			return
@@ -166,12 +351,12 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, TranslateResponse{Results: results})
 }
 
-func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request, sys *templar.System) {
 	var req LogAppendRequest
 	if !readPost(w, r, &req) {
 		return
 	}
-	live := s.sys.Live()
+	live := sys.Live()
 	if live == nil {
 		writeError(w, http.StatusConflict, fmt.Errorf("serve: log appends disabled: system built over a frozen log"))
 		return

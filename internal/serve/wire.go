@@ -1,6 +1,3 @@
-// Package serve is the concurrent HTTP serving layer over one shared
-// templar.System: request/response wire types, a bounded worker pool, and
-// handlers for keyword mapping, join inference and batched translation.
 package serve
 
 import (
@@ -188,7 +185,30 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// DatasetStatusJSON is one hosted dataset's engine stats, shared by the
+// health and admin bodies.
+type DatasetStatusJSON struct {
+	Name string `json:"name"`
+	// Default marks the dataset the legacy unprefixed /v1/* routes alias.
+	Default bool `json:"default,omitempty"`
+	// Source is where the engine came from: "built" (log re-mine),
+	// "store" (packed snapshot) or "preloaded".
+	Source    string `json:"source,omitempty"`
+	Relations int    `json:"relations"`
+	// LiveLog reports whether POST /v1/{dataset}/log appends are enabled.
+	LiveLog bool `json:"live_log"`
+	// LogQueries/LogFragments/LogEdges describe the QFG snapshot currently
+	// serving requests (all zero for a log-free baseline).
+	LogQueries   int `json:"log_queries"`
+	LogFragments int `json:"log_fragments"`
+	LogEdges     int `json:"log_edges"`
+	// LoadMillis is how long building or loading the engine took.
+	LoadMillis float64 `json:"load_ms,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz. The top-level dataset fields
+// mirror the default dataset for single-tenant clients; Datasets lists
+// every hosted engine.
 type HealthResponse struct {
 	Status    string `json:"status"`
 	Dataset   string `json:"dataset"`
@@ -201,6 +221,26 @@ type HealthResponse struct {
 	LogQueries   int `json:"log_queries"`
 	LogFragments int `json:"log_fragments"`
 	LogEdges     int `json:"log_edges"`
+	// Datasets lists every hosted dataset (multi-tenant view).
+	Datasets []DatasetStatusJSON `json:"datasets,omitempty"`
+}
+
+// AdminDatasetsResponse is the body of GET /admin/datasets.
+type AdminDatasetsResponse struct {
+	Datasets []DatasetStatusJSON `json:"datasets"`
+}
+
+// AdminLoadRequest is the body of POST /admin/datasets: the name of a
+// dataset the server's loader should materialize (from its snapshot store
+// when packed, by re-mining the log otherwise).
+type AdminLoadRequest struct {
+	Name string `json:"name"`
+}
+
+// AdminRemoveResponse is the body of a successful DELETE
+// /admin/datasets/{name}.
+type AdminRemoveResponse struct {
+	Removed string `json:"removed"`
 }
 
 // ---------------------------------------------------------------------------

@@ -98,6 +98,24 @@ func New(database *db.Database, model *embedding.Model, graph *qfg.Graph, opts O
 	return s
 }
 
+// NewFromSnapshot builds a Templar instance directly over a precompiled,
+// frozen QFG snapshot — the cold-start path for archives loaded from
+// internal/store: no log re-mine, no graph build, the engine serves from
+// the loaded arrays as-is. Log appends are disabled (Live() == nil); a
+// serving layer that wants to keep appending wraps the archive with
+// qfg.NewLiveFromSnapshot and uses NewLive instead. Passing a nil snapshot
+// degrades to the log-free baseline, as in New.
+func NewFromSnapshot(database *db.Database, model *embedding.Model, snap *qfg.Snapshot, opts Options) *System {
+	if snap == nil {
+		return New(database, model, nil, opts)
+	}
+	opts.Keyword.DisableSnapshot = false
+	s := &System{database: database, model: model, opts: opts}
+	s.mapper = keyword.NewSnapshotMapper(database, model, snap, opts.Keyword)
+	s.cur.Store(s.buildEngine(snap))
+	return s
+}
+
 // NewLive builds a Templar instance over a live, growing query log: the
 // mapper ranks against whatever snapshot the Live graph currently
 // publishes, and the join generator (whose log-driven weights are baked at

@@ -1,6 +1,7 @@
 package templar
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -119,5 +120,64 @@ func TestFacadeDatabaseAccessor(t *testing.T) {
 	sys := New(d, embedding.New(), nil, Options{})
 	if sys.Database() != d {
 		t.Fatal("Database accessor")
+	}
+}
+
+// TestNewFromSnapshotMatchesNew is the constructor-level parity gate for
+// the store cold-start path: a System over a precompiled snapshot must
+// answer exactly like one that built the same snapshot from the graph.
+func TestNewFromSnapshotMatchesNew(t *testing.T) {
+	d := fixtureDB(t)
+	graph := fixtureQFG(t)
+	built := New(d, embedding.New(), graph, Options{LogJoin: true})
+	loaded := NewFromSnapshot(d, embedding.New(), graph.Snapshot(nil), Options{LogJoin: true})
+	if loaded.Live() != nil {
+		t.Fatal("snapshot-backed system must be frozen")
+	}
+	kws := []keyword.Keyword{
+		{Text: "papers", Meta: keyword.Metadata{Context: fragment.Select}},
+		{Text: "after 2000", Meta: keyword.Metadata{Context: fragment.Where, Op: ">"}},
+	}
+	wantCfg, err := built.MapKeywords(kws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCfg, err := loaded.MapKeywords(kws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCfg, wantCfg) {
+		t.Fatalf("configurations diverged:\nsnapshot: %v\ngraph:    %v", gotCfg, wantCfg)
+	}
+	wantTr, err := built.Translate(kws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTr, err := loaded.Translate(kws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTr, wantTr) {
+		t.Fatalf("translations diverged:\nsnapshot: %+v\ngraph:    %+v", gotTr, wantTr)
+	}
+	wantPaths, err := built.InferJoins([]string{"publication", "journal"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPaths, err := loaded.InferJoins([]string{"publication", "journal"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPaths, wantPaths) {
+		t.Fatal("join paths diverged between snapshot- and graph-backed systems")
+	}
+	// Nil snapshot degrades to the log-free baseline, like New(nil graph).
+	baseline := NewFromSnapshot(d, embedding.New(), nil, Options{})
+	cfgs, err := baseline.MapKeywords(kws[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[0].QFGScore != 0 {
+		t.Fatal("nil snapshot must yield zero log score")
 	}
 }
