@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt vet docs-check serve
+.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check serve
 
 all: build vet test
 
@@ -45,6 +45,13 @@ vet:
 # repo's Markdown (cmd/docs-check).
 docs-check: fmt vet
 	$(GO) run ./cmd/docs-check
+
+# api-check guards the public API contract: every pkg/api wire type
+# round-trips through its JSON tags (reflection test), and
+# docs/openapi.yaml stays in sync with the server's registered v2 routes.
+api-check:
+	$(GO) test ./pkg/api -run 'TestWireContract|TestErrorHelpers' -count=1
+	$(GO) test ./internal/serve -run 'TestOpenAPISync|TestRoutesTable' -count=1
 
 serve: build
 	$(GO) run ./cmd/templar-serve -datasets mas,yelp,imdb -store ./snapshots -addr :8080

@@ -6,6 +6,7 @@
 package templar
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -236,7 +237,7 @@ func benchmarkTranslate(b *testing.B, disableSnapshot bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Translate(kws[i%len(kws)]); err != nil {
+		if _, err := sys.Translate(context.Background(), kws[i%len(kws)], nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,14 +19,16 @@
 // routes (/v1/map-keywords, …) alias it, so single-tenant clients keep
 // working unchanged.
 //
-// Endpoints (see README.md for the full request/response reference):
+// Endpoints (see README.md for the full request/response reference and
+// docs/openapi.yaml for the machine-readable v2 contract):
 //
 //	GET    /healthz
-//	POST   /v1/{dataset}/map-keywords   {"spec":"papers:select;Databases:where","top":3}
-//	POST   /v1/{dataset}/infer-joins    {"relations":["publication","domain"],"top_k":3}
-//	POST   /v1/{dataset}/translate      {"queries":[{"spec":"papers:select;Databases:where"}]}
-//	POST   /v1/{dataset}/log            {"queries":[{"sql":"SELECT ...","count":2}]}
-//	POST   /v1/map-keywords             (+ infer-joins, translate, log: default dataset)
+//	GET    /v2/datasets
+//	POST   /v2/{dataset}/map-keywords   {"spec":"papers:select;Databases:where","top_k":3}
+//	POST   /v2/{dataset}/infer-joins    {"relations":["publication","domain"],"top_k":3}
+//	POST   /v2/{dataset}/translate      {"queries":[{"spec":"papers:select;Databases:where"}]}
+//	POST   /v2/{dataset}/log            {"queries":[{"sql":"SELECT ...","count":2}]}
+//	POST   /v1/...                      frozen legacy contract (string errors, "top")
 //	GET    /admin/datasets
 //	POST   /admin/datasets              {"name":"imdb"}  — load from store or build
 //	DELETE /admin/datasets/{name}
@@ -73,6 +75,9 @@ func main() {
 		logJoin    = flag.Bool("log-join", true, "use log-driven join path weights")
 		adminToken = flag.String("admin-token", "", "require 'Authorization: Bearer <token>' on /admin routes (empty = open)")
 		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
+		accessLog  = flag.Bool("access-log", false, "log one line per request (method, path, status, latency, request id)")
+		maxBody    = flag.Int64("max-body-bytes", 0, "request body byte cap (0 = default 1MiB); structured 413 beyond it")
+		maxBatch   = flag.Int("max-batch", 0, "translate/log batch size cap (0 = defaults 64/256); structured 422 beyond it")
 	)
 	flag.Parse()
 
@@ -114,7 +119,12 @@ func main() {
 		fatal(fmt.Errorf("no datasets to serve (want -datasets mas,yelp,imdb)"))
 	}
 
-	srv := serve.NewRegistryServer(reg, defaultName, *workers, loader).WithAdminToken(*adminToken)
+	srv := serve.NewRegistryServer(reg, defaultName, *workers, loader).
+		WithAdminToken(*adminToken).
+		WithLimits(*maxBody, *maxBatch, *maxBatch)
+	if *accessLog {
+		srv.WithAccessLog(log.Default())
+	}
 	log.Printf("templar-serve: serving %d dataset(s), default=%s workers=%d",
 		reg.Len(), defaultName, srv.Pool().Workers())
 

@@ -1,0 +1,103 @@
+// Client: the Go SDK quickstart. Boots an in-process Templar server over
+// the MAS benchmark (exactly what `templar-serve -datasets mas` hosts),
+// then speaks to it purely through templar/pkg/client and the public
+// templar/pkg/api wire contract — discovery, keyword mapping, batch
+// translation, a live log append, and structured-error handling by code.
+// Point client.New at a real deployment and everything below works
+// unchanged.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"templar/internal/datasets"
+	"templar/internal/embedding"
+	"templar/internal/fragment"
+	"templar/internal/qfg"
+	"templar/internal/serve"
+	"templar/internal/sqlparse"
+	"templar/internal/templar"
+	"templar/pkg/api"
+	"templar/pkg/client"
+)
+
+func main() {
+	// 0. An in-process stand-in for a running templar-serve. A real
+	// integration skips this block and dials its deployment's URL.
+	ds := datasets.MAS()
+	entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
+	for _, t := range ds.Tasks {
+		q, err := sqlparse.Parse(t.Gold)
+		must(err)
+		entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
+	}
+	graph, err := qfg.Build(entries, fragment.NoConstOp)
+	must(err)
+	sys := templar.NewLive(ds.DB, embedding.New(), qfg.NewLive(graph), templar.Options{LogJoin: true})
+	srv := httptest.NewServer(serve.NewServer(sys, ds.Name, 4).Handler())
+	defer srv.Close()
+
+	// 1. Dial. The client retries 5xx with backoff out of the box.
+	c, err := client.New(srv.URL)
+	must(err)
+	ctx := context.Background()
+
+	// 2. Discover what the server hosts.
+	hosted, err := c.Datasets(ctx)
+	must(err)
+	for _, d := range hosted {
+		fmt.Printf("dataset %s: %d relations, %d logged queries (default=%v)\n",
+			d.Name, d.Relations, d.LogQueries, d.Default)
+	}
+
+	// 3. MAPKEYWORDS: ranked keyword→fragment configurations.
+	mk, err := c.MapKeywords(ctx, "mas", api.MapKeywordsRequest{
+		KeywordsInput: api.KeywordsInput{Spec: "papers:select;Databases:where"},
+		TopK:          2,
+	})
+	must(err)
+	for i, cfg := range mk.Configurations {
+		fmt.Printf("config #%d score=%.3f: %d mappings\n", i+1, cfg.Score, len(cfg.Mappings))
+	}
+
+	// 4. Batch translation; per-query failures ride inline as structured
+	// errors, so one bad query never sinks its siblings.
+	tr, err := c.Translate(ctx, "mas", api.TranslateRequest{Queries: []api.KeywordsInput{
+		{Spec: "papers:select;Databases:where"},
+		{Spec: "authors:select;Data Mining:where"},
+	}})
+	must(err)
+	for _, r := range tr.Results {
+		fmt.Printf("SQL: %s\n", r.Rendered)
+	}
+
+	// 5. Feed a user's accepted query back into the live log: future
+	// requests rank against the grown evidence.
+	ar, err := c.AppendLog(ctx, "mas", api.LogAppendRequest{Queries: []api.LogEntry{
+		{SQL: tr.Results[0].SQL},
+	}})
+	must(err)
+	fmt.Printf("log grew to %d queries (%d fragments)\n", ar.LogQueries, ar.LogFragments)
+
+	// 6. Structured errors: branch on the machine-readable code, not on
+	// message prose.
+	_, err = c.MapKeywords(ctx, "nonesuch", api.MapKeywordsRequest{
+		KeywordsInput: api.KeywordsInput{Spec: "papers:select"},
+	})
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) && apiErr.Code == api.CodeUnknownDataset {
+		fmt.Printf("structured error: code=%s status=%d dataset=%q\n", apiErr.Code, apiErr.Status, apiErr.Dataset)
+	} else {
+		log.Fatalf("expected an unknown_dataset error, got %v", err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

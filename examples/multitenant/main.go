@@ -23,6 +23,7 @@ import (
 	"templar/internal/sqlparse"
 	"templar/internal/store"
 	"templar/internal/templar"
+	"templar/pkg/api"
 )
 
 func main() {
@@ -62,8 +63,8 @@ func main() {
 	defer srv.Close()
 
 	// 3. Query both datasets through their scoped routes.
-	translate(srv.URL+"/v1/mas/translate", `{"queries":[{"spec":"papers:select;Databases:where"}]}`)
-	translate(srv.URL+"/v1/yelp/translate", `{"queries":[{"keywords":[
+	translate(srv.URL+"/v2/mas/translate", `{"queries":[{"spec":"papers:select;Databases:where"}]}`)
+	translate(srv.URL+"/v2/yelp/translate", `{"queries":[{"keywords":[
 		{"text":"businesses","context":"select"},
 		{"text":"Scottsdale","context":"where"}]}]}`)
 
@@ -71,7 +72,7 @@ func main() {
 	resp, err := http.Get(srv.URL + "/admin/datasets")
 	must(err)
 	defer resp.Body.Close()
-	var admin serve.AdminDatasetsResponse
+	var admin api.DatasetsResponse
 	must(json.NewDecoder(resp.Body).Decode(&admin))
 	for _, d := range admin.Datasets {
 		fmt.Printf("admin: %-4s source=%s queries=%d fragments=%d default=%v\n",
@@ -84,10 +85,10 @@ func translate(url, body string) {
 	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
 	must(err)
 	defer resp.Body.Close()
-	var tr serve.TranslateResponse
+	var tr api.TranslateResponse
 	must(json.NewDecoder(resp.Body).Decode(&tr))
 	for _, r := range tr.Results {
-		if r.Error != "" {
+		if r.Error != nil {
 			fmt.Printf("%s → error: %s\n", url, r.Error)
 			continue
 		}

@@ -1,6 +1,8 @@
 package joinpath
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -134,11 +136,20 @@ func NewGenerator(g *schema.Graph, w WeightFunc) *Generator {
 	return &Generator{graph: g, weight: w, base: buildRelGraph(g, w)}
 }
 
-// Infer implements INFERJOINS: it returns up to topK join paths spanning the
-// bag of relations (a multiset; duplicates trigger schema-graph forking),
-// ranked from most to least likely. An empty bag is an error; a bag whose
-// relations cannot be connected is an error.
+// Infer implements INFERJOINS with no cancellation; see InferCtx.
 func (gen *Generator) Infer(bag []string, topK int) ([]Path, error) {
+	return gen.InferCtx(context.Background(), bag, topK)
+}
+
+// InferCtx implements INFERJOINS: it returns up to topK join paths spanning
+// the bag of relations (a multiset; duplicates trigger schema-graph
+// forking), ranked from most to least likely. An empty bag is an error; a
+// bag whose relations cannot be connected is an error.
+//
+// ctx is checked before every Dijkstra sweep of the Steiner approximation
+// and between alternative-path retries, so a canceled request abandons the
+// path search mid-flight; the wrapped ctx error is returned.
+func (gen *Generator) InferCtx(ctx context.Context, bag []string, topK int) ([]Path, error) {
 	if len(bag) == 0 {
 		return nil, fmt.Errorf("joinpath: empty relation bag")
 	}
@@ -168,7 +179,7 @@ func (gen *Generator) Infer(bag []string, topK int) ([]Path, error) {
 		return []Path{{Relations: []string{inst}, Score: 1, Goodness: 1}}, nil
 	}
 
-	best, err := rg.steiner(terminals, nil)
+	best, err := rg.steiner(ctx, terminals, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -177,9 +188,15 @@ func (gen *Generator) Infer(bag []string, topK int) ([]Path, error) {
 
 	// Alternatives: re-run with each edge of the best tree banned.
 	for _, te := range best.edges {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("joinpath: path search canceled: %w", err)
+		}
 		banned := map[edgeKey]bool{te.key(): true}
-		alt, err := rg.steiner(terminals, banned)
+		alt, err := rg.steiner(ctx, terminals, banned)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err // canceled mid-sweep, not a bridge
+			}
 			continue // this edge was a bridge; no alternative exists
 		}
 		p := rg.toPath(alt)
@@ -436,8 +453,9 @@ func (rg *relGraph) dijkstra(src int, banned map[edgeKey]bool) ([]float64, []str
 	return dist, prev
 }
 
-// steiner runs the KMB approximation over the terminals.
-func (rg *relGraph) steiner(terminals []int, banned map[edgeKey]bool) (*tree, error) {
+// steiner runs the KMB approximation over the terminals, polling ctx
+// before each Dijkstra sweep (the dominant cost on large schemas).
+func (rg *relGraph) steiner(ctx context.Context, terminals []int, banned map[edgeKey]bool) (*tree, error) {
 	// Step 1: metric closure between terminals.
 	type closureEdge struct {
 		a, b int // indexes into terminals
@@ -449,6 +467,9 @@ func (rg *relGraph) steiner(terminals []int, banned map[edgeKey]bool) (*tree, er
 		he   halfEdge
 	}, len(terminals))
 	for i, t := range terminals {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("joinpath: path search canceled: %w", err)
+		}
 		dists[i], prevs[i] = rg.dijkstra(t, banned)
 	}
 	var closure []closureEdge

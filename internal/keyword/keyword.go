@@ -1,6 +1,7 @@
 package keyword
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -261,30 +262,94 @@ func (m *Mapper) similarity(a, b string) float64 {
 	return v
 }
 
-// MapKeywords implements Algorithm 1: candidate retrieval, scoring/pruning,
-// and configuration generation. It returns configurations sorted by
-// descending Score.
+// CallOptions are per-request overrides of a Mapper's construction-time
+// Options; the zero value changes nothing. They let one shared Mapper
+// serve requests with different budgets without being rebuilt.
+type CallOptions struct {
+	// K overrides κ, the candidates kept per keyword after pruning
+	// (0 = the Mapper's configured value).
+	K int
+	// MaxConfigurations overrides the enumeration cap (0 = configured).
+	MaxConfigurations int
+	// Obscurity asserts the fragment obscurity level the caller expects.
+	// The level is baked into the compiled QFG, so a mismatch is an
+	// ObscurityMismatchError rather than a silent rescoring; with no QFG
+	// it selects the fragment form of the returned mappings.
+	Obscurity *fragment.Obscurity
+}
+
+// ObscurityMismatchError reports a CallOptions.Obscurity assertion that
+// names a level the Mapper's QFG was not mined at.
+type ObscurityMismatchError struct {
+	Want, Have fragment.Obscurity
+}
+
+func (e *ObscurityMismatchError) Error() string {
+	return fmt.Sprintf("keyword: obscurity %v requested but the query log was mined at %v", e.Want, e.Have)
+}
+
+// MapKeywords implements Algorithm 1 with no cancellation and the
+// Mapper's configured options; see MapKeywordsCtx.
+func (m *Mapper) MapKeywords(keywords []Keyword) ([]Configuration, error) {
+	return m.MapKeywordsCtx(context.Background(), keywords, CallOptions{})
+}
+
+// MapKeywordsCtx implements Algorithm 1: candidate retrieval,
+// scoring/pruning, and configuration generation. It returns
+// configurations sorted by descending Score.
+//
+// ctx is checked between keywords during candidate scoring and
+// periodically inside the configuration enumeration, so a canceled
+// request (or an expired deadline) aborts the cartesian product
+// mid-flight instead of running it to completion; the wrapped ctx error
+// is returned.
 //
 // The returned configurations share one backing array for their Mappings
 // (allocated once per call rather than once per configuration), so
 // retaining a single Configuration past the call keeps the whole
 // enumeration reachable; callers that hold onto individual configurations
 // long-term should copy the Mappings slice they keep.
-func (m *Mapper) MapKeywords(keywords []Keyword) ([]Configuration, error) {
+func (m *Mapper) MapKeywordsCtx(ctx context.Context, keywords []Keyword, co CallOptions) ([]Configuration, error) {
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("keyword: no keywords")
 	}
+	opts, err := m.requestOptions(co)
+	if err != nil {
+		return nil, err
+	}
 	perKeyword := make([][]Mapping, len(keywords))
 	for i, kw := range keywords {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("keyword: mapping canceled: %w", err)
+		}
 		cands := m.keywordCands(kw)
-		scored := m.scoreAndPrune(kw, cands)
+		scored := m.scoreAndPrune(kw, cands, opts)
 		if len(scored) == 0 {
 			return nil, fmt.Errorf("keyword: no candidate mappings for %q", kw.Text)
 		}
 		perKeyword[i] = scored
 	}
-	configs := m.genAndScoreConfigs(perKeyword)
-	return configs, nil
+	return m.genAndScoreConfigs(ctx, perKeyword, opts)
+}
+
+// requestOptions resolves one request's effective Options from the
+// Mapper's configuration plus per-call overrides, validating the
+// obscurity assertion against the compiled QFG lineage.
+func (m *Mapper) requestOptions(co CallOptions) (Options, error) {
+	opts := m.opts
+	if co.K > 0 {
+		opts.K = co.K
+	}
+	if co.MaxConfigurations > 0 {
+		opts.MaxConfigurations = co.MaxConfigurations
+	}
+	if co.Obscurity != nil {
+		if (m.src != nil || m.graph != nil) && *co.Obscurity != m.opts.Obscurity {
+			return opts, &ObscurityMismatchError{Want: *co.Obscurity, Have: m.opts.Obscurity}
+		}
+		opts.Obscurity = *co.Obscurity
+	}
+	return opts, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -418,7 +483,7 @@ func (m *Mapper) bestValues(keyword string, vals []string, n int) []string {
 // Algorithm 3: scoring and pruning.
 
 // scoreAndPrune computes σ per candidate and applies the PRUNE procedure.
-func (m *Mapper) scoreAndPrune(kw Keyword, cands []Mapping) []Mapping {
+func (m *Mapper) scoreAndPrune(kw Keyword, cands []Mapping, opts Options) []Mapping {
 	num, hasNum := extractNumber(kw.Text)
 	stext := kw.Text
 	if hasNum {
@@ -442,7 +507,7 @@ func (m *Mapper) scoreAndPrune(kw Keyword, cands []Mapping) []Mapping {
 		c.Sim = m.simText(kw.Text, *c)
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Sim > cands[j].Sim })
-	return m.prune(cands)
+	return m.prune(cands, opts)
 }
 
 // label is the human-vocabulary rendering of a mapping target for
@@ -492,11 +557,11 @@ func (m *Mapper) simText(keyword string, c Mapping) float64 {
 
 // prune implements the PRUNE procedure of §V-B: exact matches expel
 // everything else; otherwise keep top-κ plus κ-th-place ties with σ > 0.
-func (m *Mapper) prune(sorted []Mapping) []Mapping {
+func (m *Mapper) prune(sorted []Mapping, opts Options) []Mapping {
 	if len(sorted) == 0 {
 		return nil
 	}
-	eps := m.opts.Epsilon
+	eps := opts.Epsilon
 	if sorted[0].Sim >= 1-eps {
 		var exact []Mapping
 		for _, c := range sorted {
@@ -506,7 +571,7 @@ func (m *Mapper) prune(sorted []Mapping) []Mapping {
 		}
 		return exact
 	}
-	k := m.opts.K
+	k := opts.K
 	if len(sorted) <= k {
 		return trimZero(sorted)
 	}
@@ -547,7 +612,7 @@ type candID struct {
 	use bool
 }
 
-func (m *Mapper) genAndScoreConfigs(perKeyword [][]Mapping) []Configuration {
+func (m *Mapper) genAndScoreConfigs(ctx context.Context, perKeyword [][]Mapping, opts Options) ([]Configuration, error) {
 	// Load the current snapshot once per request: every configuration of
 	// this call ranks against one consistent view, and candidate fragments
 	// are translated to interned IDs here — once per candidate, not once
@@ -563,7 +628,7 @@ func (m *Mapper) genAndScoreConfigs(perKeyword [][]Mapping) []Configuration {
 		for i, cands := range perKeyword {
 			ids := make([]candID, len(cands))
 			for j, mp := range cands {
-				if mp.Kind == KindRelation && !m.opts.IncludeFromInQFG {
+				if mp.Kind == KindRelation && !opts.IncludeFromInQFG {
 					continue
 				}
 				ids[j] = candID{id: snap.Lookup(mp.Fragment(ob)), use: true}
@@ -575,8 +640,8 @@ func (m *Mapper) genAndScoreConfigs(perKeyword [][]Mapping) []Configuration {
 	total := 1
 	for _, cands := range perKeyword {
 		total *= len(cands)
-		if total > m.opts.MaxConfigurations {
-			total = m.opts.MaxConfigurations
+		if total > opts.MaxConfigurations {
+			total = opts.MaxConfigurations
 			break
 		}
 	}
@@ -587,16 +652,24 @@ func (m *Mapper) genAndScoreConfigs(perKeyword [][]Mapping) []Configuration {
 	current := make([]Mapping, len(perKeyword))
 	curIDs := make([]candID, len(perKeyword))
 	var scratch []fragment.Fragment // reused by the map-backed score path
+	canceled := false
 	var rec func(i int)
 	rec = func(i int) {
-		if len(configs) >= m.opts.MaxConfigurations {
+		if canceled || len(configs) >= opts.MaxConfigurations {
 			return
 		}
 		if i == len(perKeyword) {
+			// Poll cancellation every 64 enumerated configurations: cheap
+			// enough to be invisible on the hot path, frequent enough that a
+			// canceled request abandons a large cartesian product mid-flight.
+			if len(configs)&63 == 63 && ctx.Err() != nil {
+				canceled = true
+				return
+			}
 			start := len(backing)
 			backing = append(backing, current...)
 			cfg := Configuration{Mappings: backing[start:len(backing):len(backing)]}
-			m.scoreConfig(&cfg, snap, curIDs, &scratch)
+			m.scoreConfig(&cfg, snap, curIDs, &scratch, opts)
 			configs = append(configs, cfg)
 			return
 		}
@@ -609,18 +682,21 @@ func (m *Mapper) genAndScoreConfigs(perKeyword [][]Mapping) []Configuration {
 		}
 	}
 	rec(0)
+	if canceled {
+		return nil, fmt.Errorf("keyword: configuration enumeration canceled after %d configurations: %w", len(configs), ctx.Err())
+	}
 	sort.SliceStable(configs, func(i, j int) bool { return configs[i].Score > configs[j].Score })
-	return configs
+	return configs, nil
 }
 
 // scoreConfig fills the three scores of a configuration. ids carries the
 // interned fragment ID per mapping when a snapshot is in use; scratch is a
 // reusable fragment buffer for the map-backed path.
-func (m *Mapper) scoreConfig(cfg *Configuration, snap *qfg.Snapshot, ids []candID, scratch *[]fragment.Fragment) {
+func (m *Mapper) scoreConfig(cfg *Configuration, snap *qfg.Snapshot, ids []candID, scratch *[]fragment.Fragment, opts Options) {
 	// Scoreσ: geometric mean of mapping similarities (§V-C1 prefers the
 	// geometric mean to dampen per-keyword score-range variation; the
 	// arithmetic variant is kept for the design ablation).
-	if m.opts.UseArithmeticMean {
+	if opts.UseArithmeticMean {
 		sum := 0.0
 		for _, mp := range cfg.Mappings {
 			sum += mp.Sim
@@ -648,10 +724,10 @@ func (m *Mapper) scoreConfig(cfg *Configuration, snap *qfg.Snapshot, ids []candI
 	case snap != nil:
 		m.scoreQFGSnapshot(cfg, snap, ids)
 	case m.graph != nil:
-		m.scoreQFGMap(cfg, scratch)
+		m.scoreQFGMap(cfg, scratch, opts)
 	}
 
-	lambda := m.opts.Lambda
+	lambda := opts.Lambda
 	if m.graph == nil && m.src == nil {
 		lambda = 1
 	}
@@ -678,7 +754,7 @@ func (m *Mapper) scoreConfigAdhoc(cfg *Configuration) {
 		}
 	}
 	var scratch []fragment.Fragment
-	m.scoreConfig(cfg, snap, ids, &scratch)
+	m.scoreConfig(cfg, snap, ids, &scratch, m.opts)
 }
 
 // scoreQFGSnapshot computes ScoreQFG with interned-ID probes against the
@@ -727,13 +803,13 @@ func (m *Mapper) scoreQFGSnapshot(cfg *Configuration, snap *qfg.Snapshot, ids []
 // scoreQFGMap computes ScoreQFG through the mutable Graph's mutex and maps
 // (the seed path, kept behind Options.DisableSnapshot for parity tests and
 // the ranking benchmark).
-func (m *Mapper) scoreQFGMap(cfg *Configuration, scratch *[]fragment.Fragment) {
+func (m *Mapper) scoreQFGMap(cfg *Configuration, scratch *[]fragment.Fragment, opts Options) {
 	frags := (*scratch)[:0]
 	for _, mp := range cfg.Mappings {
-		if mp.Kind == KindRelation && !m.opts.IncludeFromInQFG {
+		if mp.Kind == KindRelation && !opts.IncludeFromInQFG {
 			continue
 		}
-		frags = append(frags, mp.Fragment(m.opts.Obscurity))
+		frags = append(frags, mp.Fragment(opts.Obscurity))
 	}
 	*scratch = frags
 	pairs := 0

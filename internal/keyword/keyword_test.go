@@ -151,7 +151,7 @@ func TestScoreAndPruneExactMatchExpelsOthers(t *testing.T) {
 	m := newMapper(t, false, Options{})
 	kw := Keyword{Text: "TKDE", Meta: Metadata{Context: fragment.Where}}
 	cands := m.keywordCands(kw)
-	pruned := m.scoreAndPrune(kw, cands)
+	pruned := m.scoreAndPrune(kw, cands, m.opts)
 	if len(pruned) != 1 {
 		t.Fatalf("pruned = %v", pruned)
 	}
@@ -168,7 +168,7 @@ func TestPruneKeepsTopKWithTies(t *testing.T) {
 		{Keyword: "x", Kind: KindRelation, Rel: "c", Sim: 0.5},
 		{Keyword: "x", Kind: KindRelation, Rel: "d", Sim: 0.4},
 	}
-	got := m.prune(sorted)
+	got := m.prune(sorted, m.opts)
 	if len(got) != 3 { // top-2 plus the tie at 2nd place
 		t.Fatalf("prune = %v", got)
 	}
@@ -177,7 +177,7 @@ func TestPruneKeepsTopKWithTies(t *testing.T) {
 		{Keyword: "x", Kind: KindRelation, Rel: "a", Sim: 0.9},
 		{Keyword: "x", Kind: KindRelation, Rel: "b", Sim: 0},
 	}
-	if got := m.prune(sorted2); len(got) != 1 {
+	if got := m.prune(sorted2, m.opts); len(got) != 1 {
 		t.Fatalf("prune zero = %v", got)
 	}
 }

@@ -37,11 +37,11 @@ func BenchmarkRankDiceScoringMap(b *testing.B) {
 	m := benchMapper(b, true)
 	cfg := rankedConfig()
 	var scratch []fragment.Fragment
-	m.scoreQFGMap(&cfg, &scratch) // warm the scratch buffer
+	m.scoreQFGMap(&cfg, &scratch, m.opts) // warm the scratch buffer
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.scoreQFGMap(&cfg, &scratch)
+		m.scoreQFGMap(&cfg, &scratch, m.opts)
 	}
 }
 

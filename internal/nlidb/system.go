@@ -1,6 +1,8 @@
 package nlidb
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -177,19 +179,51 @@ func NewNaLIRPlus(database *db.Database, model *embedding.Model, graph *qfg.Grap
 	return NewSystem("NaLIR+", database, model, Config{Keyword: opts, QFG: graph, LogJoin: true, Noise: noise})
 }
 
-// Translate runs the full pipeline for one parsed NLQ: (optional parser
+// CallOptions are per-request overrides of a System's construction-time
+// bounds; the zero value changes nothing.
+type CallOptions struct {
+	// Keyword is forwarded to the mapper (κ override, enumeration cap,
+	// obscurity assertion).
+	Keyword keyword.CallOptions
+	// TopConfigs overrides how many configurations are tried for SQL
+	// construction (0 = configured default).
+	TopConfigs int
+	// TopPaths overrides how many join paths are considered per
+	// configuration (0 = configured default).
+	TopPaths int
+}
+
+// Translate runs the full pipeline with no cancellation and the System's
+// configured bounds; see TranslateCtx.
+func (s *System) Translate(nlq string, hazard bool, kws []keyword.Keyword) (*Translation, error) {
+	return s.TranslateCtx(context.Background(), nlq, hazard, kws, CallOptions{})
+}
+
+// TranslateCtx runs the full pipeline for one parsed NLQ: (optional parser
 // noise) → MAPKEYWORDS → INFERJOINS per configuration → SQL construction →
 // ranking by configuration score × join-path goodness.
-func (s *System) Translate(nlq string, hazard bool, kws []keyword.Keyword) (*Translation, error) {
+//
+// ctx rides into the mapper's configuration enumeration and every join
+// path search, and is additionally checked between configurations, so a
+// canceled request aborts mid-pipeline with the wrapped ctx error.
+func (s *System) TranslateCtx(ctx context.Context, nlq string, hazard bool, kws []keyword.Keyword, co CallOptions) (*Translation, error) {
 	if s.noise != nil {
 		kws = s.noise.Corrupt(nlq, hazard, kws)
 	}
-	configs, err := s.mapper.MapKeywords(kws)
+	configs, err := s.mapper.MapKeywordsCtx(ctx, kws, co.Keyword)
 	if err != nil {
 		return nil, err
 	}
-	if len(configs) > s.topConfigs {
-		configs = configs[:s.topConfigs]
+	topConfigs := s.topConfigs
+	if co.TopConfigs > 0 {
+		topConfigs = co.TopConfigs
+	}
+	topPaths := s.topPaths
+	if co.TopPaths > 0 {
+		topPaths = co.TopPaths
+	}
+	if len(configs) > topConfigs {
+		configs = configs[:topConfigs]
 	}
 	// Ranking follows the pipeline architecture (§III-F): the keyword
 	// mapping configuration ranks first; among equally-likely
@@ -204,9 +238,15 @@ func (s *System) Translate(nlq string, hazard bool, kws []keyword.Keyword) (*Tra
 	}
 	var cands []candidate
 	for _, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("nlidb: translation canceled: %w", err)
+		}
 		bag := RelationBag(cfg)
-		paths, err := s.joins.Infer(bag, s.topPaths)
+		paths, err := s.joins.InferCtx(ctx, bag, topPaths)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err // canceled mid-search, not an infeasible bag
+			}
 			continue // disconnected bag: this configuration is infeasible
 		}
 		for _, p := range paths {

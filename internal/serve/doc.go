@@ -12,12 +12,13 @@
 // for engines, one level up. Server wires the registry to the route
 // table:
 //
-//	GET    /healthz                     liveness + per-dataset QFG stats
-//	POST   /v1/{dataset}/map-keywords   MAPKEYWORDS on a named engine
-//	POST   /v1/{dataset}/infer-joins    INFERJOINS on a named engine
-//	POST   /v1/{dataset}/translate      batched NLQ→SQL translation
-//	POST   /v1/{dataset}/log            live log appends (atomic per batch)
-//	POST   /v1/map-keywords …           legacy aliases for the default dataset
+//	GET    /healthz                     liveness, per-dataset QFG stats, request metrics
+//	GET    /v2/datasets                 hosted datasets (public discovery)
+//	POST   /v2/{dataset}/map-keywords   MAPKEYWORDS on a named engine
+//	POST   /v2/{dataset}/infer-joins    INFERJOINS on a named engine
+//	POST   /v2/{dataset}/translate      batched NLQ→SQL translation
+//	POST   /v2/{dataset}/log            live log appends (atomic per batch)
+//	POST   /v1/...                      frozen legacy contract (adapter; see v1.go)
 //	GET    /admin/datasets              tenants with engine stats
 //	POST   /admin/datasets              materialize a dataset via the Loader
 //	DELETE /admin/datasets/{name}       drop a tenant (the default is protected)
@@ -30,8 +31,23 @@
 //
 // # Wire contract
 //
-// Request and response bodies are the JSON types in wire.go; errors use
-// the uniform ErrorResponse envelope. Batch translation reports per-item
-// errors so one bad query never fails its siblings; request contexts ride
-// into the worker pool, so disconnected clients stop consuming workers.
+// Request and response bodies are the public types of templar/pkg/api;
+// this package only translates between them and the engine (encode.go).
+// v2 errors are RFC-7807 problem documents (application/problem+json)
+// with machine-readable codes; batch translation reports structured
+// per-item errors so one bad query never fails its siblings. The v1
+// routes keep the frozen legacy shapes in v1.go — a thin adapter over
+// the same core operations, bit-identical on success.
+//
+// Request contexts ride into the worker pool and the engine itself:
+// a disconnected client stops queued work from claiming workers and
+// aborts configuration enumeration and join path search mid-flight.
+//
+// # Middleware
+//
+// Every request passes through the middleware stack (middleware.go):
+// X-Request-ID assignment, optional access logging (WithAccessLog), and
+// the in-flight / latency / error counters reported under "metrics" on
+// /healthz. Request parsing is hardened with a body byte cap and batch
+// size caps (WithLimits), answered with structured 413/422 errors.
 package serve

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"templar/pkg/api"
+)
+
+// The middleware stack wraps the whole route table, outermost first:
+//
+//	request ID  → every request gets (or keeps) an X-Request-ID, exposed
+//	              to handlers via the context and echoed on the response,
+//	metrics     → in-flight gauge, request/error counters and cumulative
+//	              latency, reported on /healthz,
+//	access log  → one line per request when a logger is configured.
+//
+// Body-size and batch-size limits are enforced at the decode layer
+// (readJSON and the batch caps in the core ops), not here, because they
+// need per-endpoint knowledge.
+
+// ctxKey is the private context key namespace of this package.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// RequestIDFrom returns the request ID the middleware assigned, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// requestIDHeader is the wire header carrying the request ID.
+const requestIDHeader = "X-Request-ID"
+
+// newIDPrefix draws a short random process-unique prefix so request IDs
+// from different server instances never collide in aggregated logs.
+func newIDPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000" // degraded but functional: IDs stay per-process unique
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter records the status and byte count a handler wrote. A
+// handler that never writes (client gone mid-request) leaves status 0,
+// which the access log reports as 499 (client closed request).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// statusClientClosed is the nginx-convention pseudo-status for requests
+// abandoned by the client before a response was written.
+const statusClientClosed = 499
+
+// metricsState accumulates the serving-layer telemetry with plain
+// atomics; snapshot renders it for /healthz.
+type metricsState struct {
+	requests      atomic.Int64
+	inFlight      atomic.Int64
+	clientErrors  atomic.Int64
+	serverErrors  atomic.Int64
+	latencyMicros atomic.Int64
+}
+
+func (m *metricsState) observe(status int, dur time.Duration) {
+	m.requests.Add(1)
+	m.latencyMicros.Add(dur.Microseconds())
+	switch {
+	case status >= 500:
+		m.serverErrors.Add(1)
+	case status >= 400:
+		m.clientErrors.Add(1)
+	}
+}
+
+func (m *metricsState) snapshot() *api.Metrics {
+	out := &api.Metrics{
+		Requests:     m.requests.Load(),
+		InFlight:     m.inFlight.Load(),
+		ClientErrors: m.clientErrors.Load(),
+		ServerErrors: m.serverErrors.Load(),
+	}
+	if out.Requests > 0 {
+		out.AvgLatencyMillis = float64(m.latencyMicros.Load()) / 1e3 / float64(out.Requests)
+	}
+	return out
+}
+
+// withMiddleware wraps the route table with the stack described above.
+func (s *Server) withMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" || len(id) > 64 {
+			id = "r" + s.idPrefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		}
+		w.Header().Set(requestIDHeader, id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+
+		sw := &statusWriter{ResponseWriter: w}
+		s.metrics.inFlight.Add(1)
+		start := time.Now()
+		defer func() {
+			dur := time.Since(start)
+			s.metrics.inFlight.Add(-1)
+			status := sw.status
+			if status == 0 {
+				status = statusClientClosed
+			}
+			s.metrics.observe(status, dur)
+			if s.accessLog != nil {
+				// EscapedPath keeps percent-encoded control characters
+				// encoded, so a crafted path cannot forge log lines.
+				s.accessLog.Printf("access method=%s path=%s status=%d bytes=%d dur=%s req=%s",
+					r.Method, r.URL.EscapedPath(), status, sw.bytes, dur.Round(time.Microsecond), id)
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bufio"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/keyword"
+)
+
+// openAPIOperations extracts "METHOD /path" pairs from docs/openapi.yaml
+// with a minimal indentation-based scan (the repo takes no YAML
+// dependency): path keys are two-space-indented entries under "paths:",
+// HTTP methods four-space-indented entries under a path.
+func openAPIOperations(t *testing.T) map[string]bool {
+	t.Helper()
+	f, err := os.Open("../../docs/openapi.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ops := map[string]bool{}
+	inPaths := false
+	curPath := ""
+	methods := map[string]bool{"get": true, "post": true, "put": true, "delete": true, "patch": true}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimRight(line, " ")
+		if strings.HasPrefix(trimmed, "#") || trimmed == "" {
+			continue
+		}
+		switch {
+		case !strings.HasPrefix(line, " "):
+			inPaths = trimmed == "paths:"
+			curPath = ""
+		case inPaths && strings.HasPrefix(line, "  ") && !strings.HasPrefix(line, "   "):
+			key := strings.TrimSuffix(strings.TrimSpace(trimmed), ":")
+			if strings.HasPrefix(key, "/") {
+				curPath = key
+			}
+		case inPaths && curPath != "" && strings.HasPrefix(line, "    ") && !strings.HasPrefix(line, "     "):
+			key := strings.TrimSuffix(strings.TrimSpace(trimmed), ":")
+			if methods[key] {
+				ops[strings.ToUpper(key)+" "+curPath] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("no operations parsed from docs/openapi.yaml")
+	}
+	return ops
+}
+
+// TestOpenAPISync is half of `make api-check`: docs/openapi.yaml must
+// describe exactly the server's public v2 surface (every /healthz and
+// /v2 route the server registers, and nothing else).
+func TestOpenAPISync(t *testing.T) {
+	documented := openAPIOperations(t)
+
+	srv := NewServer(buildSystem(t, datasets.MAS(), keyword.Options{}), "MAS", 1)
+	registered := map[string]bool{}
+	for _, rt := range srv.Routes() {
+		if rt.Pattern == "/healthz" || strings.HasPrefix(rt.Pattern, "/v2/") {
+			registered[rt.Method+" "+rt.Pattern] = true
+		}
+	}
+
+	var missing, stale []string
+	for op := range registered {
+		if !documented[op] {
+			missing = append(missing, op)
+		}
+	}
+	for op := range documented {
+		if !registered[op] {
+			stale = append(stale, op)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 || len(stale) > 0 {
+		t.Fatalf("docs/openapi.yaml out of sync with serve.Server.Routes():\n"+
+			"registered but undocumented: %v\ndocumented but unregistered: %v", missing, stale)
+	}
+	t.Logf("openapi sync: %d operations match", len(documented))
+}

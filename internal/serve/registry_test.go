@@ -19,14 +19,15 @@ import (
 	"templar/internal/qfg"
 	"templar/internal/store"
 	"templar/internal/templar"
+	"templar/pkg/api"
 )
 
 // wireKeywords converts benchmark task keywords to the structured wire
 // form, so route tests drive the same workloads the evaluation does.
-func wireKeywords(kws []keyword.Keyword) KeywordsInput {
-	out := make([]KeywordJSON, len(kws))
+func wireKeywords(kws []keyword.Keyword) api.KeywordsInput {
+	out := make([]api.Keyword, len(kws))
 	for i, kw := range kws {
-		kj := KeywordJSON{Text: kw.Text, Op: kw.Meta.Op, GroupBy: kw.Meta.GroupBy}
+		kj := api.Keyword{Text: kw.Text, Op: kw.Meta.Op, GroupBy: kw.Meta.GroupBy}
 		switch kw.Meta.Context {
 		case fragment.Select:
 			kj.Context = "select"
@@ -40,7 +41,7 @@ func wireKeywords(kws []keyword.Keyword) KeywordsInput {
 		}
 		out[i] = kj
 	}
-	return KeywordsInput{Keywords: out}
+	return api.KeywordsInput{Keywords: out}
 }
 
 // translatableTask picks the first benchmark task the dataset's own engine
@@ -50,7 +51,7 @@ func translatableTask(t testing.TB, ds *datasets.Dataset) datasets.Task {
 	t.Helper()
 	sys := buildSystem(t, ds, keyword.Options{})
 	for _, task := range ds.Tasks {
-		if _, err := sys.Translate(task.Keywords); err == nil {
+		if _, err := sys.Translate(context.Background(), task.Keywords, nil); err == nil {
 			return task
 		}
 	}
@@ -131,14 +132,14 @@ func TestDatasetScopedRoutes(t *testing.T) {
 	ts := multiTenantServer(t, nil)
 
 	// Each dataset answers over its own schema and workload.
-	var masResp, yelpResp TranslateResponse
-	if s := postJSON(t, ts.URL+"/v1/mas/translate", TranslateRequest{Queries: []KeywordsInput{
+	var masResp, yelpResp V1TranslateResponse
+	if s := postJSON(t, ts.URL+"/v1/mas/translate", api.TranslateRequest{Queries: []api.KeywordsInput{
 		{Spec: "papers:select;Databases:where"},
 	}}, &masResp); s != http.StatusOK {
 		t.Fatalf("mas translate status = %d", s)
 	}
 	yelpTask := translatableTask(t, datasets.Yelp())
-	if s := postJSON(t, ts.URL+"/v1/yelp/translate", TranslateRequest{Queries: []KeywordsInput{
+	if s := postJSON(t, ts.URL+"/v1/yelp/translate", api.TranslateRequest{Queries: []api.KeywordsInput{
 		wireKeywords(yelpTask.Keywords),
 	}}, &yelpResp); s != http.StatusOK {
 		t.Fatalf("yelp translate status = %d", s)
@@ -151,8 +152,8 @@ func TestDatasetScopedRoutes(t *testing.T) {
 	}
 
 	// The legacy unprefixed route answers exactly like the default scope.
-	var legacy, scoped MapKeywordsResponse
-	req := MapKeywordsRequest{KeywordsInput: KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 2}
+	var legacy, scoped api.MapKeywordsResponse
+	req := V1MapKeywordsRequest{KeywordsInput: api.KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 2}
 	if s := postJSON(t, ts.URL+"/v1/map-keywords", req, &legacy); s != http.StatusOK {
 		t.Fatalf("legacy status = %d", s)
 	}
@@ -164,29 +165,29 @@ func TestDatasetScopedRoutes(t *testing.T) {
 	}
 
 	// Unknown datasets 404 with the JSON error envelope.
-	var er ErrorResponse
+	var er V1Error
 	if s := postJSON(t, ts.URL+"/v1/imdb/map-keywords", req, &er); s != http.StatusNotFound || er.Error == "" {
 		t.Fatalf("unknown dataset: status %d, err %q", s, er.Error)
 	}
 
 	// Scoped log appends land on the named dataset only.
-	var before, after HealthResponse
+	var before, after api.HealthResponse
 	getJSON(t, ts.URL+"/healthz", &before)
-	var ar LogAppendResponse
-	if s := postJSON(t, ts.URL+"/v1/yelp/log", LogAppendRequest{Queries: []LogEntryJSON{
+	var ar api.LogAppendResponse
+	if s := postJSON(t, ts.URL+"/v1/yelp/log", api.LogAppendRequest{Queries: []api.LogEntry{
 		{SQL: "SELECT b.name FROM business b WHERE b.city = 'Dallas'", Count: 2},
 	}}, &ar); s != http.StatusOK {
 		t.Fatalf("yelp append status = %d", s)
 	}
 	getJSON(t, ts.URL+"/healthz", &after)
-	stats := func(h HealthResponse, name string) DatasetStatusJSON {
+	stats := func(h api.HealthResponse, name string) api.DatasetStatus {
 		for _, d := range h.Datasets {
 			if strings.EqualFold(d.Name, name) {
 				return d
 			}
 		}
 		t.Fatalf("dataset %s missing from health %+v", name, h)
-		return DatasetStatusJSON{}
+		return api.DatasetStatus{}
 	}
 	if got, want := stats(after, "Yelp").LogQueries, stats(before, "Yelp").LogQueries+2; got != want {
 		t.Fatalf("yelp log queries = %d, want %d", got, want)
@@ -218,8 +219,8 @@ func TestStoreLoadedEngineParity(t *testing.T) {
 		if checked == 25 {
 			break
 		}
-		req := TranslateRequest{Queries: []KeywordsInput{wireKeywords(task.Keywords)}}
-		var a, b TranslateResponse
+		req := api.TranslateRequest{Queries: []api.KeywordsInput{wireKeywords(task.Keywords)}}
+		var a, b V1TranslateResponse
 		if s := postJSON(t, built.URL+"/v1/translate", req, &a); s != http.StatusOK {
 			t.Fatalf("%s: built status %d", task.ID, s)
 		}
@@ -251,7 +252,7 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	ts := multiTenantServer(t, loader)
 
-	var list AdminDatasetsResponse
+	var list api.DatasetsResponse
 	getJSON(t, ts.URL+"/admin/datasets", &list)
 	if len(list.Datasets) != 2 {
 		t.Fatalf("admin list %+v", list)
@@ -264,40 +265,40 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 
 	// Load IMDB through the admin API, then query it.
-	var created DatasetStatusJSON
-	if s := postJSON(t, ts.URL+"/admin/datasets", AdminLoadRequest{Name: "imdb"}, &created); s != http.StatusCreated {
+	var created api.DatasetStatus
+	if s := postJSON(t, ts.URL+"/admin/datasets", api.AdminLoadRequest{Name: "imdb"}, &created); s != http.StatusCreated {
 		t.Fatalf("load status = %d", s)
 	}
 	if created.Name != "IMDB" || created.Source != "built" || loads != 1 {
 		t.Fatalf("created %+v after %d loads", created, loads)
 	}
-	var tr TranslateResponse
-	if s := postJSON(t, ts.URL+"/v1/imdb/translate", TranslateRequest{Queries: []KeywordsInput{
+	var tr V1TranslateResponse
+	if s := postJSON(t, ts.URL+"/v1/imdb/translate", api.TranslateRequest{Queries: []api.KeywordsInput{
 		wireKeywords(translatableTask(t, datasets.IMDB()).Keywords),
 	}}, &tr); s != http.StatusOK || tr.Results[0].Error != "" {
 		t.Fatalf("imdb after load: status %d, %+v", s, tr.Results)
 	}
 
-	var er ErrorResponse
-	if s := postJSON(t, ts.URL+"/admin/datasets", AdminLoadRequest{Name: "imdb"}, &er); s != http.StatusConflict {
+	var er V1Error
+	if s := postJSON(t, ts.URL+"/admin/datasets", api.AdminLoadRequest{Name: "imdb"}, &er); s != http.StatusConflict {
 		t.Fatalf("duplicate load status = %d", s)
 	}
-	if s := postJSON(t, ts.URL+"/admin/datasets", AdminLoadRequest{Name: "nonesuch"}, &er); s != http.StatusNotFound {
+	if s := postJSON(t, ts.URL+"/admin/datasets", api.AdminLoadRequest{Name: "nonesuch"}, &er); s != http.StatusNotFound {
 		t.Fatalf("unknown load status = %d", s)
 	}
-	if s := postJSON(t, ts.URL+"/admin/datasets", AdminLoadRequest{}, &er); s != http.StatusBadRequest {
+	if s := postJSON(t, ts.URL+"/admin/datasets", api.AdminLoadRequest{}, &er); s != http.StatusBadRequest {
 		t.Fatalf("empty load status = %d", s)
 	}
 
 	// Remove IMDB; its routes 404 afterwards, and the default is protected.
-	var rm AdminRemoveResponse
+	var rm api.AdminRemoveResponse
 	if s := deleteJSON(t, ts.URL+"/admin/datasets/imdb", &rm); s != http.StatusOK || rm.Removed != "imdb" {
 		t.Fatalf("remove: status %d, %+v", s, rm)
 	}
 	if s := deleteJSON(t, ts.URL+"/admin/datasets/imdb", &er); s != http.StatusNotFound {
 		t.Fatalf("re-remove status = %d", s)
 	}
-	if s := postJSON(t, ts.URL+"/v1/imdb/translate", TranslateRequest{Queries: []KeywordsInput{
+	if s := postJSON(t, ts.URL+"/v1/imdb/translate", api.TranslateRequest{Queries: []api.KeywordsInput{
 		{Spec: "movies:select"},
 	}}, &er); s != http.StatusNotFound {
 		t.Fatalf("removed dataset still answers: %d", s)
@@ -308,7 +309,7 @@ func TestAdminEndpoints(t *testing.T) {
 
 	// Without a loader, POST /admin/datasets is 501.
 	noLoader := multiTenantServer(t, nil)
-	if s := postJSON(t, noLoader.URL+"/admin/datasets", AdminLoadRequest{Name: "imdb"}, &er); s != http.StatusNotImplemented {
+	if s := postJSON(t, noLoader.URL+"/admin/datasets", api.AdminLoadRequest{Name: "imdb"}, &er); s != http.StatusNotImplemented {
 		t.Fatalf("no-loader status = %d", s)
 	}
 }
@@ -327,15 +328,15 @@ func TestMultiTenantConcurrent(t *testing.T) {
 	ts := httptest.NewServer(NewRegistryServer(reg, "MAS", 4, nil).Handler())
 	t.Cleanup(ts.Close)
 
-	specs := map[string]KeywordsInput{
+	specs := map[string]api.KeywordsInput{
 		"mas":  {Spec: "papers:select;Databases:where"},
 		"yelp": wireKeywords(translatableTask(t, datasets.Yelp()).Keywords),
 		"imdb": wireKeywords(translatableTask(t, datasets.IMDB()).Keywords),
 	}
-	want := make(map[string]TranslateResponse)
+	want := make(map[string]V1TranslateResponse)
 	for name, in := range specs {
-		var resp TranslateResponse
-		if s := postJSON(t, ts.URL+"/v1/"+name+"/translate", TranslateRequest{Queries: []KeywordsInput{in}}, &resp); s != http.StatusOK {
+		var resp V1TranslateResponse
+		if s := postJSON(t, ts.URL+"/v1/"+name+"/translate", api.TranslateRequest{Queries: []api.KeywordsInput{in}}, &resp); s != http.StatusOK {
 			t.Fatalf("%s warmup status %d", name, s)
 		}
 		if resp.Results[0].Error != "" {
@@ -355,9 +356,9 @@ func TestMultiTenantConcurrent(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				switch r % 3 {
 				case 0:
-					var got TranslateResponse
-					if s := postJSON(t, ts.URL+"/v1/"+name+"/translate", TranslateRequest{
-						Queries: []KeywordsInput{specs[name]},
+					var got V1TranslateResponse
+					if s := postJSON(t, ts.URL+"/v1/"+name+"/translate", api.TranslateRequest{
+						Queries: []api.KeywordsInput{specs[name]},
 					}, &got); s != http.StatusOK {
 						t.Errorf("client %d: %s translate status %d", c, name, s)
 						return
@@ -372,15 +373,15 @@ func TestMultiTenantConcurrent(t *testing.T) {
 					}
 				case 1:
 					// Grow the Yelp log while every dataset keeps answering.
-					var ar LogAppendResponse
-					if s := postJSON(t, ts.URL+"/v1/yelp/log", LogAppendRequest{Queries: []LogEntryJSON{
+					var ar api.LogAppendResponse
+					if s := postJSON(t, ts.URL+"/v1/yelp/log", api.LogAppendRequest{Queries: []api.LogEntry{
 						{SQL: "SELECT b.name FROM business b WHERE b.city = 'Dallas'"},
 					}}, &ar); s != http.StatusOK {
 						t.Errorf("client %d: append status %d", c, s)
 						return
 					}
 				default:
-					var list AdminDatasetsResponse
+					var list api.DatasetsResponse
 					if s := getJSON(t, ts.URL+"/admin/datasets", &list); s != http.StatusOK || len(list.Datasets) != 3 {
 						t.Errorf("client %d: admin list status %d (%d datasets)", c, s, len(list.Datasets))
 						return
@@ -435,9 +436,9 @@ func TestAdminToken(t *testing.T) {
 		}
 	}
 	// Serving routes need no token.
-	var resp MapKeywordsResponse
-	if s := postJSON(t, ts.URL+"/v1/map-keywords", MapKeywordsRequest{
-		KeywordsInput: KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 1,
+	var resp api.MapKeywordsResponse
+	if s := postJSON(t, ts.URL+"/v1/map-keywords", V1MapKeywordsRequest{
+		KeywordsInput: api.KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 1,
 	}, &resp); s != http.StatusOK {
 		t.Errorf("serving route demanded auth: status %d", s)
 	}
@@ -457,20 +458,20 @@ func TestTenantIsolation(t *testing.T) {
 	ts := httptest.NewServer(NewRegistryServer(reg, mas.Name, 2, nil).Handler())
 	t.Cleanup(ts.Close)
 
-	var before TranslateResponse
-	req := TranslateRequest{Queries: []KeywordsInput{{Spec: "papers:select;Databases:where"}}}
+	var before V1TranslateResponse
+	req := api.TranslateRequest{Queries: []api.KeywordsInput{{Spec: "papers:select;Databases:where"}}}
 	if s := postJSON(t, ts.URL+"/v1/mas/translate", req, &before); s != http.StatusOK {
 		t.Fatalf("warmup status %d", s)
 	}
-	var ar LogAppendResponse
+	var ar api.LogAppendResponse
 	for i := 0; i < 25; i++ {
-		if s := postJSON(t, ts.URL+"/v1/yelp/log", LogAppendRequest{Queries: []LogEntryJSON{
+		if s := postJSON(t, ts.URL+"/v1/yelp/log", api.LogAppendRequest{Queries: []api.LogEntry{
 			{SQL: "SELECT b.name FROM business b WHERE b.city = 'Dallas'", Count: 3},
 		}}, &ar); s != http.StatusOK {
 			t.Fatalf("append %d status %d", i, s)
 		}
 	}
-	var after TranslateResponse
+	var after V1TranslateResponse
 	if s := postJSON(t, ts.URL+"/v1/mas/translate", req, &after); s != http.StatusOK {
 		t.Fatalf("post-append status %d", s)
 	}

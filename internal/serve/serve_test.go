@@ -18,6 +18,7 @@ import (
 	"templar/internal/qfg"
 	"templar/internal/sqlparse"
 	"templar/internal/templar"
+	"templar/pkg/api"
 )
 
 // buildGraph trains a QFG from a dataset's full gold-SQL log.
@@ -93,7 +94,7 @@ func TestHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var h HealthResponse
+	var h api.HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
@@ -106,9 +107,9 @@ func TestMapKeywordsHandler(t *testing.T) {
 	ts := newTestServer(t)
 	url := ts.URL + "/v1/map-keywords"
 
-	var resp MapKeywordsResponse
-	status := postJSON(t, url, MapKeywordsRequest{
-		KeywordsInput: KeywordsInput{Spec: "papers:select;Databases:where"},
+	var resp api.MapKeywordsResponse
+	status := postJSON(t, url, V1MapKeywordsRequest{
+		KeywordsInput: api.KeywordsInput{Spec: "papers:select;Databases:where"},
 		Top:           3,
 	}, &resp)
 	if status != http.StatusOK {
@@ -123,9 +124,9 @@ func TestMapKeywordsHandler(t *testing.T) {
 	}
 
 	// The structured form must be equivalent to the spec form.
-	var structured MapKeywordsResponse
-	status = postJSON(t, url, MapKeywordsRequest{
-		KeywordsInput: KeywordsInput{Keywords: []KeywordJSON{
+	var structured api.MapKeywordsResponse
+	status = postJSON(t, url, V1MapKeywordsRequest{
+		KeywordsInput: api.KeywordsInput{Keywords: []api.Keyword{
 			{Text: "papers", Context: "select"},
 			{Text: "Databases", Context: "where"},
 		}},
@@ -148,20 +149,20 @@ func TestMapKeywordsErrors(t *testing.T) {
 		body any
 		want int
 	}{
-		{"empty", MapKeywordsRequest{}, http.StatusBadRequest},
-		{"both forms", MapKeywordsRequest{KeywordsInput: KeywordsInput{
+		{"empty", V1MapKeywordsRequest{}, http.StatusBadRequest},
+		{"both forms", V1MapKeywordsRequest{KeywordsInput: api.KeywordsInput{
 			Spec:     "papers:select",
-			Keywords: []KeywordJSON{{Text: "papers", Context: "select"}},
+			Keywords: []api.Keyword{{Text: "papers", Context: "select"}},
 		}}, http.StatusBadRequest},
-		{"bad context", MapKeywordsRequest{KeywordsInput: KeywordsInput{
-			Keywords: []KeywordJSON{{Text: "papers", Context: "sideways"}},
+		{"bad context", V1MapKeywordsRequest{KeywordsInput: api.KeywordsInput{
+			Keywords: []api.Keyword{{Text: "papers", Context: "sideways"}},
 		}}, http.StatusBadRequest},
-		{"unmappable keyword", MapKeywordsRequest{KeywordsInput: KeywordsInput{
-			Keywords: []KeywordJSON{{Text: "zzzqqqxxyy", Context: "where"}},
+		{"unmappable keyword", V1MapKeywordsRequest{KeywordsInput: api.KeywordsInput{
+			Keywords: []api.Keyword{{Text: "zzzqqqxxyy", Context: "where"}},
 		}}, http.StatusUnprocessableEntity},
 	}
 	for _, tc := range cases {
-		var er ErrorResponse
+		var er V1Error
 		if status := postJSON(t, url, tc.body, &er); status != tc.want {
 			t.Errorf("%s: status = %d, want %d", tc.name, status, tc.want)
 		} else if er.Error == "" {
@@ -183,8 +184,8 @@ func TestInferJoinsHandler(t *testing.T) {
 	ts := newTestServer(t)
 	url := ts.URL + "/v1/infer-joins"
 
-	var resp InferJoinsResponse
-	if status := postJSON(t, url, InferJoinsRequest{Relations: []string{"publication", "domain"}, TopK: 3}, &resp); status != http.StatusOK {
+	var resp api.InferJoinsResponse
+	if status := postJSON(t, url, V1InferJoinsRequest{Relations: []string{"publication", "domain"}, TopK: 3}, &resp); status != http.StatusOK {
 		t.Fatalf("status = %d", status)
 	}
 	if len(resp.Paths) == 0 {
@@ -195,8 +196,8 @@ func TestInferJoinsHandler(t *testing.T) {
 	}
 
 	// Self-join bag: duplicated relation must fork an instance.
-	var fork InferJoinsResponse
-	if status := postJSON(t, url, InferJoinsRequest{Relations: []string{"author", "author", "publication"}}, &fork); status != http.StatusOK {
+	var fork api.InferJoinsResponse
+	if status := postJSON(t, url, V1InferJoinsRequest{Relations: []string{"author", "author", "publication"}}, &fork); status != http.StatusOK {
 		t.Fatalf("self-join status = %d", status)
 	}
 	found := false
@@ -209,11 +210,11 @@ func TestInferJoinsHandler(t *testing.T) {
 		t.Fatalf("self-join fork missing from %v", fork.Paths[0].Relations)
 	}
 
-	var er ErrorResponse
-	if status := postJSON(t, url, InferJoinsRequest{Relations: []string{"nonesuch"}}, &er); status != http.StatusUnprocessableEntity {
+	var er V1Error
+	if status := postJSON(t, url, V1InferJoinsRequest{Relations: []string{"nonesuch"}}, &er); status != http.StatusUnprocessableEntity {
 		t.Fatalf("unknown relation status = %d", status)
 	}
-	if status := postJSON(t, url, InferJoinsRequest{}, &er); status != http.StatusBadRequest {
+	if status := postJSON(t, url, V1InferJoinsRequest{}, &er); status != http.StatusBadRequest {
 		t.Fatalf("empty bag status = %d", status)
 	}
 }
@@ -221,8 +222,8 @@ func TestInferJoinsHandler(t *testing.T) {
 func TestTranslateHandler(t *testing.T) {
 	ts := newTestServer(t)
 
-	var resp TranslateResponse
-	status := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{Queries: []KeywordsInput{
+	var resp V1TranslateResponse
+	status := postJSON(t, ts.URL+"/v1/translate", api.TranslateRequest{Queries: []api.KeywordsInput{
 		{Spec: "papers:select;Databases:where"},
 		{Spec: "oops"}, // malformed: per-query error, not batch failure
 		{Spec: "authors:select;Data Mining:where"},
@@ -243,8 +244,8 @@ func TestTranslateHandler(t *testing.T) {
 		t.Fatalf("result 1 should carry only an error: %+v", resp.Results[1])
 	}
 
-	var er ErrorResponse
-	if status := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{}, &er); status != http.StatusBadRequest {
+	var er V1Error
+	if status := postJSON(t, ts.URL+"/v1/translate", api.TranslateRequest{}, &er); status != http.StatusBadRequest {
 		t.Fatalf("empty batch status = %d", status)
 	}
 }
@@ -256,14 +257,14 @@ func TestTranslateHandler(t *testing.T) {
 func TestConcurrentClients(t *testing.T) {
 	ts := newTestServer(t)
 
-	var wantMap MapKeywordsResponse
-	if s := postJSON(t, ts.URL+"/v1/map-keywords", MapKeywordsRequest{
-		KeywordsInput: KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 1,
+	var wantMap api.MapKeywordsResponse
+	if s := postJSON(t, ts.URL+"/v1/map-keywords", V1MapKeywordsRequest{
+		KeywordsInput: api.KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 1,
 	}, &wantMap); s != http.StatusOK {
 		t.Fatalf("warmup map status = %d", s)
 	}
-	var wantTr TranslateResponse
-	if s := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{Queries: []KeywordsInput{
+	var wantTr V1TranslateResponse
+	if s := postJSON(t, ts.URL+"/v1/translate", api.TranslateRequest{Queries: []api.KeywordsInput{
 		{Spec: "papers:select;Databases:where"},
 		{Spec: "authors:select;Data Mining:where"},
 	}}, &wantTr); s != http.StatusOK {
@@ -279,9 +280,9 @@ func TestConcurrentClients(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				switch (c + r) % 3 {
 				case 0:
-					var got MapKeywordsResponse
-					if s := postJSON(t, ts.URL+"/v1/map-keywords", MapKeywordsRequest{
-						KeywordsInput: KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 1,
+					var got api.MapKeywordsResponse
+					if s := postJSON(t, ts.URL+"/v1/map-keywords", V1MapKeywordsRequest{
+						KeywordsInput: api.KeywordsInput{Spec: "papers:select;Databases:where"}, Top: 1,
 					}, &got); s != http.StatusOK {
 						t.Errorf("client %d: map status %d", c, s)
 						return
@@ -290,16 +291,16 @@ func TestConcurrentClients(t *testing.T) {
 						return
 					}
 				case 1:
-					var got InferJoinsResponse
-					if s := postJSON(t, ts.URL+"/v1/infer-joins", InferJoinsRequest{
+					var got api.InferJoinsResponse
+					if s := postJSON(t, ts.URL+"/v1/infer-joins", V1InferJoinsRequest{
 						Relations: []string{"author", "author", "publication"},
 					}, &got); s != http.StatusOK {
 						t.Errorf("client %d: joins status %d", c, s)
 						return
 					}
 				default:
-					var got TranslateResponse
-					if s := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{Queries: []KeywordsInput{
+					var got V1TranslateResponse
+					if s := postJSON(t, ts.URL+"/v1/translate", api.TranslateRequest{Queries: []api.KeywordsInput{
 						{Spec: "papers:select;Databases:where"},
 						{Spec: "authors:select;Data Mining:where"},
 					}}, &got); s != http.StatusOK {
@@ -325,7 +326,7 @@ func TestLogAppendHandler(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
-	var before HealthResponse
+	var before api.HealthResponse
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -338,8 +339,8 @@ func TestLogAppendHandler(t *testing.T) {
 		t.Fatalf("live health = %+v", before)
 	}
 
-	var ar LogAppendResponse
-	status := postJSON(t, ts.URL+"/v1/log", LogAppendRequest{Queries: []LogEntryJSON{
+	var ar api.LogAppendResponse
+	status := postJSON(t, ts.URL+"/v1/log", api.LogAppendRequest{Queries: []api.LogEntry{
 		{SQL: "SELECT p.title FROM publication p WHERE p.citation_num > 50", Count: 3},
 		{SQL: "SELECT a.name FROM author a"},
 	}}, &ar)
@@ -351,8 +352,8 @@ func TestLogAppendHandler(t *testing.T) {
 	}
 
 	// A session append blends cross-query evidence without error.
-	status = postJSON(t, ts.URL+"/v1/log", LogAppendRequest{
-		Queries: []LogEntryJSON{
+	status = postJSON(t, ts.URL+"/v1/log", api.LogAppendRequest{
+		Queries: []api.LogEntry{
 			{SQL: "SELECT j.name FROM journal j"},
 			{SQL: "SELECT p.title FROM publication p"},
 		},
@@ -363,15 +364,15 @@ func TestLogAppendHandler(t *testing.T) {
 	}
 
 	// Bad SQL rejects the whole batch atomically.
-	var er ErrorResponse
-	status = postJSON(t, ts.URL+"/v1/log", LogAppendRequest{Queries: []LogEntryJSON{
+	var er V1Error
+	status = postJSON(t, ts.URL+"/v1/log", api.LogAppendRequest{Queries: []api.LogEntry{
 		{SQL: "SELECT a.name FROM author a"},
 		{SQL: "SELEC nonsense"},
 	}}, &er)
 	if status != http.StatusBadRequest || er.Error == "" {
 		t.Fatalf("bad SQL: status %d, err %q", status, er.Error)
 	}
-	var after HealthResponse
+	var after api.HealthResponse
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -387,7 +388,7 @@ func TestLogAppendHandler(t *testing.T) {
 	// Frozen systems refuse appends.
 	frozen := httptest.NewServer(NewServer(buildSystem(t, ds, keyword.Options{}), ds.Name, 2).Handler())
 	t.Cleanup(frozen.Close)
-	if status := postJSON(t, frozen.URL+"/v1/log", LogAppendRequest{Queries: []LogEntryJSON{
+	if status := postJSON(t, frozen.URL+"/v1/log", api.LogAppendRequest{Queries: []api.LogEntry{
 		{SQL: "SELECT a.name FROM author a"},
 	}}, &er); status != http.StatusConflict {
 		t.Fatalf("frozen append status = %d, want 409", status)
@@ -411,8 +412,8 @@ func TestLiveAppendsDuringTraffic(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				if (c+r)%2 == 0 {
-					var got TranslateResponse
-					if s := postJSON(t, ts.URL+"/v1/translate", TranslateRequest{Queries: []KeywordsInput{
+					var got V1TranslateResponse
+					if s := postJSON(t, ts.URL+"/v1/translate", api.TranslateRequest{Queries: []api.KeywordsInput{
 						{Spec: "papers:select;Databases:where"},
 					}}, &got); s != http.StatusOK {
 						t.Errorf("client %d: translate status %d", c, s)
@@ -422,8 +423,8 @@ func TestLiveAppendsDuringTraffic(t *testing.T) {
 						return
 					}
 				} else {
-					var ar LogAppendResponse
-					if s := postJSON(t, ts.URL+"/v1/log", LogAppendRequest{Queries: []LogEntryJSON{
+					var ar api.LogAppendResponse
+					if s := postJSON(t, ts.URL+"/v1/log", api.LogAppendRequest{Queries: []api.LogEntry{
 						{SQL: "SELECT p.title FROM publication p WHERE p.year > 2015"},
 					}}, &ar); s != http.StatusOK {
 						t.Errorf("client %d: append status %d", c, s)
@@ -450,8 +451,8 @@ func TestCanceledRequestContext(t *testing.T) {
 		path string
 		body any
 	}{
-		{"/v1/map-keywords", MapKeywordsRequest{KeywordsInput: KeywordsInput{Spec: "papers:select"}}},
-		{"/v1/translate", TranslateRequest{Queries: []KeywordsInput{{Spec: "papers:select;Databases:where"}}}},
+		{"/v1/map-keywords", V1MapKeywordsRequest{KeywordsInput: api.KeywordsInput{Spec: "papers:select"}}},
+		{"/v1/translate", api.TranslateRequest{Queries: []api.KeywordsInput{{Spec: "papers:select;Databases:where"}}}},
 	} {
 		buf, err := json.Marshal(tc.body)
 		if err != nil {
@@ -477,16 +478,16 @@ func TestSnapshotMapperMatchesMapPath(t *testing.T) {
 			snapshot := buildSystem(t, ds, keyword.Options{})
 			mapped := buildSystem(t, ds, keyword.Options{DisableSnapshot: true})
 			for _, task := range ds.Tasks {
-				gotCfg, gotErr := snapshot.MapKeywords(task.Keywords)
-				wantCfg, wantErr := mapped.MapKeywords(task.Keywords)
+				gotCfg, gotErr := snapshot.MapKeywords(context.Background(), task.Keywords, nil)
+				wantCfg, wantErr := mapped.MapKeywords(context.Background(), task.Keywords, nil)
 				if (gotErr == nil) != (wantErr == nil) {
 					t.Fatalf("%s: error mismatch: snapshot=%v map=%v", task.ID, gotErr, wantErr)
 				}
 				if !reflect.DeepEqual(gotCfg, wantCfg) {
 					t.Fatalf("%s: configurations diverged\nsnapshot: %v\nmap:      %v", task.ID, gotCfg, wantCfg)
 				}
-				gotTr, gotErr := snapshot.Translate(task.Keywords)
-				wantTr, wantErr := mapped.Translate(task.Keywords)
+				gotTr, gotErr := snapshot.Translate(context.Background(), task.Keywords, nil)
+				wantTr, wantErr := mapped.Translate(context.Background(), task.Keywords, nil)
 				if (gotErr == nil) != (wantErr == nil) {
 					t.Fatalf("%s: translate error mismatch: snapshot=%v map=%v", task.ID, gotErr, wantErr)
 				}
@@ -505,7 +506,7 @@ func BenchmarkTranslateEndToEnd(b *testing.B) {
 	ds := datasets.MAS()
 	srv := NewServer(buildSystem(b, ds, keyword.Options{}), ds.Name, 4)
 	h := srv.Handler()
-	body, err := json.Marshal(TranslateRequest{Queries: []KeywordsInput{
+	body, err := json.Marshal(api.TranslateRequest{Queries: []api.KeywordsInput{
 		{Spec: "papers:select;Databases:where"},
 		{Spec: "authors:select;Data Mining:where"},
 	}})
@@ -535,16 +536,16 @@ func TestIndexedMapperMatchesSeedPath(t *testing.T) {
 			indexed := buildSystem(t, ds, keyword.Options{})
 			seed := buildSystem(t, ds, keyword.Options{DisableIndex: true})
 			for _, task := range ds.Tasks {
-				gotCfg, gotErr := indexed.MapKeywords(task.Keywords)
-				wantCfg, wantErr := seed.MapKeywords(task.Keywords)
+				gotCfg, gotErr := indexed.MapKeywords(context.Background(), task.Keywords, nil)
+				wantCfg, wantErr := seed.MapKeywords(context.Background(), task.Keywords, nil)
 				if (gotErr == nil) != (wantErr == nil) {
 					t.Fatalf("%s: error mismatch: indexed=%v seed=%v", task.ID, gotErr, wantErr)
 				}
 				if !reflect.DeepEqual(gotCfg, wantCfg) {
 					t.Fatalf("%s: configurations diverged\nindexed: %v\nseed:    %v", task.ID, gotCfg, wantCfg)
 				}
-				gotTr, gotErr := indexed.Translate(task.Keywords)
-				wantTr, wantErr := seed.Translate(task.Keywords)
+				gotTr, gotErr := indexed.Translate(context.Background(), task.Keywords, nil)
+				wantTr, wantErr := seed.Translate(context.Background(), task.Keywords, nil)
 				if (gotErr == nil) != (wantErr == nil) {
 					t.Fatalf("%s: translate error mismatch: indexed=%v seed=%v", task.ID, gotErr, wantErr)
 				}

@@ -1,22 +1,35 @@
 package serve
 
 import (
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
-	"fmt"
+	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
-	"templar/internal/keyword"
 	"templar/internal/pool"
 	"templar/internal/sqlparse"
 	"templar/internal/templar"
+	"templar/pkg/api"
 )
 
-// maxBodyBytes caps request bodies; keyword batches are small.
-const maxBodyBytes = 1 << 20
+// Request-parsing limits; all overridable per server with WithLimits.
+const (
+	// DefaultMaxBodyBytes caps POST bodies; keyword batches are small.
+	DefaultMaxBodyBytes = 1 << 20
+	// DefaultMaxTranslateBatch caps queries per /translate call.
+	DefaultMaxTranslateBatch = 64
+	// DefaultMaxLogBatch caps entries per /log append.
+	DefaultMaxLogBatch = 256
+)
+
+// defaultInferTopK is the route-level default for infer-joins requests
+// that leave top_k unset (the engine default of 1 is for library callers).
+const defaultInferTopK = 3
 
 // Server exposes a Registry of named Templar engines over HTTP. All
 // CPU-heavy work (mapping, inference, translation, engine loading) runs
@@ -24,15 +37,34 @@ const maxBodyBytes = 1 << 20
 // dataset share a fixed parallelism budget; each engine is itself safe for
 // concurrent use, so no request-level locking is needed anywhere.
 //
-// Routes come in two families: dataset-scoped (/v1/{dataset}/...) and
-// legacy unprefixed (/v1/...), which alias the server's default dataset so
-// single-tenant clients keep working unchanged.
+// Routes come in three families:
+//
+//   - /v2/{dataset}/... — the current contract (pkg/api): top_k
+//     everywhere, RFC-7807 problem+json errors with machine-readable
+//     codes, structured per-item batch errors, per-request engine options.
+//   - /v1/... and /v1/{dataset}/... — the frozen legacy contract, served
+//     by thin adapters over the same core operations; successful bodies
+//     are bit-identical to v2 and to the pre-v2 server.
+//   - /admin/... — tenant management (structured errors, optionally
+//     bearer-token protected).
+//
+// Every request flows through the middleware stack: request ID, optional
+// access log, and the in-flight/latency metrics reported on /healthz.
 type Server struct {
 	reg         *Registry
 	defaultName string
 	pool        *pool.Pool
 	loader      Loader
 	adminToken  string
+
+	maxBodyBytes      int64
+	maxTranslateBatch int
+	maxLogBatch       int
+
+	accessLog *log.Logger
+	metrics   metricsState
+	idPrefix  string
+	reqSeq    atomic.Uint64
 }
 
 // NewServer binds a single-tenant server to one system: a registry holding
@@ -52,7 +84,16 @@ func NewServer(sys *templar.System, dataset string, workers int) *Server {
 // loader, when non-nil, enables POST /admin/datasets to materialize new
 // tenants on demand.
 func NewRegistryServer(reg *Registry, defaultDataset string, workers int, loader Loader) *Server {
-	return &Server{reg: reg, defaultName: defaultDataset, pool: pool.New(workers), loader: loader}
+	return &Server{
+		reg:               reg,
+		defaultName:       defaultDataset,
+		pool:              pool.New(workers),
+		loader:            loader,
+		maxBodyBytes:      DefaultMaxBodyBytes,
+		maxTranslateBatch: DefaultMaxTranslateBatch,
+		maxLogBatch:       DefaultMaxLogBatch,
+		idPrefix:          newIDPrefix(),
+	}
 }
 
 // WithAdminToken requires `Authorization: Bearer token` on every /admin
@@ -66,6 +107,29 @@ func (s *Server) WithAdminToken(token string) *Server {
 	return s
 }
 
+// WithLimits overrides the request-parsing caps; zero keeps the default
+// for that limit. Exceeding maxBodyBytes is a 413 CodeBodyTooLarge;
+// exceeding a batch cap is a 422 CodeBatchTooLarge.
+func (s *Server) WithLimits(maxBodyBytes int64, maxTranslateBatch, maxLogBatch int) *Server {
+	if maxBodyBytes > 0 {
+		s.maxBodyBytes = maxBodyBytes
+	}
+	if maxTranslateBatch > 0 {
+		s.maxTranslateBatch = maxTranslateBatch
+	}
+	if maxLogBatch > 0 {
+		s.maxLogBatch = maxLogBatch
+	}
+	return s
+}
+
+// WithAccessLog emits one line per request (method, path, status, bytes,
+// latency, request ID) to l. A nil logger disables access logging.
+func (s *Server) WithAccessLog(l *log.Logger) *Server {
+	s.accessLog = l
+	return s
+}
+
 // Pool returns the server's worker pool.
 func (s *Server) Pool() *pool.Pool { return s.pool }
 
@@ -75,42 +139,58 @@ func (s *Server) Registry() *Registry { return s.reg }
 // DefaultDataset returns the dataset name the unprefixed routes alias.
 func (s *Server) DefaultDataset() string { return s.defaultName }
 
-// Handler returns the route table:
-//
-//	GET    /healthz                     — liveness, per-dataset QFG stats
-//	POST   /v1/{dataset}/map-keywords   — MAPKEYWORDS on a named engine
-//	POST   /v1/{dataset}/infer-joins    — INFERJOINS on a named engine
-//	POST   /v1/{dataset}/translate      — batched NLQ→SQL translation
-//	POST   /v1/{dataset}/log            — append queries to the named live log
-//	POST   /v1/map-keywords             — legacy alias: default dataset
-//	POST   /v1/infer-joins              —   "
-//	POST   /v1/translate                —   "
-//	POST   /v1/log                      —   "
-//	GET    /admin/datasets              — list tenants with engine stats
-//	POST   /admin/datasets              — load a dataset (store or build)
-//	DELETE /admin/datasets/{name}       — drop a tenant (default protected)
+// Route is one registered method+pattern pair. Routes() feeds the
+// OpenAPI-sync check (make api-check), which asserts docs/openapi.yaml
+// describes exactly the v2 surface the server registers.
+type Route struct {
+	Method  string
+	Pattern string
+	handler http.HandlerFunc
+}
+
+// Routes returns the full route table in registration order.
+func (s *Server) Routes() []Route {
+	routes := []Route{
+		{Method: http.MethodGet, Pattern: "/healthz", handler: s.handleHealth},
+		{Method: http.MethodGet, Pattern: "/v2/datasets", handler: s.handleV2Datasets},
+	}
+	type endpoint struct {
+		name string
+		v1   func(http.ResponseWriter, *http.Request, *templar.System)
+		v2   func(http.ResponseWriter, *http.Request, *templar.System)
+	}
+	for _, ep := range []endpoint{
+		{"map-keywords", s.handleV1MapKeywords, s.handleV2MapKeywords},
+		{"infer-joins", s.handleV1InferJoins, s.handleV2InferJoins},
+		{"translate", s.handleV1Translate, s.handleV2Translate},
+		{"log", s.handleV1Log, s.handleV2Log},
+	} {
+		routes = append(routes,
+			Route{Method: http.MethodPost, Pattern: "/v2/{dataset}/" + ep.name, handler: s.withTenant(ep.v2, true)},
+			Route{Method: http.MethodPost, Pattern: "/v1/{dataset}/" + ep.name, handler: s.withTenant(ep.v1, false)},
+			Route{Method: http.MethodPost, Pattern: "/v1/" + ep.name, handler: s.withTenant(ep.v1, false)},
+		)
+	}
+	return append(routes,
+		Route{Method: http.MethodGet, Pattern: "/admin/datasets", handler: s.handleAdminList},
+		Route{Method: http.MethodPost, Pattern: "/admin/datasets", handler: s.handleAdminLoad},
+		Route{Method: http.MethodDelete, Pattern: "/admin/datasets/{name}", handler: s.handleAdminRemove},
+	)
+}
+
+// Handler returns the route table wrapped in the middleware stack.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	for route, h := range map[string]func(http.ResponseWriter, *http.Request, *templar.System){
-		"map-keywords": s.handleMapKeywords,
-		"infer-joins":  s.handleInferJoins,
-		"translate":    s.handleTranslate,
-		"log":          s.handleLog,
-	} {
-		mux.HandleFunc("POST /v1/"+route, s.withTenant(h))
-		mux.HandleFunc("POST /v1/{dataset}/"+route, s.withTenant(h))
+	for _, rt := range s.Routes() {
+		mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
 	}
-	mux.HandleFunc("GET /admin/datasets", s.handleAdminList)
-	mux.HandleFunc("POST /admin/datasets", s.handleAdminLoad)
-	mux.HandleFunc("DELETE /admin/datasets/{name}", s.handleAdminRemove)
-	return mux
+	return s.withMiddleware(mux)
 }
 
 // withTenant resolves the request's dataset — the {dataset} path segment,
-// or the default for legacy unprefixed routes — with one atomic registry
-// load, and 404s unknown names.
-func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *templar.System)) http.HandlerFunc {
+// or the default for unprefixed legacy routes — with one atomic registry
+// load, and 404s unknown names in the requested contract's error shape.
+func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *templar.System), v2 bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("dataset")
 		if name == "" {
@@ -118,16 +198,279 @@ func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *templar.
 		}
 		t := s.reg.Get(name)
 		if t == nil {
-			writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown dataset %q", name))
+			e := api.Errorf(http.StatusNotFound, api.CodeUnknownDataset, "serve: unknown dataset %q", name)
+			e.Dataset = name
+			if v2 {
+				s.writeProblem(w, r, e)
+			} else {
+				writeLegacyError(w, e)
+			}
 			return
 		}
 		h(w, r, t.Sys)
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Core operations: contract-agnostic request execution shared by the v1
+// adapter and the v2 handlers. Each returns (response, nil) on success,
+// (nil, *api.Error) on failure, and (nil, nil) when the client vanished
+// before an answer existed — in which case nothing must be written.
+
+func (s *Server) coreMapKeywords(ctx context.Context, sys *templar.System, in api.KeywordsInput, topK int, co api.CallOptions) (*api.MapKeywordsResponse, *api.Error) {
+	kws, apiErr := decodeKeywords(in)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	opts, apiErr := decodeCallOptions(co, 0, 0)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	opts.TopK = topK
+	var out *api.MapKeywordsResponse
+	var engErr error
+	if s.pool.RunCtx(ctx, func() {
+		cfgs, err := sys.MapKeywords(ctx, kws, opts)
+		if err != nil {
+			engErr = err
+			return
+		}
+		out = &api.MapKeywordsResponse{Configurations: fromConfigurations(cfgs)}
+	}) != nil {
+		return nil, nil // client gone before a worker freed up
+	}
+	if engErr != nil {
+		if isCanceled(engErr) {
+			return nil, nil // client gone mid-enumeration
+		}
+		return nil, engineError(engErr)
+	}
+	return out, nil
+}
+
+func (s *Server) coreInferJoins(ctx context.Context, sys *templar.System, relations []string, topK int) (*api.InferJoinsResponse, *api.Error) {
+	if len(relations) == 0 {
+		return nil, api.NewError(http.StatusUnprocessableEntity, api.CodeValidation, "serve: no relations")
+	}
+	if topK <= 0 {
+		topK = defaultInferTopK
+	}
+	var out *api.InferJoinsResponse
+	var engErr error
+	if s.pool.RunCtx(ctx, func() {
+		paths, err := sys.InferJoins(ctx, relations, &templar.CallOptions{TopK: topK})
+		if err != nil {
+			engErr = err
+			return
+		}
+		resp := api.InferJoinsResponse{Paths: make([]api.Path, len(paths))}
+		for i, p := range paths {
+			resp.Paths[i] = fromPath(p)
+		}
+		out = &resp
+	}) != nil {
+		return nil, nil
+	}
+	if engErr != nil {
+		if isCanceled(engErr) {
+			return nil, nil
+		}
+		return nil, engineError(engErr)
+	}
+	return out, nil
+}
+
+func (s *Server) coreTranslate(ctx context.Context, sys *templar.System, req api.TranslateRequest) (*api.TranslateResponse, *api.Error) {
+	if len(req.Queries) == 0 {
+		return nil, api.NewError(http.StatusUnprocessableEntity, api.CodeValidation, "serve: empty batch")
+	}
+	if len(req.Queries) > s.maxTranslateBatch {
+		return nil, api.Errorf(http.StatusUnprocessableEntity, api.CodeBatchTooLarge,
+			"serve: translate batch of %d exceeds the cap of %d", len(req.Queries), s.maxTranslateBatch)
+	}
+	opts, apiErr := decodeCallOptions(req.CallOptions, req.TopConfigs, req.TopPaths)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	results := make([]api.TranslateResult, len(req.Queries))
+	// The request context rides into the pool: once the client disconnects,
+	// queued batch items stop claiming workers and running items abort
+	// inside the engine.
+	err := s.pool.ForEachCtx(ctx, len(req.Queries), func(i int) {
+		// Batch items run on pool goroutines, outside net/http's
+		// per-request recover: a panic here would kill the whole server,
+		// so contain it as a per-item error like any other failure.
+		defer func() {
+			if r := recover(); r != nil {
+				results[i] = api.TranslateResult{Error: api.Errorf(
+					http.StatusInternalServerError, api.CodeInternal, "serve: internal error: %v", r)}
+			}
+		}()
+		kws, apiErr := decodeKeywords(req.Queries[i])
+		if apiErr != nil {
+			results[i] = api.TranslateResult{Error: apiErr}
+			return
+		}
+		tr, err := sys.Translate(ctx, kws, opts)
+		if err != nil {
+			if !isCanceled(err) {
+				results[i] = api.TranslateResult{Error: engineError(err)}
+			}
+			return
+		}
+		results[i] = fromTranslation(tr)
+	})
+	if err != nil {
+		return nil, nil // canceled batch: the client is no longer listening
+	}
+	return &api.TranslateResponse{Results: results}, nil
+}
+
+func (s *Server) coreLogAppend(ctx context.Context, sys *templar.System, req api.LogAppendRequest) (*api.LogAppendResponse, *api.Error) {
+	live := sys.Live()
+	if live == nil {
+		return nil, api.NewError(http.StatusConflict, api.CodeLogFrozen,
+			"serve: log appends disabled: system built over a frozen log")
+	}
+	if len(req.Queries) == 0 {
+		return nil, api.NewError(http.StatusUnprocessableEntity, api.CodeValidation, "serve: no queries")
+	}
+	if len(req.Queries) > s.maxLogBatch {
+		return nil, api.Errorf(http.StatusUnprocessableEntity, api.CodeBatchTooLarge,
+			"serve: log batch of %d exceeds the cap of %d", len(req.Queries), s.maxLogBatch)
+	}
+	// Parsing and the O(V+E) snapshot recompile are CPU-heavy, so appends
+	// share the worker pool (and honor disconnects) like every endpoint.
+	var out *api.LogAppendResponse
+	var appendErr *api.Error
+	if s.pool.RunCtx(ctx, func() {
+		// Parse and alias-resolve the whole batch before touching the log,
+		// so one malformed query rejects the batch instead of half-applying.
+		parsed := make([]*sqlparse.Query, len(req.Queries))
+		counts := make([]int, len(req.Queries))
+		for i, e := range req.Queries {
+			q, err := sqlparse.Parse(e.SQL)
+			if err == nil {
+				err = q.Resolve(nil)
+			}
+			if err != nil {
+				appendErr = api.Errorf(http.StatusUnprocessableEntity, api.CodeValidation,
+					"serve: query %d: %v", i, err).WithItem(i, api.CodeValidation, err.Error())
+				return
+			}
+			parsed[i] = q
+			counts[i] = e.Count
+			if counts[i] <= 0 {
+				counts[i] = 1
+			}
+		}
+		if req.Session {
+			decay := req.Decay
+			if decay == 0 {
+				decay = 0.5
+			}
+			if err := live.AddSession(parsed, 1, decay); err != nil {
+				appendErr = api.NewError(http.StatusUnprocessableEntity, api.CodeValidation, err.Error())
+				return
+			}
+		} else {
+			live.AddQueries(parsed, counts)
+		}
+		snap := live.CurrentSnapshot()
+		out = &api.LogAppendResponse{
+			Appended:     len(parsed),
+			LogQueries:   snap.Queries(),
+			LogFragments: snap.Vertices(),
+			LogEdges:     snap.Edges(),
+		}
+	}) != nil {
+		return nil, nil // client gone before a worker freed up
+	}
+	if appendErr != nil {
+		return nil, appendErr
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// v2 handlers: pkg/api shapes in, problem+json errors out.
+
+func (s *Server) handleV2MapKeywords(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+	var req api.MapKeywordsRequest
+	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
+		s.writeProblem(w, r, apiErr)
+		return
+	}
+	resp, apiErr := s.coreMapKeywords(r.Context(), sys, req.KeywordsInput, req.TopK, req.CallOptions)
+	writeV2(s, w, r, resp, apiErr)
+}
+
+func (s *Server) handleV2InferJoins(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+	var req api.InferJoinsRequest
+	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
+		s.writeProblem(w, r, apiErr)
+		return
+	}
+	resp, apiErr := s.coreInferJoins(r.Context(), sys, req.Relations, req.TopK)
+	writeV2(s, w, r, resp, apiErr)
+}
+
+func (s *Server) handleV2Translate(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+	var req api.TranslateRequest
+	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
+		s.writeProblem(w, r, apiErr)
+		return
+	}
+	resp, apiErr := s.coreTranslate(r.Context(), sys, req)
+	writeV2(s, w, r, resp, apiErr)
+}
+
+func (s *Server) handleV2Log(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+	var req api.LogAppendRequest
+	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
+		s.writeProblem(w, r, apiErr)
+		return
+	}
+	resp, apiErr := s.coreLogAppend(r.Context(), sys, req)
+	writeV2(s, w, r, resp, apiErr)
+}
+
+// handleV2Datasets lists the hosted datasets — the public (non-admin)
+// discovery endpoint SDK clients use to pick a dataset.
+func (s *Server) handleV2Datasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.datasetsResponse())
+}
+
+// datasetsResponse renders every tenant's status, shared by the public
+// and admin listings so the two views cannot drift.
+func (s *Server) datasetsResponse() api.DatasetsResponse {
+	resp := api.DatasetsResponse{Datasets: []api.DatasetStatus{}}
+	for _, t := range s.reg.Tenants() {
+		resp.Datasets = append(resp.Datasets, s.tenantStatus(t))
+	}
+	return resp
+}
+
+// writeV2 finishes a v2 request from a core-op result, handling the
+// tri-state contract (response / error / client gone). The pointer type
+// parameter keeps the nil check honest for any response type.
+func writeV2[T any](s *Server, w http.ResponseWriter, r *http.Request, resp *T, apiErr *api.Error) {
+	switch {
+	case apiErr != nil:
+		s.writeProblem(w, r, apiErr)
+	case resp == nil:
+		// Client gone: write nothing, the middleware logs 499.
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Health and admin.
+
 // tenantStatus renders one tenant's engine stats for health/admin bodies.
-func (s *Server) tenantStatus(t *Tenant) DatasetStatusJSON {
-	ds := DatasetStatusJSON{
+func (s *Server) tenantStatus(t *Tenant) api.DatasetStatus {
+	ds := api.DatasetStatus{
 		Name:      t.Name,
 		Default:   strings.EqualFold(t.Name, s.defaultName),
 		Source:    t.Source,
@@ -146,10 +489,11 @@ func (s *Server) tenantStatus(t *Tenant) DatasetStatusJSON {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{
+	resp := api.HealthResponse{
 		Status:  "ok",
 		Dataset: s.defaultName,
 		Workers: s.pool.Workers(),
+		Metrics: s.metrics.snapshot(),
 	}
 	for _, t := range s.reg.Tenants() {
 		st := s.tenantStatus(t)
@@ -179,7 +523,8 @@ func (s *Server) adminAuthorized(w http.ResponseWriter, r *http.Request) bool {
 	if subtle.ConstantTimeCompare(got, want) == 1 {
 		return true
 	}
-	writeError(w, http.StatusUnauthorized, fmt.Errorf("serve: admin authorization required"))
+	s.writeProblem(w, r, api.NewError(http.StatusUnauthorized, api.CodeUnauthorized,
+		"serve: admin authorization required"))
 	return false
 }
 
@@ -187,32 +532,31 @@ func (s *Server) handleAdminList(w http.ResponseWriter, r *http.Request) {
 	if !s.adminAuthorized(w, r) {
 		return
 	}
-	resp := AdminDatasetsResponse{Datasets: []DatasetStatusJSON{}}
-	for _, t := range s.reg.Tenants() {
-		resp.Datasets = append(resp.Datasets, s.tenantStatus(t))
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, s.datasetsResponse())
 }
 
 func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
 	if !s.adminAuthorized(w, r) {
 		return
 	}
-	var req AdminLoadRequest
-	if !readPost(w, r, &req) {
+	var req api.AdminLoadRequest
+	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
+		s.writeProblem(w, r, apiErr)
 		return
 	}
 	name := strings.TrimSpace(req.Name)
 	if name == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: no dataset name"))
+		s.writeProblem(w, r, api.NewError(http.StatusBadRequest, api.CodeValidation, "serve: no dataset name"))
 		return
 	}
 	if s.loader == nil {
-		writeError(w, http.StatusNotImplemented, fmt.Errorf("serve: dataset loading not configured"))
+		s.writeProblem(w, r, api.NewError(http.StatusNotImplemented, api.CodeNotConfigured,
+			"serve: dataset loading not configured"))
 		return
 	}
 	if t := s.reg.Get(name); t != nil {
-		writeError(w, http.StatusConflict, fmt.Errorf("serve: dataset %q already loaded", t.Name))
+		s.writeProblem(w, r, api.Errorf(http.StatusConflict, api.CodeConflict,
+			"serve: dataset %q already loaded", t.Name))
 		return
 	}
 	// Loading re-mines a log or decodes a snapshot — CPU-heavy, so it
@@ -225,16 +569,16 @@ func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
 		return // client gone before a worker freed up
 	}
 	if loadErr != nil {
-		status := http.StatusInternalServerError
+		e := api.NewError(http.StatusInternalServerError, api.CodeInternal, loadErr.Error())
 		if errors.Is(loadErr, ErrUnknownDataset) {
-			status = http.StatusNotFound
+			e = api.NewError(http.StatusNotFound, api.CodeUnknownDataset, loadErr.Error())
 		}
-		writeError(w, status, loadErr)
+		s.writeProblem(w, r, e)
 		return
 	}
 	if err := s.reg.Add(tenant); err != nil {
 		// Lost a concurrent load race for the same name.
-		writeError(w, http.StatusConflict, err)
+		s.writeProblem(w, r, api.NewError(http.StatusConflict, api.CodeConflict, err.Error()))
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.tenantStatus(tenant))
@@ -246,192 +590,41 @@ func (s *Server) handleAdminRemove(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	if strings.EqualFold(name, s.defaultName) {
-		writeError(w, http.StatusConflict, fmt.Errorf("serve: dataset %q is the default (legacy routes alias it); it cannot be removed", name))
+		s.writeProblem(w, r, api.Errorf(http.StatusConflict, api.CodeConflict,
+			"serve: dataset %q is the default (legacy routes alias it); it cannot be removed", name))
 		return
 	}
 	if !s.reg.Remove(name) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown dataset %q", name))
+		s.writeProblem(w, r, api.Errorf(http.StatusNotFound, api.CodeUnknownDataset,
+			"serve: unknown dataset %q", name))
 		return
 	}
-	writeJSON(w, http.StatusOK, AdminRemoveResponse{Removed: name})
+	writeJSON(w, http.StatusOK, api.AdminRemoveResponse{Removed: name})
 }
 
-func (s *Server) handleMapKeywords(w http.ResponseWriter, r *http.Request, sys *templar.System) {
-	var req MapKeywordsRequest
-	if !readPost(w, r, &req) {
-		return
-	}
-	kws, err := req.decode()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	var configs []keyword.Configuration
-	if s.pool.RunCtx(r.Context(), func() { configs, err = sys.MapKeywords(kws) }) != nil {
-		return // client gone before a worker freed up; nothing to answer
-	}
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, MapKeywordsResponse{Configurations: fromConfigurations(configs, req.Top)})
-}
+// ---------------------------------------------------------------------------
+// Encoding / decoding plumbing.
 
-func (s *Server) handleInferJoins(w http.ResponseWriter, r *http.Request, sys *templar.System) {
-	var req InferJoinsRequest
-	if !readPost(w, r, &req) {
-		return
-	}
-	if len(req.Relations) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: no relations"))
-		return
-	}
-	topK := req.TopK
-	if topK <= 0 {
-		topK = 3
-	}
-	resp := InferJoinsResponse{}
-	var err error
-	if s.pool.RunCtx(r.Context(), func() {
-		paths, ierr := sys.InferJoins(req.Relations, topK)
-		if ierr != nil {
-			err = ierr
-			return
-		}
-		resp.Paths = make([]PathJSON, len(paths))
-		for i, p := range paths {
-			resp.Paths[i] = fromPath(p)
-		}
-	}) != nil {
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request, sys *templar.System) {
-	var req TranslateRequest
-	if !readPost(w, r, &req) {
-		return
-	}
-	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty batch"))
-		return
-	}
-	results := make([]TranslateResult, len(req.Queries))
-	// The request context rides into the pool: once the client disconnects,
-	// queued batch items stop claiming workers.
-	err := s.pool.ForEachCtx(r.Context(), len(req.Queries), func(i int) {
-		// Batch items run on pool goroutines, outside net/http's
-		// per-request recover: a panic here would kill the whole server,
-		// so contain it as a per-item error like any other failure.
-		defer func() {
-			if r := recover(); r != nil {
-				results[i] = TranslateResult{Error: fmt.Sprintf("serve: internal error: %v", r)}
-			}
-		}()
-		kws, err := req.Queries[i].decode()
-		if err != nil {
-			results[i] = TranslateResult{Error: err.Error()}
-			return
-		}
-		tr, err := sys.Translate(kws)
-		if err != nil {
-			results[i] = TranslateResult{Error: err.Error()}
-			return
-		}
-		results[i] = fromTranslation(tr)
-	})
-	if err != nil {
-		return // canceled batch: the client is no longer listening
-	}
-	writeJSON(w, http.StatusOK, TranslateResponse{Results: results})
-}
-
-func (s *Server) handleLog(w http.ResponseWriter, r *http.Request, sys *templar.System) {
-	var req LogAppendRequest
-	if !readPost(w, r, &req) {
-		return
-	}
-	live := sys.Live()
-	if live == nil {
-		writeError(w, http.StatusConflict, fmt.Errorf("serve: log appends disabled: system built over a frozen log"))
-		return
-	}
-	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: no queries"))
-		return
-	}
-	// Parsing and the O(V+E) snapshot recompile are CPU-heavy, so appends
-	// share the worker pool (and honor disconnects) like every endpoint.
-	var resp LogAppendResponse
-	var appendErr error
-	if s.pool.RunCtx(r.Context(), func() {
-		// Parse and alias-resolve the whole batch before touching the log,
-		// so one malformed query rejects the batch instead of half-applying.
-		parsed := make([]*sqlparse.Query, len(req.Queries))
-		counts := make([]int, len(req.Queries))
-		for i, e := range req.Queries {
-			q, err := sqlparse.Parse(e.SQL)
-			if err != nil {
-				appendErr = fmt.Errorf("serve: query %d: %w", i, err)
-				return
-			}
-			if err := q.Resolve(nil); err != nil {
-				appendErr = fmt.Errorf("serve: query %d: %w", i, err)
-				return
-			}
-			parsed[i] = q
-			counts[i] = e.Count
-			if counts[i] <= 0 {
-				counts[i] = 1
-			}
-		}
-		if req.Session {
-			decay := req.Decay
-			if decay == 0 {
-				decay = 0.5
-			}
-			if err := live.AddSession(parsed, 1, decay); err != nil {
-				appendErr = err
-				return
-			}
-		} else {
-			live.AddQueries(parsed, counts)
-		}
-		snap := live.CurrentSnapshot()
-		resp = LogAppendResponse{
-			Appended:     len(parsed),
-			LogQueries:   snap.Queries(),
-			LogFragments: snap.Vertices(),
-			LogEdges:     snap.Edges(),
-		}
-	}) != nil {
-		return // client gone before a worker freed up
-	}
-	if appendErr != nil {
-		writeError(w, http.StatusBadRequest, appendErr)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// readPost enforces the method, decodes the JSON body into dst and reports
-// whether the handler should continue.
-func readPost(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return false
-	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// readJSON decodes a JSON body under the server's byte cap, classifying
+// failures into the structured error model (the caller picks the error
+// dialect to write).
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) *api.Error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBodyBytes))
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
-		return false
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return api.Errorf(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+				"serve: request body exceeds %d bytes", tooBig.Limit)
+		}
+		return api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "serve: bad request body: %v", err)
 	}
-	return true
+	return nil
+}
+
+// isCanceled reports whether an engine error is the request context
+// expiring — i.e. the client is gone and no response should be written.
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -440,6 +633,11 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+// writeProblem writes a v2 error as an RFC-7807 problem document,
+// stamping the middleware's request ID into it.
+func (s *Server) writeProblem(w http.ResponseWriter, r *http.Request, e *api.Error) {
+	e.RequestID = RequestIDFrom(r.Context())
+	w.Header().Set("Content-Type", api.ProblemContentType)
+	w.WriteHeader(e.Status)
+	_ = json.NewEncoder(w).Encode(e)
 }

@@ -4,13 +4,16 @@
 // two calls are independent; the NLIDB owns NLQ parsing and final SQL
 // construction.
 //
-// Typical use:
+// The query surface is context-first: every call takes a context.Context
+// (a canceled request aborts configuration enumeration and join path
+// search mid-flight, not just at dispatch) and an optional *CallOptions
+// with per-request knobs. Typical use:
 //
 //	entries, _ := sqlparse.ParseLog(logText)
 //	g, _ := qfg.Build(entries, fragment.NoConstOp)
 //	t := templar.New(database, model, g, templar.Options{})
-//	configs, _ := t.MapKeywords(keywords)
-//	paths, _ := t.InferJoins([]string{"publication", "domain"}, 3)
+//	configs, _ := t.MapKeywords(ctx, keywords, nil)
+//	paths, _ := t.InferJoins(ctx, []string{"publication", "domain"}, &templar.CallOptions{TopK: 3})
 //
 // A serving layer that keeps folding user queries back into its log wraps
 // the graph in a qfg.Live and uses NewLive instead: every append republishes
@@ -19,11 +22,13 @@
 package templar
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"templar/internal/db"
 	"templar/internal/embedding"
+	"templar/internal/fragment"
 	"templar/internal/joinpath"
 	"templar/internal/keyword"
 	"templar/internal/nlidb"
@@ -198,24 +203,81 @@ func (s *System) Live() *qfg.Live { return s.live }
 // for a log-free baseline), for diagnostics endpoints.
 func (s *System) Snapshot() *qfg.Snapshot { return s.engine().snap }
 
+// CallOptions are per-request knobs for the query surface. A nil
+// *CallOptions means "engine defaults" everywhere; the zero value of any
+// field leaves that default in place. One options struct serves all three
+// calls — each reads only the fields that apply to it.
+type CallOptions struct {
+	// TopK caps what the call returns: configurations for MapKeywords
+	// (0 = all), join paths for InferJoins (0 = 1).
+	TopK int
+	// MaxCandidates overrides κ, the candidate mappings kept per keyword
+	// after pruning.
+	MaxCandidates int
+	// MaxConfigurations caps the keyword-mapping configuration
+	// enumeration.
+	MaxConfigurations int
+	// TopConfigs bounds how many configurations Translate tries for SQL
+	// construction.
+	TopConfigs int
+	// TopPaths bounds how many join paths Translate considers per
+	// configuration.
+	TopPaths int
+	// Obscurity asserts the fragment obscurity level the caller expects;
+	// a level the engine's log was not mined at is a
+	// *keyword.ObscurityMismatchError.
+	Obscurity *fragment.Obscurity
+}
+
+// keywordOpts projects the mapper-facing fields (nil-safe).
+func (o *CallOptions) keywordOpts() keyword.CallOptions {
+	if o == nil {
+		return keyword.CallOptions{}
+	}
+	return keyword.CallOptions{K: o.MaxCandidates, MaxConfigurations: o.MaxConfigurations, Obscurity: o.Obscurity}
+}
+
+// nlidbOpts projects the translator-facing fields (nil-safe).
+func (o *CallOptions) nlidbOpts() nlidb.CallOptions {
+	if o == nil {
+		return nlidb.CallOptions{}
+	}
+	return nlidb.CallOptions{Keyword: o.keywordOpts(), TopConfigs: o.TopConfigs, TopPaths: o.TopPaths}
+}
+
 // MapKeywords executes MAPKEYWORDS (Φ = MAPKEYWORDS(D, S, M)): it returns
-// keyword-mapping configurations ranked from most to least likely.
-func (s *System) MapKeywords(keywords []keyword.Keyword) ([]keyword.Configuration, error) {
-	return s.mapper.MapKeywords(keywords)
+// keyword-mapping configurations ranked from most to least likely,
+// trimmed to opts.TopK when set. ctx cancellation aborts the
+// configuration enumeration mid-flight.
+func (s *System) MapKeywords(ctx context.Context, keywords []keyword.Keyword, opts *CallOptions) ([]keyword.Configuration, error) {
+	configs, err := s.mapper.MapKeywordsCtx(ctx, keywords, opts.keywordOpts())
+	if err != nil {
+		return nil, err
+	}
+	if opts != nil && opts.TopK > 0 && len(configs) > opts.TopK {
+		configs = configs[:opts.TopK]
+	}
+	return configs, nil
 }
 
 // InferJoins executes INFERJOINS (J = INFERJOINS(Gs, BD)): given the bag of
 // relations known to be part of the SQL query (duplicates trigger self-join
-// forking), it returns up to topK join paths ranked from most to least
-// likely.
-func (s *System) InferJoins(relationBag []string, topK int) ([]joinpath.Path, error) {
-	return s.engine().joins.Infer(relationBag, topK)
+// forking), it returns up to opts.TopK join paths (default 1) ranked from
+// most to least likely. ctx cancellation aborts the Steiner search
+// mid-flight.
+func (s *System) InferJoins(ctx context.Context, relationBag []string, opts *CallOptions) ([]joinpath.Path, error) {
+	topK := 1
+	if opts != nil && opts.TopK > 0 {
+		topK = opts.TopK
+	}
+	return s.engine().joins.InferCtx(ctx, relationBag, topK)
 }
 
 // Translate runs the full NLQ→SQL pipeline over the shared mapper and join
 // generator: MAPKEYWORDS → INFERJOINS per configuration → SQL construction
 // → ranking. It is the one-call front the serving layer exposes; NLIDBs
 // that own their own SQL construction keep using MapKeywords + InferJoins.
-func (s *System) Translate(kws []keyword.Keyword) (*nlidb.Translation, error) {
-	return s.engine().translator.Translate("", false, kws)
+// ctx cancellation aborts enumeration and path search mid-pipeline.
+func (s *System) Translate(ctx context.Context, kws []keyword.Keyword, opts *CallOptions) (*nlidb.Translation, error) {
+	return s.engine().translator.TranslateCtx(ctx, "", false, kws, opts.nlidbOpts())
 }

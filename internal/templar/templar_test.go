@@ -1,6 +1,7 @@
 package templar
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -59,10 +60,10 @@ func fixtureQFG(t testing.TB) *qfg.Graph {
 func TestFacadeMapKeywords(t *testing.T) {
 	d := fixtureDB(t)
 	sys := New(d, embedding.New(), fixtureQFG(t), Options{LogJoin: true})
-	configs, err := sys.MapKeywords([]keyword.Keyword{
+	configs, err := sys.MapKeywords(context.Background(), []keyword.Keyword{
 		{Text: "papers", Meta: keyword.Metadata{Context: fragment.Select}},
 		{Text: "after 2000", Meta: keyword.Metadata{Context: fragment.Where, Op: ">"}},
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestFacadeMapKeywords(t *testing.T) {
 func TestFacadeInferJoins(t *testing.T) {
 	d := fixtureDB(t)
 	sys := New(d, embedding.New(), fixtureQFG(t), Options{LogJoin: true})
-	paths, err := sys.InferJoins([]string{"publication", "journal"}, 2)
+	paths, err := sys.InferJoins(context.Background(), []string{"publication", "journal"}, &CallOptions{TopK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,9 +97,9 @@ func TestFacadeInferJoins(t *testing.T) {
 func TestFacadeNilGraphDegradesGracefully(t *testing.T) {
 	d := fixtureDB(t)
 	sys := New(d, embedding.New(), nil, Options{LogJoin: true})
-	configs, err := sys.MapKeywords([]keyword.Keyword{
+	configs, err := sys.MapKeywords(context.Background(), []keyword.Keyword{
 		{Text: "journals", Meta: keyword.Metadata{Context: fragment.Select}},
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFacadeNilGraphDegradesGracefully(t *testing.T) {
 		t.Fatal("nil QFG must yield zero log score")
 	}
 	// LogJoin with nil graph falls back to uniform weights.
-	paths, err := sys.InferJoins([]string{"publication", "journal"}, 1)
+	paths, err := sys.InferJoins(context.Background(), []string{"publication", "journal"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,33 +139,33 @@ func TestNewFromSnapshotMatchesNew(t *testing.T) {
 		{Text: "papers", Meta: keyword.Metadata{Context: fragment.Select}},
 		{Text: "after 2000", Meta: keyword.Metadata{Context: fragment.Where, Op: ">"}},
 	}
-	wantCfg, err := built.MapKeywords(kws)
+	wantCfg, err := built.MapKeywords(context.Background(), kws, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotCfg, err := loaded.MapKeywords(kws)
+	gotCfg, err := loaded.MapKeywords(context.Background(), kws, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotCfg, wantCfg) {
 		t.Fatalf("configurations diverged:\nsnapshot: %v\ngraph:    %v", gotCfg, wantCfg)
 	}
-	wantTr, err := built.Translate(kws)
+	wantTr, err := built.Translate(context.Background(), kws, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotTr, err := loaded.Translate(kws)
+	gotTr, err := loaded.Translate(context.Background(), kws, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotTr, wantTr) {
 		t.Fatalf("translations diverged:\nsnapshot: %+v\ngraph:    %+v", gotTr, wantTr)
 	}
-	wantPaths, err := built.InferJoins([]string{"publication", "journal"}, 2)
+	wantPaths, err := built.InferJoins(context.Background(), []string{"publication", "journal"}, &CallOptions{TopK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotPaths, err := loaded.InferJoins([]string{"publication", "journal"}, 2)
+	gotPaths, err := loaded.InferJoins(context.Background(), []string{"publication", "journal"}, &CallOptions{TopK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestNewFromSnapshotMatchesNew(t *testing.T) {
 	}
 	// Nil snapshot degrades to the log-free baseline, like New(nil graph).
 	baseline := NewFromSnapshot(d, embedding.New(), nil, Options{})
-	cfgs, err := baseline.MapKeywords(kws[:1])
+	cfgs, err := baseline.MapKeywords(context.Background(), kws[:1], nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,246 @@
+package api
+
+// Keyword is one parsed NLQ keyword on the wire.
+type Keyword struct {
+	Text string `json:"text"`
+	// Context is "select", "where" or "from".
+	Context string `json:"context"`
+	// Op is the comparison operator for numeric WHERE keywords.
+	Op string `json:"op,omitempty"`
+	// Agg is an aggregate (COUNT, SUM, AVG, MIN, MAX) for SELECT keywords.
+	Agg string `json:"agg,omitempty"`
+	// GroupBy marks the mapped attribute for grouping.
+	GroupBy bool `json:"group_by,omitempty"`
+}
+
+// KeywordsInput carries keywords either structured or as a compact
+// keyword spec string ("papers:select;Databases:where"); exactly one of
+// the two must be set.
+type KeywordsInput struct {
+	Keywords []Keyword `json:"keywords,omitempty"`
+	Spec     string    `json:"spec,omitempty"`
+}
+
+// Obscurity levels a caller may assert via CallOptions.Obscurity. The
+// level is baked into the serving engine's compiled query-fragment graph,
+// so the option is an assertion, not a switch: a request naming a level
+// the engine was not mined at fails with CodeValidation instead of
+// silently scoring against the wrong fragment forms.
+const (
+	ObscurityFull      = "full"
+	ObscurityNoConst   = "no_const"
+	ObscurityNoConstOp = "no_const_op"
+)
+
+// CallOptions are the per-request engine knobs shared by the v2 query
+// endpoints. The zero value means "server defaults" for every field.
+type CallOptions struct {
+	// MaxCandidates overrides κ: how many candidate mappings are kept per
+	// keyword after pruning (0 = engine default).
+	MaxCandidates int `json:"max_candidates,omitempty"`
+	// MaxConfigurations caps the keyword-mapping configuration
+	// enumeration (0 = engine default).
+	MaxConfigurations int `json:"max_configurations,omitempty"`
+	// Obscurity asserts the fragment obscurity level the request expects
+	// ("full", "no_const", "no_const_op"; empty = whatever the engine was
+	// mined at). A mismatch is a CodeValidation error.
+	Obscurity string `json:"obscurity,omitempty"`
+}
+
+// MapKeywordsRequest is the body of POST /v2/{dataset}/map-keywords.
+type MapKeywordsRequest struct {
+	KeywordsInput
+	// TopK caps the returned configurations (0 = all).
+	TopK int `json:"top_k,omitempty"`
+	CallOptions
+}
+
+// Mapping is one keyword→fragment mapping on the wire.
+type Mapping struct {
+	Keyword   string  `json:"keyword"`
+	Kind      string  `json:"kind"` // "relation", "attribute", "predicate"
+	Relation  string  `json:"relation"`
+	Attribute string  `json:"attribute,omitempty"`
+	Agg       string  `json:"agg,omitempty"`
+	GroupBy   bool    `json:"group_by,omitempty"`
+	Op        string  `json:"op,omitempty"`
+	Value     string  `json:"value,omitempty"`
+	Fragment  string  `json:"fragment"`
+	Sim       float64 `json:"sim"`
+}
+
+// Configuration is one ranked keyword-mapping configuration.
+type Configuration struct {
+	Mappings []Mapping `json:"mappings"`
+	SimScore float64   `json:"sim_score"`
+	QFGScore float64   `json:"qfg_score"`
+	Score    float64   `json:"score"`
+}
+
+// MapKeywordsResponse is the body of a successful map-keywords call.
+type MapKeywordsResponse struct {
+	Configurations []Configuration `json:"configurations"`
+}
+
+// InferJoinsRequest is the body of POST /v2/{dataset}/infer-joins.
+// Relations is a bag: repeating a relation requests self-join forking.
+type InferJoinsRequest struct {
+	Relations []string `json:"relations"`
+	// TopK caps the returned paths (0 = route default of 3).
+	TopK int `json:"top_k,omitempty"`
+}
+
+// Edge is one join edge ("author.oid = organization.oid").
+type Edge struct {
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Join   string  `json:"join"`
+	Weight float64 `json:"weight"`
+}
+
+// Path is one inferred join path.
+type Path struct {
+	Relations   []string `json:"relations"`
+	Edges       []Edge   `json:"edges"`
+	TotalWeight float64  `json:"total_weight"`
+	Score       float64  `json:"score"`
+	Goodness    float64  `json:"goodness"`
+}
+
+// InferJoinsResponse is the body of a successful infer-joins call.
+type InferJoinsResponse struct {
+	Paths []Path `json:"paths"`
+}
+
+// TranslateRequest is the body of POST /v2/{dataset}/translate: a batch
+// of keyword queries translated concurrently over the server's worker
+// pool. The options apply to every query of the batch.
+type TranslateRequest struct {
+	Queries []KeywordsInput `json:"queries"`
+	// TopConfigs bounds how many configurations are tried for SQL
+	// construction per query (0 = engine default).
+	TopConfigs int `json:"top_configs,omitempty"`
+	// TopPaths bounds how many join paths are considered per
+	// configuration (0 = engine default).
+	TopPaths int `json:"top_paths,omitempty"`
+	CallOptions
+}
+
+// TranslateResult is one batch entry: a translation or a structured
+// per-item error (one bad query never fails its batch siblings).
+type TranslateResult struct {
+	SQL      string         `json:"sql,omitempty"`
+	Rendered string         `json:"rendered,omitempty"`
+	Score    float64        `json:"score,omitempty"`
+	Tie      bool           `json:"tie,omitempty"`
+	Config   *Configuration `json:"config,omitempty"`
+	Path     *Path          `json:"path,omitempty"`
+	Error    *Error         `json:"error,omitempty"`
+}
+
+// TranslateResponse is the body of a successful translate call.
+type TranslateResponse struct {
+	Results []TranslateResult `json:"results"`
+}
+
+// LogEntry is one SQL query appended to the live log.
+type LogEntry struct {
+	SQL string `json:"sql"`
+	// Count is the query's multiplicity (how many times it was issued);
+	// values < 1 default to 1. Ignored for session appends.
+	Count int `json:"count,omitempty"`
+}
+
+// LogAppendRequest is the body of POST /v2/{dataset}/log. With Session
+// set, the queries are folded as one ordered user session (cross-query
+// fragment pairs gain decayed co-occurrence evidence); otherwise each
+// query is an independent log entry.
+type LogAppendRequest struct {
+	Queries []LogEntry `json:"queries"`
+	Session bool       `json:"session,omitempty"`
+	// Decay is the per-step session decay in (0, 1]; 0 defaults to 0.5.
+	Decay float64 `json:"decay,omitempty"`
+}
+
+// LogAppendResponse reports the log shape after a successful append.
+type LogAppendResponse struct {
+	Appended     int `json:"appended"`
+	LogQueries   int `json:"log_queries"`
+	LogFragments int `json:"log_fragments"`
+	LogEdges     int `json:"log_edges"`
+}
+
+// DatasetStatus is one hosted dataset's engine stats, shared by the
+// health, dataset-listing and admin bodies.
+type DatasetStatus struct {
+	Name string `json:"name"`
+	// Default marks the dataset the legacy unprefixed /v1/* routes alias.
+	Default bool `json:"default,omitempty"`
+	// Source is where the engine came from: "built" (log re-mine),
+	// "store" (packed snapshot) or "preloaded".
+	Source    string `json:"source,omitempty"`
+	Relations int    `json:"relations"`
+	// LiveLog reports whether POST /v2/{dataset}/log appends are enabled.
+	LiveLog bool `json:"live_log"`
+	// LogQueries/LogFragments/LogEdges describe the QFG snapshot currently
+	// serving requests (all zero for a log-free baseline).
+	LogQueries   int `json:"log_queries"`
+	LogFragments int `json:"log_fragments"`
+	LogEdges     int `json:"log_edges"`
+	// LoadMillis is how long building or loading the engine took.
+	LoadMillis float64 `json:"load_ms,omitempty"`
+}
+
+// DatasetsResponse is the body of GET /v2/datasets and GET
+// /admin/datasets: every dataset the server hosts.
+type DatasetsResponse struct {
+	Datasets []DatasetStatus `json:"datasets"`
+}
+
+// Metrics is the serving-layer request telemetry reported on /healthz,
+// accumulated by the middleware stack since process start.
+type Metrics struct {
+	// Requests counts every HTTP request that reached the route table.
+	Requests int64 `json:"requests"`
+	// InFlight is how many requests are being served right now.
+	InFlight int64 `json:"in_flight"`
+	// ClientErrors / ServerErrors count 4xx and 5xx responses.
+	ClientErrors int64 `json:"client_errors"`
+	ServerErrors int64 `json:"server_errors"`
+	// AvgLatencyMillis is the mean wall-clock request latency.
+	AvgLatencyMillis float64 `json:"avg_latency_ms"`
+}
+
+// HealthResponse is the body of GET /healthz. The top-level dataset
+// fields mirror the default dataset for single-tenant clients; Datasets
+// lists every hosted engine.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Dataset   string `json:"dataset"`
+	Relations int    `json:"relations"`
+	Workers   int    `json:"workers"`
+	// LiveLog reports whether log appends are enabled.
+	LiveLog bool `json:"live_log"`
+	// LogQueries/LogFragments/LogEdges describe the QFG snapshot currently
+	// serving requests (all zero for a log-free baseline).
+	LogQueries   int `json:"log_queries"`
+	LogFragments int `json:"log_fragments"`
+	LogEdges     int `json:"log_edges"`
+	// Datasets lists every hosted dataset (multi-tenant view).
+	Datasets []DatasetStatus `json:"datasets,omitempty"`
+	// Metrics is the middleware request telemetry.
+	Metrics *Metrics `json:"metrics,omitempty"`
+}
+
+// AdminLoadRequest is the body of POST /admin/datasets: the name of a
+// dataset the server's loader should materialize (from its snapshot
+// store when packed, by re-mining the log otherwise).
+type AdminLoadRequest struct {
+	Name string `json:"name"`
+}
+
+// AdminRemoveResponse is the body of a successful DELETE
+// /admin/datasets/{name}.
+type AdminRemoveResponse struct {
+	Removed string `json:"removed"`
+}

@@ -1,0 +1,30 @@
+// Package api is Templar's public wire contract: every request and
+// response type the HTTP serving layer (internal/serve) speaks, plus the
+// structured error model shared by all endpoints.
+//
+// The package is deliberately free of engine types — it depends only on
+// encoding/json-friendly Go values — so any program can marshal requests
+// and unmarshal responses without linking the engine. The Go SDK
+// (templar/pkg/client) is a thin typed veneer over these shapes.
+//
+// # Versioning
+//
+// The types in this package describe the v2 surface, served under
+// /v2/{dataset}/... . The v2 contract is:
+//
+//   - every list parameter is named top_k (v1 map-keywords used "top";
+//     the v1 adapter in internal/serve accepts both spellings),
+//   - errors are RFC-7807-style problem documents (see Error), written
+//     with Content-Type application/problem+json and a machine-readable
+//     Code, never bare strings,
+//   - batch endpoints report per-item failures as structured Error values
+//     inline with their successful siblings.
+//
+// The legacy /v1 routes keep their original shapes (string error
+// envelope, "top"), produced by a compatibility adapter over the same
+// handlers; successful v1 bodies are bit-identical to v2 ones.
+//
+// Success-response types (Configuration, Path, TranslateResult, ...) are
+// shared between v1 and v2: their JSON tags are frozen — changing one is
+// a breaking contract change and is guarded by TestWireContractRoundTrip.
+package api

@@ -1,0 +1,133 @@
+package api
+
+import "fmt"
+
+// ProblemContentType is the media type v2 error bodies are written with
+// (RFC 7807, "Problem Details for HTTP APIs").
+const ProblemContentType = "application/problem+json"
+
+// Error codes: the machine-readable vocabulary of the v2 contract. The
+// HTTP status carries the transport semantics; Code names the exact
+// failure so clients can branch without parsing prose.
+const (
+	// CodeBadRequest: the body is not syntactically valid JSON for the
+	// endpoint (400).
+	CodeBadRequest = "bad_request"
+	// CodeValidation: the body parsed but a field is semantically invalid
+	// — no keywords, both spec and structured forms, unknown context,
+	// obscurity mismatch, malformed batch entry (422).
+	CodeValidation = "validation_failed"
+	// CodeUnprocessable: the request is well-formed but the engine cannot
+	// answer it — unmappable keyword, unknown or disconnected relation,
+	// no feasible configuration (422).
+	CodeUnprocessable = "unprocessable"
+	// CodeBodyTooLarge: the request body exceeds the server's byte cap
+	// (413).
+	CodeBodyTooLarge = "body_too_large"
+	// CodeBatchTooLarge: a batch endpoint received more items than the
+	// server accepts per request (422).
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeUnknownDataset: the {dataset} path segment names no hosted
+	// engine (404).
+	CodeUnknownDataset = "unknown_dataset"
+	// CodeLogFrozen: log appends are disabled because the engine serves a
+	// frozen log (409).
+	CodeLogFrozen = "log_frozen"
+	// CodeConflict: an admin mutation lost a race or targets a protected
+	// tenant (409).
+	CodeConflict = "conflict"
+	// CodeUnauthorized: the /admin routes require a bearer token (401).
+	CodeUnauthorized = "unauthorized"
+	// CodeNotConfigured: the endpoint exists but the server was started
+	// without the capability (e.g. no dataset loader) (501).
+	CodeNotConfigured = "not_configured"
+	// CodeInternal: an unexpected server-side failure (500).
+	CodeInternal = "internal"
+)
+
+// Error is the uniform v2 error body, an RFC-7807 problem document with a
+// machine-readable Code. It implements the error interface, so SDK
+// callers branch on it with errors.As:
+//
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.CodeUnknownDataset { ... }
+type Error struct {
+	// Type is the RFC-7807 problem type URI; Templar uses a stable
+	// urn:templar:error:<code> form.
+	Type string `json:"type,omitempty"`
+	// Title is the short human summary of the code (stable per code).
+	Title string `json:"title"`
+	// Status is the HTTP status the error was (or should be) served with.
+	Status int `json:"status"`
+	// Code is the machine-readable error code (the Code* constants).
+	Code string `json:"code"`
+	// Detail is the human-readable explanation of this occurrence.
+	Detail string `json:"detail,omitempty"`
+	// Dataset names the engine the request targeted, when resolved.
+	Dataset string `json:"dataset,omitempty"`
+	// RequestID echoes the X-Request-ID the middleware assigned, so an
+	// error report can be matched to the server's access log.
+	RequestID string `json:"request_id,omitempty"`
+	// Items carries per-item failures for batch endpoints.
+	Items []ItemError `json:"items,omitempty"`
+}
+
+// ItemError locates one failed item inside a batch request.
+type ItemError struct {
+	// Index is the item's position in the request batch.
+	Index int `json:"index"`
+	// Code refines the failure for this item (defaults to the outer Code).
+	Code string `json:"code,omitempty"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+// titles maps codes to their stable RFC-7807 titles.
+var titles = map[string]string{
+	CodeBadRequest:     "malformed request body",
+	CodeValidation:     "request validation failed",
+	CodeUnprocessable:  "engine could not answer the request",
+	CodeBodyTooLarge:   "request body too large",
+	CodeBatchTooLarge:  "batch exceeds the per-request cap",
+	CodeUnknownDataset: "unknown dataset",
+	CodeLogFrozen:      "log appends disabled",
+	CodeConflict:       "conflicting state",
+	CodeUnauthorized:   "authorization required",
+	CodeNotConfigured:  "capability not configured",
+	CodeInternal:       "internal server error",
+}
+
+// NewError builds a problem document for a code, filling Type and Title
+// from the code's stable registry entry.
+func NewError(status int, code, detail string) *Error {
+	return &Error{
+		Type:   "urn:templar:error:" + code,
+		Title:  titles[code],
+		Status: status,
+		Code:   code,
+		Detail: detail,
+	}
+}
+
+// Errorf is NewError with a formatted detail.
+func Errorf(status int, code, format string, args ...any) *Error {
+	return NewError(status, code, fmt.Sprintf(format, args...))
+}
+
+// Error renders "code: detail (status)" for log lines and test failures.
+func (e *Error) Error() string {
+	if e == nil {
+		return "<nil>"
+	}
+	d := e.Detail
+	if d == "" {
+		d = e.Title
+	}
+	return fmt.Sprintf("%s: %s (HTTP %d)", e.Code, d, e.Status)
+}
+
+// WithItem appends a per-item failure and returns the error for chaining.
+func (e *Error) WithItem(index int, code, detail string) *Error {
+	e.Items = append(e.Items, ItemError{Index: index, Code: code, Detail: detail})
+	return e
+}

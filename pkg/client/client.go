@@ -1,0 +1,270 @@
+// Package client is the Go SDK for Templar's v2 HTTP API: typed methods
+// over the templar/pkg/api wire contract with retries, backoff and
+// structured-error decoding.
+//
+//	c, _ := client.New("http://localhost:8080")
+//	resp, err := c.Translate(ctx, "mas", api.TranslateRequest{
+//	    Queries: []api.KeywordsInput{{Spec: "papers:select;Databases:where"}},
+//	})
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.CodeUnknownDataset { ... }
+//
+// Idempotent calls (everything except AppendLog) are retried with
+// exponential backoff on transport errors and 5xx responses; server
+// errors always surface as *api.Error so callers branch on Code, not on
+// message prose. The v1 routes are not wrapped — they exist for frozen
+// legacy clients, and new integrations should speak v2.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"templar/pkg/api"
+)
+
+// Client talks to one Templar server. It is safe for concurrent use.
+type Client struct {
+	base    string
+	httpc   *http.Client
+	retries int
+	backoff time.Duration
+	maxWait time.Duration
+	sleep   func(ctx context.Context, d time.Duration) error
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient swaps the underlying *http.Client (timeouts, transport,
+// instrumentation).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetries sets how many times an idempotent call is retried after
+// its first attempt (default 2; 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the initial and maximum retry backoff (defaults
+// 100ms / 2s). The delay doubles per attempt, capped at max.
+func WithBackoff(initial, max time.Duration) Option {
+	return func(c *Client) { c.backoff, c.maxWait = initial, max }
+}
+
+// New builds a Client for a server base URL like "http://host:8080".
+func New(base string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", base)
+	}
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		httpc:   &http.Client{Timeout: 30 * time.Second},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+		maxWait: 2 * time.Second,
+		sleep:   sleepCtx,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	var out api.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Datasets fetches GET /v2/datasets: the hosted datasets with engine
+// stats, for discovery before scoped calls.
+func (c *Client) Datasets(ctx context.Context) ([]api.DatasetStatus, error) {
+	var out api.DatasetsResponse
+	if err := c.do(ctx, http.MethodGet, "/v2/datasets", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out.Datasets, nil
+}
+
+// MapKeywords runs MAPKEYWORDS on a named dataset.
+func (c *Client) MapKeywords(ctx context.Context, dataset string, req api.MapKeywordsRequest) (*api.MapKeywordsResponse, error) {
+	var out api.MapKeywordsResponse
+	if err := c.do(ctx, http.MethodPost, c.scoped(dataset, "map-keywords"), req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// InferJoins runs INFERJOINS on a named dataset.
+func (c *Client) InferJoins(ctx context.Context, dataset string, req api.InferJoinsRequest) (*api.InferJoinsResponse, error) {
+	var out api.InferJoinsResponse
+	if err := c.do(ctx, http.MethodPost, c.scoped(dataset, "infer-joins"), req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Translate runs a batched NLQ→SQL translation on a named dataset.
+// Transport-level failures affect the whole batch; per-query failures
+// come back as structured errors inside the response's results.
+func (c *Client) Translate(ctx context.Context, dataset string, req api.TranslateRequest) (*api.TranslateResponse, error) {
+	var out api.TranslateResponse
+	if err := c.do(ctx, http.MethodPost, c.scoped(dataset, "translate"), req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TranslateOne translates a single keyword query, unwrapping the batch:
+// a per-query engine failure is returned as the *api.Error it carries.
+func (c *Client) TranslateOne(ctx context.Context, dataset string, in api.KeywordsInput) (*api.TranslateResult, error) {
+	resp, err := c.Translate(ctx, dataset, api.TranslateRequest{Queries: []api.KeywordsInput{in}})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != 1 {
+		return nil, fmt.Errorf("client: server returned %d results for a 1-query batch", len(resp.Results))
+	}
+	r := resp.Results[0]
+	if r.Error != nil {
+		return nil, r.Error
+	}
+	return &r, nil
+}
+
+// AppendLog appends user queries to a dataset's live log. Appends are
+// not idempotent, so they are never retried: a transport error after the
+// server may have applied the batch surfaces as-is for the caller to
+// reconcile (e.g. by checking /healthz log counters).
+func (c *Client) AppendLog(ctx context.Context, dataset string, req api.LogAppendRequest) (*api.LogAppendResponse, error) {
+	var out api.LogAppendResponse
+	if err := c.do(ctx, http.MethodPost, c.scoped(dataset, "log"), req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) scoped(dataset, endpoint string) string {
+	return "/v2/" + url.PathEscape(dataset) + "/" + endpoint
+}
+
+// do executes one call with marshal-once/replay-per-attempt bodies,
+// retrying idempotent requests on transport errors and 5xx responses.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	attempts := 1
+	if idempotent {
+		attempts += c.retries
+	}
+	wait := c.backoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, wait); err != nil {
+				return err
+			}
+			if wait *= 2; wait > c.maxWait {
+				wait = c.maxWait
+			}
+		}
+		retry, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// attempt runs one HTTP round trip; retry reports whether the failure
+// class is worth another attempt.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retry bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return false, fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return true, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return true, fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode >= 500, decodeError(resp, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return false, fmt.Errorf("client: undecodable %d response: %w", resp.StatusCode, err)
+		}
+	}
+	return false, nil
+}
+
+// decodeError turns an error response into an *api.Error, synthesizing
+// one for bodies that are not problem documents (legacy envelopes,
+// proxies, panics) so callers always branch on a structured error.
+func decodeError(resp *http.Response, raw []byte) error {
+	var e api.Error
+	if err := json.Unmarshal(raw, &e); err == nil && e.Code != "" {
+		if e.Status == 0 {
+			e.Status = resp.StatusCode
+		}
+		return &e
+	}
+	code := api.CodeBadRequest
+	if resp.StatusCode >= 500 {
+		code = api.CodeInternal
+	}
+	// Legacy {"error": "..."} envelope (v1 routes, older servers).
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &legacy); err == nil && legacy.Error != "" {
+		return api.NewError(resp.StatusCode, code, legacy.Error)
+	}
+	detail := strings.TrimSpace(string(raw))
+	if len(detail) > 200 {
+		detail = detail[:200]
+	}
+	return api.Errorf(resp.StatusCode, code, "HTTP %d: %s", resp.StatusCode, detail)
+}

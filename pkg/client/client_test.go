@@ -1,0 +1,180 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"templar/pkg/api"
+)
+
+// flaky is a handler that fails the first n attempts with status, then
+// succeeds with body.
+type flaky struct {
+	fails  int32
+	status int
+	body   any
+	hits   atomic.Int32
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.hits.Add(1) <= f.fails {
+		w.Header().Set("Content-Type", api.ProblemContentType)
+		w.WriteHeader(f.status)
+		json.NewEncoder(w).Encode(api.NewError(f.status, api.CodeInternal, "transient"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(f.body)
+}
+
+// newTestClient builds a client against h with recorded (not slept)
+// backoff delays.
+func newTestClient(t *testing.T, h http.Handler, opts ...Option) (*Client, *[]time.Duration) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delays []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return ctx.Err()
+	}
+	return c, &delays
+}
+
+func TestRetriesOn5xxWithBackoff(t *testing.T) {
+	h := &flaky{fails: 2, status: http.StatusServiceUnavailable, body: api.HealthResponse{Status: "ok"}}
+	c, delays := newTestClient(t, h, WithRetries(3), WithBackoff(100*time.Millisecond, 2*time.Second))
+
+	resp, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := h.hits.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}; len(*delays) != 2 ||
+		(*delays)[0] != want[0] || (*delays)[1] != want[1] {
+		t.Fatalf("backoff delays = %v, want %v", *delays, want)
+	}
+}
+
+func TestRetriesExhaustedSurfaceStructuredError(t *testing.T) {
+	h := &flaky{fails: 99, status: http.StatusInternalServerError}
+	c, _ := newTestClient(t, h, WithRetries(2))
+
+	_, err := c.Health(context.Background())
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError || apiErr.Code != api.CodeInternal {
+		t.Fatalf("err = %v", err)
+	}
+	if got := h.hits.Load(); got != 3 { // 1 + 2 retries
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	h := &flaky{fails: 99, status: http.StatusNotFound}
+	c, delays := newTestClient(t, h, WithRetries(5))
+
+	_, err := c.MapKeywords(context.Background(), "nope", api.MapKeywordsRequest{})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("err = %v", err)
+	}
+	if h.hits.Load() != 1 || len(*delays) != 0 {
+		t.Fatalf("4xx retried: %d attempts, %v delays", h.hits.Load(), *delays)
+	}
+}
+
+func TestAppendLogNeverRetries(t *testing.T) {
+	h := &flaky{fails: 99, status: http.StatusServiceUnavailable}
+	c, _ := newTestClient(t, h, WithRetries(5))
+
+	_, err := c.AppendLog(context.Background(), "mas", api.LogAppendRequest{Queries: []api.LogEntry{{SQL: "SELECT 1"}}})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := h.hits.Load(); got != 1 {
+		t.Fatalf("non-idempotent append attempted %d times", got)
+	}
+}
+
+func TestStructuredErrorDecoding(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/problem/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", api.ProblemContentType)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		e := api.NewError(http.StatusUnprocessableEntity, api.CodeBatchTooLarge, "too many")
+		e.WithItem(3, api.CodeValidation, "bad entry")
+		json.NewEncoder(w).Encode(e)
+	})
+	mux.HandleFunc("/legacy/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"serve: no keywords"}`))
+	})
+	mux.HandleFunc("/garbage/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write([]byte("<html>proxy sad</html>"))
+	})
+	c, _ := newTestClient(t, mux, WithRetries(0))
+
+	var apiErr *api.Error
+	if err := c.do(context.Background(), http.MethodGet, "/problem/x", nil, nil, true); !errors.As(err, &apiErr) ||
+		apiErr.Code != api.CodeBatchTooLarge || len(apiErr.Items) != 1 || apiErr.Items[0].Index != 3 {
+		t.Fatalf("problem decode: %v", err)
+	}
+	if err := c.do(context.Background(), http.MethodGet, "/legacy/x", nil, nil, true); !errors.As(err, &apiErr) ||
+		apiErr.Detail != "serve: no keywords" || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if err := c.do(context.Background(), http.MethodGet, "/garbage/x", nil, nil, true); !errors.As(err, &apiErr) ||
+		apiErr.Status != http.StatusBadGateway || apiErr.Code != api.CodeInternal {
+		t.Fatalf("garbage decode: %v", err)
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	h := &flaky{fails: 99, status: http.StatusServiceUnavailable}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithRetries(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // the client is mid-backoff when the caller gives up
+		return ctx.Err()
+	}
+	if _, err := c.Health(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := h.hits.Load(); got != 1 {
+		t.Fatalf("attempts after cancel = %d, want 1", got)
+	}
+}
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "localhost:8080", "://x"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	if _, err := New("http://localhost:8080/"); err != nil {
+		t.Fatal(err)
+	}
+}
