@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check serve
+.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check serve soak golden golden-check load-smoke
 
 all: build vet test
 
@@ -55,3 +55,26 @@ api-check:
 
 serve: build
 	$(GO) run ./cmd/templar-serve -datasets mas,yelp,imdb -store ./snapshots -addr :8080
+
+# soak runs the race-enabled concurrency invariant suite: live log
+# appends interleaved with query traffic across tenants, monotonic
+# snapshot stats, tenant isolation, store-reload parity. Duration per
+# phase comes from TEMPLAR_SOAK_MS (default ~1.2s per test; CI's
+# workflow_dispatch passes a longer budget for scheduled soaks).
+soak:
+	$(GO) test -race ./internal/workload -run 'TestSoak' -count=1 -v
+
+# golden regenerates the committed end-to-end golden corpora. Only commit
+# the diff when the semantic change is intended — see docs/TESTING.md.
+golden:
+	$(GO) run ./cmd/templar-eval -golden internal/eval/testdata/golden
+
+# golden-check replays the committed corpora through the full engine and
+# fails on any semantic drift (byte-for-byte).
+golden-check:
+	$(GO) test ./internal/eval -run 'TestGolden' -count=1
+
+# load-smoke runs a short deterministic load against an in-process
+# server and writes the bench2json-compatible latency report.
+load-smoke: build
+	$(GO) run ./cmd/templar-load -self -datasets mas,yelp -requests 400 -workers 8 -seed 1 -o load.json

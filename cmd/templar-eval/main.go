@@ -13,6 +13,7 @@
 //	templar-eval -figure 6        # accuracy vs lambda
 //	templar-eval -ablation obscurity
 //	templar-eval -all             # everything
+//	templar-eval -golden internal/eval/testdata/golden   # regenerate golden corpora
 //
 // Flags -kappa, -lambda, -obscurity and -dataset adjust the operating point
 // and restrict the benchmark set.
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"templar/internal/datasets"
@@ -41,6 +43,7 @@ func main() {
 		dataset   = flag.String("dataset", "", "restrict to one dataset (MAS, Yelp, IMDB)")
 		breakdown = flag.String("breakdown", "", "per-template breakdown for one system (Pipeline, Pipeline+, NaLIR, NaLIR+)")
 		headline  = flag.Bool("headline", false, "print the abstract's 'up to N%' improvement claim")
+		golden    = flag.String("golden", "", "regenerate the golden end-to-end corpora into this directory (all datasets × all obscurity levels)")
 	)
 	flag.Parse()
 
@@ -147,6 +150,14 @@ func main() {
 		fmt.Println()
 		ran = true
 	}
+	if *golden != "" {
+		gopts := eval.DefaultGoldenOptions()
+		gopts.K, gopts.Lambda = *kappa, *lambda
+		if err := writeGolden(*golden, sets, gopts); err != nil {
+			fatal(err)
+		}
+		ran = true
+	}
 	if *breakdown != "" {
 		for _, ds := range sets {
 			out, err := eval.TemplateBreakdown(ds, eval.SystemName(*breakdown), opts)
@@ -162,6 +173,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeGolden regenerates every (dataset, obscurity) golden corpus into
+// dir. The files are byte-stable: an unchanged engine rewrites them
+// identically, so `git diff` after regeneration IS the semantic drift.
+func writeGolden(dir string, sets []*datasets.Dataset, gopts eval.GoldenOptions) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	for _, ds := range sets {
+		for _, ob := range fragment.Levels() {
+			corpus, err := eval.BuildGolden(ds, ob, gopts)
+			if err != nil {
+				return fmt.Errorf("golden %s/%s: %w", ds.Name, ob, err)
+			}
+			path := filepath.Join(dir, eval.GoldenFilename(ds.Name, ob))
+			if err := os.WriteFile(path, eval.EncodeGolden(corpus), 0o666); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d tasks)\n", path, len(corpus.Tasks))
+		}
+	}
+	return nil
 }
 
 func parseObscurity(s string) (fragment.Obscurity, error) {

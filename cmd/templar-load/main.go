@@ -1,0 +1,208 @@
+// Command templar-load is the deterministic load generator for Templar's
+// v2 serving layer: it synthesizes a seeded, weighted request mix mined
+// from the benchmark datasets' gold-SQL logs (keyword mapping, join
+// inference, batched translation, live log appends with sessions) and
+// drives a server with N concurrent workers through the public Go SDK,
+// reporting throughput and p50/p95/p99 latency per dataset and endpoint.
+//
+// The request stream is a pure function of (-datasets, -mix, -seed): two
+// runs with the same flags replay the identical stream, byte for byte —
+// -print emits the stream and its fingerprint without running it, so a
+// stream can be diffed across machines or pinned in CI.
+//
+// Usage:
+//
+//	templar-load -server http://localhost:8080 -datasets mas,yelp -requests 5000 -workers 16
+//	templar-load -self -datasets mas -requests 500 -o load.json   # self-hosted in-process server
+//	templar-load -datasets mas,yelp,imdb -requests 100 -print     # dump the stream, don't run
+//
+// The -o report is JSON shape-compatible with the cmd/bench2json
+// benchmark artifacts (tooling reading .benchmarks[] needs no changes);
+// the full per-endpoint detail rides under .workload.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"templar/internal/datasets"
+	"templar/internal/embedding"
+	"templar/internal/fragment"
+	"templar/internal/qfg"
+	"templar/internal/serve"
+	"templar/internal/sqlparse"
+	"templar/internal/templar"
+	"templar/internal/workload"
+	"templar/pkg/client"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "", "target server base URL (empty with -self: spin an in-process server)")
+		self      = flag.Bool("self", false, "serve the datasets in-process on a loopback listener and drive that")
+		datasetCS = flag.String("datasets", "mas", "comma-separated datasets to mine and target (mas, yelp, imdb)")
+		seed      = flag.Uint64("seed", 1, "stream seed: same (datasets, mix, seed) = same request stream")
+		requests  = flag.Int("requests", 1000, "how many requests to synthesize")
+		workers   = flag.Int("workers", 8, "concurrent client workers")
+		mixSpec   = flag.String("mix", "", `operation weights, e.g. "map=45,infer=25,translate=20,log=10" (empty = default mix)`)
+		sessions  = flag.Float64("session-frac", -1, "fraction of log appends folded as sessions (-1 = mix default)")
+		out       = flag.String("o", "", "write the JSON report here (bench2json-compatible document)")
+		print     = flag.Bool("print", false, "print the synthesized stream as JSON lines plus its fingerprint, then exit")
+		retries   = flag.Int("retries", 2, "SDK retry budget for idempotent calls (5xx/transport, jittered backoff)")
+	)
+	flag.Parse()
+
+	mix, err := workload.ParseMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *sessions >= 0 {
+		if *sessions > 1 {
+			fatal(fmt.Errorf("-session-frac %v outside [0, 1]", *sessions))
+		}
+		mix.SessionFraction = *sessions
+	}
+	names := splitNames(*datasetCS)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no datasets (want -datasets mas,yelp,imdb)"))
+	}
+	profiles, err := workload.MineProfiles(names)
+	if err != nil {
+		fatal(err)
+	}
+	gen, err := workload.NewGenerator(profiles, mix, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *requests <= 0 {
+		fatal(fmt.Errorf("-requests must be positive"))
+	}
+	stream := gen.Generate(*requests)
+
+	if *print {
+		enc := json.NewEncoder(os.Stdout)
+		for _, req := range stream {
+			if err := enc.Encode(req); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "templar-load: %d requests, fingerprint %s\n",
+			len(stream), workload.Fingerprint(stream))
+		return
+	}
+
+	base := *server
+	if base == "" {
+		if !*self {
+			fatal(fmt.Errorf("no target: pass -server URL or -self"))
+		}
+		base, err = selfServe(names, *workers)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	c, err := client.New(base, client.WithRetries(*retries))
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := c.Health(context.Background()); err != nil {
+		fatal(fmt.Errorf("server %s unhealthy: %w", base, err))
+	}
+
+	fmt.Fprintf(os.Stderr, "templar-load: %d requests (seed=%d, fingerprint %.12s…) against %s with %d workers\n",
+		len(stream), *seed, workload.Fingerprint(stream), base, *workers)
+	rep, err := workload.Run(context.Background(), workload.RunConfig{
+		Client:   c,
+		Workers:  *workers,
+		Requests: stream,
+		Seed:     *seed,
+		Mix:      mix,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Summary())
+
+	if *out != "" {
+		raw, err := rep.EncodeJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o666); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "templar-load: wrote %s\n", *out)
+	}
+	if rep.Errors > 0 {
+		fatal(fmt.Errorf("%d requests failed", rep.Errors))
+	}
+}
+
+// selfServe builds live engines for the named datasets, mounts a
+// registry server on a loopback listener and returns its base URL — the
+// zero-setup mode CI's load-smoke artifact uses.
+func selfServe(names []string, workers int) (string, error) {
+	reg := serve.NewRegistry()
+	defaultName := ""
+	for _, name := range names {
+		ds, ok := datasets.ByName(name)
+		if !ok {
+			return "", fmt.Errorf("unknown dataset %q", name)
+		}
+		start := time.Now()
+		entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
+		for _, task := range ds.Tasks {
+			q, err := sqlparse.Parse(task.Gold)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", task.ID, err)
+			}
+			entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
+		}
+		graph, err := qfg.Build(entries, fragment.NoConstOp)
+		if err != nil {
+			return "", err
+		}
+		sys := templar.NewLive(ds.DB, embedding.New(), qfg.NewLive(graph), templar.Options{LogJoin: true})
+		if err := reg.Add(&serve.Tenant{Name: ds.Name, Sys: sys, Source: "built", LoadTime: time.Since(start)}); err != nil {
+			return "", err
+		}
+		if defaultName == "" {
+			defaultName = ds.Name
+		}
+	}
+	srv := serve.NewRegistryServer(reg, defaultName, workers, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil {
+			fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "templar-load: self-serving %s on %s\n", strings.Join(names, ","), base)
+	return base, nil
+}
+
+func splitNames(cs string) []string {
+	var out []string
+	for _, raw := range strings.Split(cs, ",") {
+		if name := strings.TrimSpace(raw); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "templar-load:", err)
+	os.Exit(1)
+}

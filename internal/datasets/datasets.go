@@ -21,6 +21,7 @@ import (
 	"templar/internal/keyword"
 	"templar/internal/schema"
 	"templar/internal/sqlparse"
+	"templar/internal/xrand"
 )
 
 // Task is one benchmark item: a natural-language query already parsed into
@@ -103,35 +104,19 @@ func ByName(name string) (*Dataset, bool) {
 }
 
 // ---------------------------------------------------------------------------
-// Deterministic PRNG (xorshift64*), so datasets are identical on every run
-// and across platforms.
+// Deterministic PRNG (the shared xorshift64* in internal/xrand), so
+// datasets are identical on every run and across platforms. The local
+// wrapper keeps the generators' call sites terse.
 
-type rng struct{ s uint64 }
+type rng struct{ x *xrand.Rand }
 
-func newRNG(seed uint64) *rng {
-	if seed == 0 {
-		seed = 0x9E3779B97F4A7C15
-	}
-	return &rng{s: seed}
-}
-
-func (r *rng) next() uint64 {
-	r.s ^= r.s >> 12
-	r.s ^= r.s << 25
-	r.s ^= r.s >> 27
-	return r.s * 0x2545F4914F6CDD1D
-}
+func newRNG(seed uint64) *rng { return &rng{x: xrand.New(seed)} }
 
 // intn returns a value in [0, n).
-func (r *rng) intn(n int) int {
-	if n <= 0 {
-		return 0
-	}
-	return int(r.next() % uint64(n))
-}
+func (r *rng) intn(n int) int { return r.x.Intn(n) }
 
 // rangeInt returns a value in [lo, hi].
-func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+func (r *rng) rangeInt(lo, hi int) int { return r.x.RangeInt(lo, hi) }
 
 // ---------------------------------------------------------------------------
 // Schema construction helpers.

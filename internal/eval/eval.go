@@ -15,6 +15,7 @@ import (
 	"templar/internal/pool"
 	"templar/internal/qfg"
 	"templar/internal/sqlparse"
+	"templar/internal/xrand"
 )
 
 // Metrics accumulates correctness counts.
@@ -234,24 +235,13 @@ func kwCorrect(cfg keyword.Configuration, task datasets.Task) bool {
 }
 
 // splitFolds deterministically shuffles task indexes into roughly equal
-// folds.
+// folds (Fisher–Yates over the shared xorshift64*).
 func splitFolds(n, folds int, seed uint64) [][]int {
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	// Fisher–Yates with xorshift64*.
-	s := seed
-	next := func() uint64 {
-		s ^= s >> 12
-		s ^= s << 25
-		s ^= s >> 27
-		return s * 0x2545F4914F6CDD1D
-	}
-	for i := n - 1; i > 0; i-- {
-		j := int(next() % uint64(i+1))
-		idx[i], idx[j] = idx[j], idx[i]
-	}
+	xrand.New(seed).Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 	out := make([][]int, folds)
 	for i, ti := range idx {
 		out[i%folds] = append(out[i%folds], ti)

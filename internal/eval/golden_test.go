@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/fragment"
+)
+
+const goldenDir = "testdata/golden"
+
+// TestGoldenRegression is the committed semantic baseline gate: every
+// golden corpus — all three datasets at all three obscurity levels — is
+// regenerated through the full templar.System and must match the
+// committed file byte for byte. Any drift in configuration ranking,
+// scores, join trees or translations fails here with a semantic diff.
+//
+// Regenerate intentionally with `make golden`; docs/TESTING.md explains
+// when committing a diff is legitimate.
+func TestGoldenRegression(t *testing.T) {
+	covered := map[string]bool{}
+	for _, ds := range datasets.All() {
+		for _, ob := range fragment.Levels() {
+			ds, ob := ds, ob
+			t.Run(strings.ToLower(ds.Name)+"/"+ob.String(), func(t *testing.T) {
+				t.Parallel()
+				path := filepath.Join(goldenDir, GoldenFilename(ds.Name, ob))
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing committed corpus (run `make golden`): %v", err)
+				}
+				want, err := DecodeGolden(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want.Dataset != ds.Name || want.Obscurity != ob.String() {
+					t.Fatalf("corpus %s is for %s/%s", path, want.Dataset, want.Obscurity)
+				}
+				// The committed corpora must pin the canonical operating
+				// point — a corpus regenerated at, say, -kappa 3 or
+				// MaxTasks 1 would self-consistently pass the byte check
+				// while gating almost nothing.
+				canon := DefaultGoldenOptions()
+				if want.K != canon.K || want.Lambda != canon.Lambda || want.TopConfigs != canon.TopConfigs ||
+					want.MaxTasks != canon.MaxTasks || want.Seed != canon.Seed {
+					t.Fatalf("corpus %s generated off the canonical operating point: got (κ=%d λ=%v top=%d tasks=%d seed=%d), want (κ=%d λ=%v top=%d tasks=%d seed=%d)",
+						path, want.K, want.Lambda, want.TopConfigs, want.MaxTasks, want.Seed,
+						canon.K, canon.Lambda, canon.TopConfigs, canon.MaxTasks, canon.Seed)
+				}
+				got, err := BuildGolden(ds, ob, GoldenOptions{
+					TopConfigs: want.TopConfigs,
+					MaxTasks:   want.MaxTasks,
+					Seed:       want.Seed,
+					K:          want.K,
+					Lambda:     want.Lambda,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if encoded := EncodeGolden(got); !bytes.Equal(encoded, raw) {
+					diffs := DiffGolden(want, got)
+					if len(diffs) > 8 {
+						diffs = append(diffs[:8], "…")
+					}
+					if len(diffs) == 0 {
+						diffs = []string{"(byte-level encoding drift only — did the golden schema change?)"}
+					}
+					t.Errorf("golden corpus %s drifted:\n  %s", path, strings.Join(diffs, "\n  "))
+				}
+			})
+			covered[GoldenFilename(ds.Name, ob)] = true
+		}
+	}
+	if len(covered) != 9 {
+		t.Fatalf("covered %d corpora, want 9 (3 datasets × 3 obscurity levels)", len(covered))
+	}
+}
+
+// TestGoldenDetectsRankingPerturbation proves the gate actually fires:
+// a deliberately injected ranking perturbation — the classic failure
+// mode of a broken scoring "optimization", where the same configurations
+// come back in a different order — is caught both semantically
+// (DiffGolden) and byte-wise (EncodeGolden).
+func TestGoldenDetectsRankingPerturbation(t *testing.T) {
+	ds := datasets.MAS()
+	opts := GoldenOptions{TopConfigs: 3, MaxTasks: 8, Seed: 1, K: 5, Lambda: 0.8}
+	want, err := BuildGolden(ds, fragment.NoConstOp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffGolden(want, want); len(diffs) != 0 {
+		t.Fatalf("self-diff not empty: %v", diffs)
+	}
+
+	// Re-decode to get an independent copy, then swap a task's top-2
+	// configurations.
+	perturbed, err := DecodeGolden(EncodeGolden(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := false
+	for i := range perturbed.Tasks {
+		if cfgs := perturbed.Tasks[i].Configs; len(cfgs) >= 2 {
+			cfgs[0], cfgs[1] = cfgs[1], cfgs[0]
+			swapped = true
+			break
+		}
+	}
+	if !swapped {
+		t.Fatal("no task with 2+ configurations to perturb")
+	}
+	if diffs := DiffGolden(want, perturbed); len(diffs) == 0 {
+		t.Fatal("ranking swap not detected semantically")
+	}
+	if bytes.Equal(EncodeGolden(want), EncodeGolden(perturbed)) {
+		t.Fatal("ranking swap not detected byte-wise")
+	}
+
+	// A single-ULP score nudge — the smallest possible numeric drift a
+	// reordered floating-point reduction could introduce — is caught too.
+	nudged, err := DecodeGolden(EncodeGolden(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range nudged.Tasks {
+		if cfgs := nudged.Tasks[i].Configs; len(cfgs) > 0 && cfgs[0].Score > 0 {
+			cfgs[0].Score = math.Nextafter(cfgs[0].Score, 2)
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no positive score to nudge")
+	}
+	if diffs := DiffGolden(want, nudged); len(diffs) == 0 {
+		t.Fatal("one-ULP score drift not detected semantically")
+	}
+	if bytes.Equal(EncodeGolden(want), EncodeGolden(nudged)) {
+		t.Fatal("one-ULP score drift not detected byte-wise")
+	}
+
+	// And a changed winning join path.
+	joined, err := DecodeGolden(EncodeGolden(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for i := range joined.Tasks {
+		if j := joined.Tasks[i].Join; j != nil && len(j.Path) >= 2 {
+			j.Path[0], j.Path[1] = j.Path[1], j.Path[0]
+			found = true
+			break
+		}
+	}
+	if found {
+		if diffs := DiffGolden(want, joined); len(diffs) == 0 {
+			t.Fatal("join path change not detected")
+		}
+	}
+}
+
+// TestGoldenEncodingRoundTrip pins the corpus codec itself.
+func TestGoldenEncodingRoundTrip(t *testing.T) {
+	ds := datasets.Yelp()
+	c, err := BuildGolden(ds, fragment.Full, GoldenOptions{MaxTasks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := EncodeGolden(c)
+	back, err := DecodeGolden(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, EncodeGolden(back)) {
+		t.Fatal("encode→decode→encode not byte-stable")
+	}
+	if diffs := DiffGolden(c, back); len(diffs) != 0 {
+		t.Fatalf("round trip changed the corpus: %v", diffs)
+	}
+	if _, err := DecodeGolden([]byte(`{"dataset": 3}`)); err == nil {
+		t.Fatal("bad corpus accepted")
+	}
+	if _, err := DecodeGolden([]byte(`{"bogus_field": true}`)); err == nil {
+		t.Fatal("unknown field accepted (schema drift must be loud)")
+	}
+}

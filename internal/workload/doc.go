@@ -1,0 +1,27 @@
+// Package workload is the deterministic load/soak harness behind
+// cmd/templar-load and the concurrency invariant suite: it mines realistic
+// request mixes from the three benchmark datasets' gold-SQL logs and
+// replays them against a live multi-tenant server through the public Go
+// SDK (pkg/client).
+//
+// The pipeline has three stages, each independently reusable:
+//
+//   - MineProfile turns one dataset into raw request material: wire-shaped
+//     keyword inputs, join relation bags extracted from the gold SQL, and
+//     the gold SQL itself for live log appends.
+//   - Generator synthesizes an endless, weighted request stream from a set
+//     of profiles. Every decision — operation kind, dataset, task, batch
+//     size, session windows — is drawn from one seeded xorshift64* PRNG,
+//     so a (profiles, mix, seed) triple always produces the same stream,
+//     bit for bit (Fingerprint proves it).
+//   - Run drives a server with N concurrent workers pulling from the
+//     generated stream, recording one latency sample per request (client
+//     retries are deliberately folded into their request's single sample,
+//     never double-counted) into per-dataset, per-endpoint histograms, and
+//     renders a Report whose JSON is shape-compatible with the
+//     cmd/bench2json benchmark documents CI already archives.
+//
+// Only the request *stream* is deterministic; which worker executes which
+// request, and the latencies observed, naturally are not. Anything that
+// must be reproducible therefore derives from the stream, not the run.
+package workload

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// Histogram bucket geometry: bucket i covers latencies in
+// [lowest·growth^i, lowest·growth^(i+1)), so relative resolution is a
+// constant ~25% from microseconds to about a minute — the usual trade for
+// load-test latency recording (fixed memory, mergeable, quantiles without
+// retaining samples).
+const (
+	histBuckets = 80
+	histLowest  = float64(time.Microsecond)
+	histGrowth  = 1.25
+)
+
+// Histogram is a fixed-geometry latency histogram. It records counts per
+// geometric bucket plus exact count/sum/min/max, supports quantile
+// estimation and lossless merging, and costs a few hundred bytes — each
+// load worker keeps its own set and merges at the end, so recording never
+// contends.
+type Histogram struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// bucketOf maps a latency to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d < time.Duration(histLowest) {
+		return 0
+	}
+	i := int(math.Log(float64(d)/histLowest) / math.Log(histGrowth))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Add records one latency sample.
+func (h *Histogram) Add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns how many samples were recorded.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Min and Max return the exact extreme samples (0 when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the exact mean sample (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) as the geometric
+// midpoint of the bucket holding the q·count-th sample, clamped to the
+// exact observed min/max so estimates never leave the sampled range.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	// Exact order statistics at the edges: p0 is the observed min, p100
+	// the observed max, whatever the bucket geometry says.
+	if rank <= 1 {
+		return h.min
+	}
+	if rank >= h.count {
+		return h.max
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			lo := histLowest * math.Pow(histGrowth, float64(i))
+			mid := time.Duration(lo * math.Sqrt(histGrowth))
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != time.Second {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 500500*time.Microsecond; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	// Geometric buckets grow 25% per step: quantile estimates land within
+	// ~15% of the exact order statistic.
+	for _, tc := range []struct {
+		q     float64
+		exact time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.exact) * 0.80)
+		hi := time.Duration(float64(tc.exact) * 1.20)
+		if got < lo || got > hi {
+			t.Errorf("q%.0f = %v, want within [%v, %v]", tc.q*100, got, lo, hi)
+		}
+	}
+	if h.Quantile(0) < h.Min() || h.Quantile(1) > h.Max() {
+		t.Fatal("quantiles escaped the observed range")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for i := 1; i <= 400; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		whole.Add(d)
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Fatalf("merged stats diverge: %v/%v/%v/%v vs %v/%v/%v/%v",
+			a.Count(), a.Min(), a.Max(), a.Mean(), whole.Count(), whole.Min(), whole.Max(), whole.Mean())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%v: merged %v vs whole %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Add(-time.Second) // clamped to zero
+	h.Add(0)
+	h.Add(10 * time.Minute) // beyond the top bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 10*time.Minute {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if q := h.Quantile(1); q != 10*time.Minute {
+		t.Fatalf("q100 = %v (must clamp to observed max)", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %v (must clamp to observed min)", q)
+	}
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"templar/pkg/client"
+)
+
+// RunConfig configures one load run.
+type RunConfig struct {
+	// Client is the SDK client bound to the target server.
+	Client *client.Client
+	// Workers is the number of concurrent request loops (default 4).
+	Workers int
+	// Requests is the pre-generated deterministic stream to replay.
+	Requests []Request
+	// Seed is recorded into the report (the stream is already baked).
+	Seed uint64
+	// Mix is recorded into the report.
+	Mix Mix
+}
+
+// endpointKey identifies one (dataset, op) histogram.
+type endpointKey struct {
+	dataset string
+	op      Op
+}
+
+// workerStats is one worker's private recording state; workers never
+// share mutable state while the run is hot.
+type workerStats struct {
+	hists  map[endpointKey]*Histogram
+	errors map[endpointKey]int64
+}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{hists: make(map[endpointKey]*Histogram), errors: make(map[endpointKey]int64)}
+}
+
+// Run replays the request stream against the server with N concurrent
+// workers and returns the aggregated report. Workers claim requests from
+// the shared stream with one atomic increment, so the stream content is
+// deterministic even though its assignment to workers is not.
+//
+// Exactly one latency sample is recorded per request, timed around the
+// whole SDK call: the client's internal 5xx/transport retries (and their
+// backoff sleeps) are part of that request's latency, never extra
+// samples — a retried request must not inflate the histogram's count.
+// Calls that ultimately fail are counted per endpoint instead of being
+// recorded as latencies, so error spikes cannot masquerade as fast
+// requests.
+//
+// If ctx expires before the stream is drained, Run returns the partial
+// report together with the context's error: a truncated run must never
+// read as a complete one.
+func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("workload: no client")
+	}
+	if len(cfg.Requests) == 0 {
+		return nil, fmt.Errorf("workload: empty request stream")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+
+	var next atomic.Int64
+	stats := make([]*workerStats, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		w := w
+		stats[w] = newWorkerStats()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := stats[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfg.Requests) || ctx.Err() != nil {
+					return
+				}
+				req := cfg.Requests[i]
+				key := endpointKey{dataset: req.Dataset, op: req.Op}
+				t0 := time.Now()
+				err := execute(ctx, cfg.Client, req)
+				elapsed := time.Since(t0)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // cancellation, not a server failure
+					}
+					st.errors[key]++
+					continue
+				}
+				h := st.hists[key]
+				if h == nil {
+					h = &Histogram{}
+					st.hists[key] = h
+				}
+				h.Add(elapsed)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	merged := make(map[endpointKey]*Histogram)
+	errs := make(map[endpointKey]int64)
+	for _, st := range stats {
+		for k, h := range st.hists {
+			m := merged[k]
+			if m == nil {
+				m = &Histogram{}
+				merged[k] = m
+			}
+			m.Merge(h)
+		}
+		for k, n := range st.errors {
+			errs[k] += n
+		}
+	}
+	return buildReport(cfg, wall, workers, merged, errs), ctx.Err()
+}
+
+// execute performs one request through the SDK. The response body is
+// decoded (so latency includes realistic client-side work) and discarded.
+func execute(ctx context.Context, c *client.Client, req Request) error {
+	switch req.Op {
+	case OpMapKeywords:
+		_, err := c.MapKeywords(ctx, req.Dataset, *req.MapKeywords)
+		return err
+	case OpInferJoins:
+		_, err := c.InferJoins(ctx, req.Dataset, *req.InferJoins)
+		return err
+	case OpTranslate:
+		// Per-item engine errors ride inside a 200 body; only transport
+		// or whole-batch failures count as request errors.
+		_, err := c.Translate(ctx, req.Dataset, *req.Translate)
+		return err
+	case OpLogAppend:
+		_, err := c.AppendLog(ctx, req.Dataset, *req.LogAppend)
+		return err
+	default:
+		return fmt.Errorf("workload: unknown op %q", req.Op)
+	}
+}

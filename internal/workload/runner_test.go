@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/serve"
+	"templar/pkg/client"
+)
+
+// flakyOnce wraps a handler and fails every other eligible request with a
+// 503, so (with one worker and the SDK's retry policy) every eligible
+// request fails exactly once and then succeeds on retry.
+type flakyOnce struct {
+	next     http.Handler
+	eligible func(*http.Request) bool
+	arrivals atomic.Int64
+}
+
+func (f *flakyOnce) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.eligible(r) && f.arrivals.Add(1)%2 == 1 {
+		http.Error(w, `{"error":"transient"}`, http.StatusServiceUnavailable)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// TestRunnerOneSamplePerRequestDespiteRetries is the retry/latency
+// accounting gate: the SDK retries 5xx responses internally, and the
+// runner must record exactly one histogram sample per request — a retried
+// request's extra attempts fold into its single (longer) latency sample,
+// never into the sample count.
+func TestRunnerOneSamplePerRequestDespiteRetries(t *testing.T) {
+	ds := datasets.MAS()
+	srv := serve.NewServer(frozenSystem(t, ds), ds.Name, 4)
+	flaky := &flakyOnce{
+		next: srv.Handler(),
+		eligible: func(r *http.Request) bool {
+			return strings.HasSuffix(r.URL.Path, "/map-keywords") || strings.HasSuffix(r.URL.Path, "/infer-joins")
+		},
+	}
+	ts := httptest.NewServer(flaky)
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithRetries(2),
+		client.WithBackoff(1, 2)) // ~zero backoff: this test measures counts, not latency
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	profiles, err := MineProfiles([]string{ds.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := Mix{MapKeywords: 2, InferJoins: 1} // only retried (idempotent) ops
+	g, err := NewGenerator(profiles, mix, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := g.Generate(60)
+
+	// One worker: arrivals strictly alternate 503/OK, so every request
+	// costs exactly two server hits.
+	rep, err := Run(context.Background(), RunConfig{Client: c, Workers: 1, Requests: reqs, Seed: 11, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("report errors = %d: %s", rep.Errors, rep.Summary())
+	}
+	var samples int64
+	for _, ep := range rep.Endpoints {
+		samples += ep.Count
+	}
+	if samples != int64(len(reqs)) {
+		t.Fatalf("histogram samples = %d, want %d (one per request)", samples, len(reqs))
+	}
+	if got, want := flaky.arrivals.Load(), int64(2*len(reqs)); got != want {
+		t.Fatalf("server saw %d attempts, want %d (each request retried once)", got, want)
+	}
+}
+
+// TestRunnerFullMixAgainstLiveServer drives the default mix — including
+// live log appends and sessions — against a live two-tenant server and
+// checks the aggregated report plus its bench2json-compatible encoding.
+func TestRunnerFullMixAgainstLiveServer(t *testing.T) {
+	mas, yelp := datasets.MAS(), datasets.Yelp()
+	_, c := tenantServer(t, 4,
+		&serve.Tenant{Name: mas.Name, Sys: liveSystem(t, mas), Source: "built"},
+		&serve.Tenant{Name: yelp.Name, Sys: liveSystem(t, yelp), Source: "built"},
+	)
+	profiles, err := MineProfiles([]string{mas.Name, yelp.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(profiles, DefaultMix(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := g.Generate(120)
+	rep, err := Run(context.Background(), RunConfig{Client: c, Workers: 6, Requests: reqs, Seed: 5, Mix: DefaultMix()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors in report:\n%s", rep.Summary())
+	}
+	var total int64
+	ops := map[Op]bool{}
+	tenants := map[string]bool{}
+	for _, ep := range rep.Endpoints {
+		total += ep.Count
+		ops[ep.Op] = true
+		tenants[ep.Dataset] = true
+		if ep.Count > 0 && (ep.P50Millis <= 0 || ep.P99Millis < ep.P50Millis || ep.MaxMillis < ep.P99Millis) {
+			t.Fatalf("implausible quantiles for %s/%s: %+v", ep.Dataset, ep.Op, ep)
+		}
+	}
+	if total != int64(len(reqs)) {
+		t.Fatalf("sample total = %d, want %d", total, len(reqs))
+	}
+	if len(ops) != 4 || len(tenants) != 2 {
+		t.Fatalf("coverage: ops %v tenants %v", ops, tenants)
+	}
+
+	raw, err := rep.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The artifact must parse as a bench2json-shaped document.
+	var doc struct {
+		Benchmarks []struct {
+			Package string             `json:"package"`
+			Name    string             `json:"name"`
+			Runs    int64              `json:"runs"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+		Workload *Report `json:"workload"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("report JSON undecodable: %v", err)
+	}
+	if len(doc.Benchmarks) != len(rep.Endpoints) || doc.Workload == nil || doc.Workload.Requests != len(reqs) {
+		t.Fatalf("bench document mismatch: %d benchmarks for %d endpoints", len(doc.Benchmarks), len(rep.Endpoints))
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Runs <= 0 || b.Metrics["p50-ms"] <= 0 {
+			t.Fatalf("empty bench entry %+v", b)
+		}
+	}
+}
+
+// TestRunnerSurfacesTruncation proves an expired context cannot read as
+// a clean run: Run must hand back the context error alongside whatever
+// partial report exists.
+func TestRunnerSurfacesTruncation(t *testing.T) {
+	ds := datasets.MAS()
+	_, c := tenantServer(t, 2, &serve.Tenant{Name: ds.Name, Sys: frozenSystem(t, ds), Source: "built"})
+	profiles, err := MineProfiles([]string{ds.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(profiles, Mix{MapKeywords: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: nothing should be attempted
+	rep, err := Run(ctx, RunConfig{Client: c, Workers: 2, Requests: g.Generate(50)})
+	if err == nil {
+		t.Fatal("truncated run returned a nil error")
+	}
+	if rep == nil {
+		t.Fatal("truncated run must still return its partial report")
+	}
+	for _, ep := range rep.Endpoints {
+		if ep.Count != 0 {
+			t.Fatalf("canceled-before-start run recorded samples: %+v", ep)
+		}
+	}
+}
+
+// TestRunnerCountsFailures proves failed calls are counted, not recorded
+// as latency samples.
+func TestRunnerCountsFailures(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := MineProfiles([]string{"mas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(profiles, DefaultMix(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), RunConfig{Client: c, Workers: 3, Requests: g.Generate(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 20 {
+		t.Fatalf("errors = %d, want 20", rep.Errors)
+	}
+	for _, ep := range rep.Endpoints {
+		if ep.Count != 0 {
+			t.Fatalf("failed calls recorded as samples: %+v", ep)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package workload
+
+// The concurrency invariant suite: race-enabled soak tests that
+// interleave live log appends with query traffic across tenants and
+// assert every observation is consistent with some atomically-published
+// QFG snapshot. They exercise the whole serving stack together — serve
+// handlers, the tenant registry, qfg.Live republishing, engine rebuild in
+// templar.System, and the store reload path — which no single-package
+// test does. Duration scales with TEMPLAR_SOAK_MS (see soakDuration).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"templar/internal/datasets"
+	"templar/internal/serve"
+	"templar/pkg/api"
+)
+
+// logShape is one published snapshot's observable (queries, fragments,
+// edges) triple. Torn reads would surface as triples that were never
+// published together.
+type logShape struct {
+	queries, fragments, edges int
+}
+
+func shapeOf(st api.DatasetStatus) logShape {
+	return logShape{queries: st.LogQueries, fragments: st.LogFragments, edges: st.LogEdges}
+}
+
+// published tracks, per dataset, every snapshot shape its single appender
+// observed being published, in order.
+type published struct {
+	mu     sync.Mutex
+	shapes map[string][]logShape
+}
+
+func (p *published) add(dataset string, s logShape) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shapes[dataset] = append(p.shapes[dataset], s)
+}
+
+func (p *published) contains(dataset string, s logShape) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, have := range p.shapes[dataset] {
+		if have == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *published) last(dataset string) (logShape, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sh := p.shapes[dataset]
+	if len(sh) == 0 {
+		return logShape{}, false
+	}
+	return sh[len(sh)-1], true
+}
+
+// getHealth fetches and decodes /healthz.
+func getHealth(ts *httptest.Server) (*api.HealthResponse, error) {
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	var h api.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// postRaw posts a JSON body and returns status + raw response bytes.
+func postRaw(ts *httptest.Server, path string, body any) (int, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, out.Bytes(), nil
+}
+
+// TestSoakConcurrencyInvariants interleaves live appends with query
+// traffic across two live tenants (one log-mined, one loaded from a .qfg
+// store archive) plus a frozen third tenant, and asserts:
+//
+//   - every query and append succeeds (no 5xx, no torn state surfacing as
+//     handler failures) while snapshots republish underneath;
+//   - per dataset, the (queries, fragments, edges) log shape grows
+//     monotonically in every observation order — appender's, health
+//     poller's — as append-only log evidence must;
+//   - every health observation equals a shape the dataset's appender saw
+//     published (or the initial one): responses are consistent with SOME
+//     atomically-published snapshot, never a mix of two;
+//   - the frozen tenant's answers stay byte-identical throughout: tenant
+//     isolation holds under concurrent cross-tenant writes;
+//   - after traffic quiesces, each live tenant serves exactly the last
+//     published shape (the engine catches up to the final republish).
+func TestSoakConcurrencyInvariants(t *testing.T) {
+	mas, yelp, imdb := datasets.MAS(), datasets.Yelp(), datasets.IMDB()
+	ts, c := tenantServer(t, 8,
+		&serve.Tenant{Name: mas.Name, Sys: liveSystem(t, mas), Source: "built"},
+		&serve.Tenant{Name: yelp.Name, Sys: storeLoadedLiveSystem(t, yelp), Source: "store"},
+		&serve.Tenant{Name: imdb.Name, Sys: frozenSystem(t, imdb), Source: "built"},
+	)
+	liveNames := []string{mas.Name, yelp.Name}
+
+	// Baselines: initial log shapes and the frozen tenant's probe answer.
+	h0, err := getHealth(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := &published{shapes: map[string][]logShape{}}
+	for _, st := range h0.Datasets {
+		pub.add(st.Name, shapeOf(st))
+	}
+	probeReq := api.MapKeywordsRequest{KeywordsInput: wireKeywords(imdb.Tasks[0].Keywords), TopK: 3}
+	probePath := "/v2/imdb/map-keywords"
+	probeStatus, probeWant, err := postRaw(ts, probePath, probeReq)
+	if err != nil || probeStatus != http.StatusOK {
+		t.Fatalf("probe baseline: status %d err %v", probeStatus, err)
+	}
+
+	deadline := time.Now().Add(soakDuration(t))
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []string
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(failures) < 20 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// One appender per live dataset (append order per dataset is then
+	// total, so the appender observes every published shape).
+	for i, name := range liveNames {
+		i, name := i, name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			profiles, err := MineProfiles([]string{name})
+			if err != nil {
+				fail("appender %s: %v", name, err)
+				return
+			}
+			g, err := NewGenerator(profiles, Mix{LogAppend: 1, SessionFraction: 0.3}, uint64(1000+i))
+			if err != nil {
+				fail("appender %s: %v", name, err)
+				return
+			}
+			prev, _ := pub.last(name)
+			for time.Now().Before(deadline) {
+				req := g.Next()
+				resp, err := c.AppendLog(ctx, name, *req.LogAppend)
+				if err != nil {
+					fail("appender %s: %v", name, err)
+					return
+				}
+				cur := logShape{queries: resp.LogQueries, fragments: resp.LogFragments, edges: resp.LogEdges}
+				if cur.queries <= prev.queries || cur.fragments < prev.fragments || cur.edges < prev.edges {
+					fail("appender %s: shape regressed %+v -> %+v", name, prev, cur)
+					return
+				}
+				pub.add(name, cur)
+				prev = cur
+			}
+		}()
+	}
+
+	// Query workers: read-only mix over both live tenants.
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			profiles, err := MineProfiles(liveNames)
+			if err != nil {
+				fail("reader %d: %v", w, err)
+				return
+			}
+			g, err := NewGenerator(profiles, Mix{MapKeywords: 5, InferJoins: 3, Translate: 2}, uint64(2000+w))
+			if err != nil {
+				fail("reader %d: %v", w, err)
+				return
+			}
+			for time.Now().Before(deadline) {
+				if err := execute(ctx, c, g.Next()); err != nil {
+					fail("reader %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Health poller: monotonic shapes per dataset, each a published one.
+	healthShapes := map[string][]logShape{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prev := map[string]logShape{}
+		for time.Now().Before(deadline) {
+			h, err := getHealth(ts)
+			if err != nil {
+				fail("health: %v", err)
+				return
+			}
+			for _, st := range h.Datasets {
+				cur := shapeOf(st)
+				if p, ok := prev[st.Name]; ok &&
+					(cur.queries < p.queries || cur.fragments < p.fragments || cur.edges < p.edges) {
+					fail("health %s: shape regressed %+v -> %+v", st.Name, p, cur)
+					return
+				}
+				prev[st.Name] = cur
+				healthShapes[st.Name] = append(healthShapes[st.Name], cur)
+			}
+		}
+	}()
+
+	// Isolation prober: the frozen tenant's answer must never move.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			status, got, err := postRaw(ts, probePath, probeReq)
+			if err != nil || status != http.StatusOK {
+				fail("probe: status %d err %v", status, err)
+				return
+			}
+			if !bytes.Equal(got, probeWant) {
+				fail("probe: frozen tenant's answer drifted under cross-tenant appends:\nwas %s\nnow %s", probeWant, got)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if len(failures) > 0 {
+		t.Fatalf("soak failures:\n%s", failures[0])
+	}
+
+	// Every health-observed shape was atomically published (the appender
+	// recorded it): no observation mixed two snapshots.
+	for name, shapes := range healthShapes {
+		for _, s := range shapes {
+			if !pub.contains(name, s) {
+				t.Fatalf("%s: health observed shape %+v that was never published", name, s)
+			}
+		}
+	}
+
+	// Quiesced: the serving engines converge on the last published shape.
+	hN, err := getHealth(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended := false
+	for _, st := range hN.Datasets {
+		last, ok := pub.last(st.Name)
+		if !ok {
+			continue
+		}
+		if got := shapeOf(st); got != last {
+			t.Fatalf("%s: final shape %+v, want last published %+v", st.Name, got, last)
+		}
+		if first := pub.shapes[st.Name][0]; st.LiveLog && last.queries > first.queries {
+			appended = true
+		}
+	}
+	if !appended {
+		t.Fatal("soak made no appends; invariants were vacuous (raise TEMPLAR_SOAK_MS?)")
+	}
+}
+
+// TestSoakStoreLoadedMatchesMinedUnderTraffic is the store
+// load-under-traffic gate: the same dataset served twice — once log-mined,
+// once decoded from a .qfg archive — receives identical live appends while
+// concurrent readers hammer both, and once traffic quiesces the two
+// engines must answer byte-identically: a store round trip changes cold
+// start, never semantics, even with appends interleaved.
+func TestSoakStoreLoadedMatchesMinedUnderTraffic(t *testing.T) {
+	ds := datasets.Yelp()
+	const mined, loaded = "yelp-mined", "yelp-store"
+	ts, c := tenantServer(t, 8,
+		&serve.Tenant{Name: mined, Sys: liveSystem(t, ds), Source: "built"},
+		&serve.Tenant{Name: loaded, Sys: storeLoadedLiveSystem(t, ds), Source: "store"},
+	)
+
+	profile, err := MineProfile(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clone the profile under each tenant's route name.
+	withName := func(name string) *Profile {
+		p := *profile
+		p.Name = name
+		return &p
+	}
+
+	deadline := time.Now().Add(soakDuration(t))
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []string
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(failures) < 20 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// One appender applying each batch to BOTH tenants, so their logs
+	// stay element-identical (order within a tenant is the append order).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g, err := NewGenerator([]*Profile{withName(mined)}, Mix{LogAppend: 1, SessionFraction: 0.3}, 77)
+		if err != nil {
+			fail("appender: %v", err)
+			return
+		}
+		for time.Now().Before(deadline) {
+			req := g.Next()
+			for _, name := range []string{mined, loaded} {
+				if _, err := c.AppendLog(ctx, name, *req.LogAppend); err != nil {
+					fail("appender %s: %v", name, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers on both tenants while the logs grow.
+	for w := 0; w < 4; w++ {
+		w := w
+		name := mined
+		if w%2 == 1 {
+			name = loaded
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := NewGenerator([]*Profile{withName(name)}, Mix{MapKeywords: 5, InferJoins: 3, Translate: 2}, uint64(300+w))
+			if err != nil {
+				fail("reader %d: %v", w, err)
+				return
+			}
+			for time.Now().Before(deadline) {
+				if err := execute(ctx, c, g.Next()); err != nil {
+					fail("reader %d (%s): %v", w, name, err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	if len(failures) > 0 {
+		t.Fatalf("soak failures:\n%s", failures[0])
+	}
+
+	// Quiesced: both engines hold identical log state...
+	h, err := getHealth(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[string]logShape{}
+	for _, st := range h.Datasets {
+		shapes[st.Name] = shapeOf(st)
+	}
+	if shapes[mined] != shapes[loaded] {
+		t.Fatalf("log shapes diverged: mined %+v vs store-loaded %+v", shapes[mined], shapes[loaded])
+	}
+	if shapes[mined].queries <= len(ds.Tasks) {
+		t.Fatal("no appends landed; parity check was vacuous (raise TEMPLAR_SOAK_MS?)")
+	}
+
+	// ...and answer a probe battery byte-identically.
+	g, err := NewGenerator([]*Profile{withName("")}, Mix{MapKeywords: 5, InferJoins: 3, Translate: 2}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range g.Generate(30) {
+		var path string
+		var body any
+		switch req.Op {
+		case OpMapKeywords:
+			path, body = "map-keywords", req.MapKeywords
+		case OpInferJoins:
+			path, body = "infer-joins", req.InferJoins
+		case OpTranslate:
+			path, body = "translate", req.Translate
+		}
+		s1, raw1, err1 := postRaw(ts, "/v2/"+mined+"/"+path, body)
+		s2, raw2, err2 := postRaw(ts, "/v2/"+loaded+"/"+path, body)
+		if err1 != nil || err2 != nil || s1 != http.StatusOK || s2 != http.StatusOK {
+			t.Fatalf("probe %d (%s): statuses %d/%d errs %v/%v", req.Seq, path, s1, s2, err1, err2)
+		}
+		if !bytes.Equal(raw1, raw2) {
+			t.Fatalf("probe %d (%s): store-loaded engine diverged from log-mined\nmined: %s\nstore: %s",
+				req.Seq, path, raw1, raw2)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/pkg/api"
+)
+
+func mineAll(t testing.TB) []*Profile {
+	t.Helper()
+	profiles, err := MineProfiles([]string{"mas", "yelp", "imdb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profiles
+}
+
+// TestStreamDeterminism pins the bit-reproducibility contract: the same
+// (profiles, mix, seed) triple always synthesizes the same request
+// stream, and a different seed synthesizes a different one.
+func TestStreamDeterminism(t *testing.T) {
+	profiles := mineAll(t)
+	gen := func(seed uint64) []Request {
+		g, err := NewGenerator(profiles, DefaultMix(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Generate(500)
+	}
+	a, b := gen(42), gen(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("same stream produced different fingerprints")
+	}
+	c := gen(43)
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	// Profiles mined twice are identical too: the end-to-end reproduction
+	// path (dataset → profile → stream) has no hidden nondeterminism.
+	g2, err := NewGenerator(mineAll(t), DefaultMix(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(g2.Generate(500)) != Fingerprint(a) {
+		t.Fatal("re-mined profiles changed the stream")
+	}
+}
+
+// TestStreamShape asserts every synthesized request is well-formed and
+// the mix weights are honored approximately.
+func TestStreamShape(t *testing.T) {
+	profiles := mineAll(t)
+	mix := DefaultMix()
+	g, err := NewGenerator(profiles, mix, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	counts := map[Op]int{}
+	byDataset := map[string]int{}
+	sessions := 0
+	for i, req := range g.Generate(n) {
+		if req.Seq != i {
+			t.Fatalf("request %d has seq %d", i, req.Seq)
+		}
+		counts[req.Op]++
+		byDataset[req.Dataset]++
+		set := 0
+		for _, p := range []bool{req.MapKeywords != nil, req.InferJoins != nil, req.Translate != nil, req.LogAppend != nil} {
+			if p {
+				set++
+			}
+		}
+		if set != 1 {
+			t.Fatalf("request %d has %d payloads", i, set)
+		}
+		switch req.Op {
+		case OpMapKeywords:
+			if len(req.MapKeywords.Keywords) == 0 || req.MapKeywords.TopK < 1 || req.MapKeywords.TopK > 5 {
+				t.Fatalf("bad map-keywords request %+v", req.MapKeywords)
+			}
+		case OpInferJoins:
+			if len(req.InferJoins.Relations) < 2 {
+				t.Fatalf("infer-joins bag too small: %v", req.InferJoins.Relations)
+			}
+		case OpTranslate:
+			if len(req.Translate.Queries) < 1 || len(req.Translate.Queries) > mix.TranslateBatchMax {
+				t.Fatalf("translate batch of %d", len(req.Translate.Queries))
+			}
+		case OpLogAppend:
+			la := req.LogAppend
+			if len(la.Queries) < 1 || len(la.Queries) > mix.LogBatchMax {
+				t.Fatalf("log batch of %d", len(la.Queries))
+			}
+			if la.Session {
+				sessions++
+				if len(la.Queries) < 2 {
+					t.Fatalf("session of %d queries", len(la.Queries))
+				}
+			}
+		}
+	}
+	if len(byDataset) != 3 {
+		t.Fatalf("datasets hit = %v, want all three", byDataset)
+	}
+	if sessions == 0 {
+		t.Fatal("no session appends synthesized")
+	}
+	// Weighted ops land within ±35% of their expected share — loose, but
+	// plenty to catch a broken weighting while staying seed-robust.
+	total := mix.total()
+	for op, weight := range map[Op]int{
+		OpMapKeywords: mix.MapKeywords,
+		OpInferJoins:  mix.InferJoins,
+		OpTranslate:   mix.Translate,
+		OpLogAppend:   mix.LogAppend,
+	} {
+		want := float64(n) * float64(weight) / float64(total)
+		got := float64(counts[op])
+		if got < want*0.65 || got > want*1.35 {
+			t.Errorf("%s: %v requests, want ≈%v", op, got, want)
+		}
+	}
+}
+
+// TestZeroWeightDropsOp proves a zero weight removes an operation from
+// the stream entirely (soak phases rely on read-only mixes).
+func TestZeroWeightDropsOp(t *testing.T) {
+	profiles := mineAll(t)
+	mix := DefaultMix()
+	mix.LogAppend = 0
+	g, err := NewGenerator(profiles, mix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range g.Generate(1000) {
+		if req.Op == OpLogAppend {
+			t.Fatal("zero-weight op synthesized")
+		}
+	}
+}
+
+// TestShortLogProfiles pins two batch-sizing edges: a profile whose SQL
+// log is shorter than the drawn batch size must window-clamp sessions
+// instead of indexing past the log, and an explicit LogBatchMax of 1 is
+// honored (not silently bumped to the default).
+func TestShortLogProfiles(t *testing.T) {
+	tiny := &Profile{
+		Name:     "tiny",
+		Keywords: []api.KeywordsInput{{Spec: "papers:select"}},
+		SQL:      []string{"SELECT a FROM t", "SELECT b FROM t"},
+	}
+	g, err := NewGenerator([]*Profile{tiny}, Mix{LogAppend: 1, SessionFraction: 1}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := 0
+	for _, req := range g.Generate(200) { // would panic before the clamp
+		if n := len(req.LogAppend.Queries); n < 1 || n > len(tiny.SQL) {
+			t.Fatalf("batch of %d from a %d-entry log", n, len(tiny.SQL))
+		}
+		if req.LogAppend.Session {
+			sessions++
+		}
+	}
+	if sessions == 0 {
+		t.Fatal("no sessions despite SessionFraction=1")
+	}
+
+	g, err = NewGenerator([]*Profile{tiny}, Mix{LogAppend: 1, LogBatchMax: 1}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range g.Generate(100) {
+		if req.LogAppend.Session {
+			continue // sessions legitimately widen to 2
+		}
+		if len(req.LogAppend.Queries) != 1 {
+			t.Fatalf("LogBatchMax=1 produced a batch of %d", len(req.LogAppend.Queries))
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("map=10,infer=0,translate=5,log=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MapKeywords != 10 || m.InferJoins != 0 || m.Translate != 5 || m.LogAppend != 1 {
+		t.Fatalf("mix = %+v", m)
+	}
+	if m.SessionFraction != DefaultMix().SessionFraction {
+		t.Fatal("ParseMix dropped default shape knobs")
+	}
+	if got, err := ParseMix(""); err != nil || got != DefaultMix() {
+		t.Fatalf("empty mix = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"map", "map=x", "map=-1", "bogus=3", "map=0,infer=0,translate=0,log=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestMineProfile sanity-checks the mined request material.
+func TestMineProfile(t *testing.T) {
+	ds := datasets.MAS()
+	p, err := MineProfile(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Keywords) != len(ds.Tasks) || len(p.SQL) != len(ds.Tasks) {
+		t.Fatalf("mined %d keyword inputs, %d sql from %d tasks", len(p.Keywords), len(p.SQL), len(ds.Tasks))
+	}
+	if len(p.RelationBags) == 0 {
+		t.Fatal("no multi-relation bags mined")
+	}
+	for _, bag := range p.RelationBags {
+		if len(bag) < 2 {
+			t.Fatalf("bag %v kept", bag)
+		}
+	}
+	// Wire keywords must round-trip the task metadata the engine grades.
+	task := ds.Tasks[0]
+	in := wireKeywords(task.Keywords)
+	if len(in.Keywords) != len(task.Keywords) {
+		t.Fatalf("wire keywords %d, want %d", len(in.Keywords), len(task.Keywords))
+	}
+	if _, ok := datasets.ByName("nope"); ok {
+		t.Fatal("ByName accepted a bogus dataset")
+	}
+	if _, err := MineProfiles([]string{"nope"}); err == nil {
+		t.Fatal("MineProfiles accepted a bogus dataset")
+	}
+}

@@ -1,0 +1,49 @@
+// Package xrand is the repo's one deterministic PRNG: xorshift64* with
+// fixed constants, identical on every platform and Go version. Dataset
+// generation, evaluation fold splitting, golden-corpus task selection
+// and workload synthesis all draw from it, so "same seed, same output"
+// holds end to end — and the recurrence lives in exactly one place.
+//
+// Not cryptographic, not goroutine-safe; use one Rand per goroutine.
+package xrand
+
+// Rand is a seeded xorshift64* generator.
+type Rand struct{ s uint64 }
+
+// New returns a generator for seed. A zero seed (which would trap
+// xorshift at zero forever) is remapped to a fixed odd constant.
+func New(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Next returns the next 64 pseudo-random bits.
+func (r *Rand) Next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n); n <= 0 returns 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// RangeInt returns a value in [lo, hi].
+func (r *Rand) RangeInt(lo, hi int) int { return lo + r.Intn(hi-lo+1) }
+
+// Float01 returns a value in [0, 1).
+func (r *Rand) Float01() float64 { return float64(r.Next()>>11) / (1 << 53) }
+
+// Shuffle applies a Fisher–Yates shuffle over n elements via swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

@@ -1,0 +1,72 @@
+package xrand
+
+import "testing"
+
+// TestRecurrencePinned pins the exact xorshift64* outputs for a known
+// seed: datasets, fold splits, golden task selections and workload
+// streams are all reproducible only as long as these bits never change.
+func TestRecurrencePinned(t *testing.T) {
+	r := New(1)
+	want := []uint64{0x47E4CE4B896CDD1D, 0xABCFA6A8E079651D, 0xB9D10D8FEB731F57}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("Next()[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	if New(0).Next() == 0 {
+		t.Fatal("zero seed trapped at zero")
+	}
+	if New(0).Next() != New(0).Next() {
+		t.Fatal("zero-seed remap not deterministic")
+	}
+}
+
+func TestBoundsAndDistribution(t *testing.T) {
+	r := New(7)
+	if r.Intn(0) != 0 || r.Intn(-3) != 0 {
+		t.Fatal("Intn of non-positive n must be 0")
+	}
+	seen := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 10; v++ {
+		if seen[v] < 700 {
+			t.Fatalf("value %d drawn only %d/10000 times", v, seen[v])
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.RangeInt(5, 8); v < 5 || v > 8 {
+			t.Fatalf("RangeInt(5,8) = %d", v)
+		}
+		if f := r.Float01(); f < 0 || f >= 1 {
+			t.Fatalf("Float01 = %v", f)
+		}
+	}
+}
+
+func TestShuffleIsAPermutation(t *testing.T) {
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	New(3).Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	seen := map[int]bool{}
+	moved := false
+	for pos, v := range idx {
+		if v < 0 || v >= len(idx) || seen[v] {
+			t.Fatalf("not a permutation: %v", idx)
+		}
+		seen[v] = true
+		if v != pos {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("shuffle was the identity: %v", idx)
+	}
+}

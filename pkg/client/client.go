@@ -10,7 +10,7 @@
 //	if errors.As(err, &apiErr) && apiErr.Code == api.CodeUnknownDataset { ... }
 //
 // Idempotent calls (everything except AppendLog) are retried with
-// exponential backoff on transport errors and 5xx responses; server
+// jittered exponential backoff on transport errors and 5xx responses; server
 // errors always surface as *api.Error so callers branch on Code, not on
 // message prose. The v1 routes are not wrapped — they exist for frozen
 // legacy clients, and new integrations should speak v2.
@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -37,6 +38,7 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	maxWait time.Duration
+	jitter  func(d time.Duration) time.Duration
 	sleep   func(ctx context.Context, d time.Duration) error
 }
 
@@ -52,9 +54,33 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = 
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
 // WithBackoff sets the initial and maximum retry backoff (defaults
-// 100ms / 2s). The delay doubles per attempt, capped at max.
+// 100ms / 2s). The delay doubles per attempt, capped at max, then
+// jittered (see WithJitter).
 func WithBackoff(initial, max time.Duration) Option {
 	return func(c *Client) { c.backoff, c.maxWait = initial, max }
+}
+
+// WithJitter overrides how each computed backoff delay is spread before
+// sleeping. The default draws uniformly from [d/2, d] ("equal jitter"):
+// without it, a fleet of workers that hit the same 5xx at the same moment
+// would all sleep the same deterministic exponential schedule and retry
+// in lockstep — a thundering herd re-hammering the recovering server.
+// Passing nil restores the default; tests that need exact delays can pass
+// the identity function.
+func WithJitter(f func(d time.Duration) time.Duration) Option {
+	return func(c *Client) { c.jitter = f }
+}
+
+// equalJitter is the default backoff spread: uniform in [d/2, d], keeping
+// at least half the exponential delay so pressure still backs off while
+// desynchronizing simultaneous retriers. It uses the process-global,
+// goroutine-safe math/rand source.
+func equalJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(d-half)+1))
 }
 
 // New builds a Client for a server base URL like "http://host:8080".
@@ -69,10 +95,14 @@ func New(base string, opts ...Option) (*Client, error) {
 		retries: 2,
 		backoff: 100 * time.Millisecond,
 		maxWait: 2 * time.Second,
+		jitter:  equalJitter,
 		sleep:   sleepCtx,
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.jitter == nil {
+		c.jitter = equalJitter
 	}
 	return c, nil
 }
@@ -187,7 +217,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := c.sleep(ctx, wait); err != nil {
+			if err := c.sleep(ctx, c.jitter(wait)); err != nil {
 				return err
 			}
 			if wait *= 2; wait > c.maxWait {

@@ -65,9 +65,64 @@ func TestRetriesOn5xxWithBackoff(t *testing.T) {
 	if got := h.hits.Load(); got != 3 {
 		t.Fatalf("attempts = %d, want 3", got)
 	}
+	// The exponential schedule is 100ms then 200ms; the default equal
+	// jitter spreads each delay into [d/2, d].
 	if want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}; len(*delays) != 2 ||
-		(*delays)[0] != want[0] || (*delays)[1] != want[1] {
-		t.Fatalf("backoff delays = %v, want %v", *delays, want)
+		(*delays)[0] < want[0]/2 || (*delays)[0] > want[0] ||
+		(*delays)[1] < want[1]/2 || (*delays)[1] > want[1] {
+		t.Fatalf("backoff delays = %v, want within [d/2, d] of %v", *delays, want)
+	}
+}
+
+// TestExactBackoffWithIdentityJitter pins the underlying exponential
+// schedule by disabling the spread.
+func TestExactBackoffWithIdentityJitter(t *testing.T) {
+	h := &flaky{fails: 4, status: http.StatusServiceUnavailable, body: api.HealthResponse{Status: "ok"}}
+	c, delays := newTestClient(t, h,
+		WithRetries(4),
+		WithBackoff(100*time.Millisecond, 300*time.Millisecond),
+		WithJitter(func(d time.Duration) time.Duration { return d }))
+
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond, 300 * time.Millisecond}
+	if len(*delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", *delays, want)
+	}
+	for i, d := range *delays {
+		if d != want[i] {
+			t.Fatalf("delays = %v, want %v", *delays, want)
+		}
+	}
+}
+
+// TestBackoffJitterSpreads proves retry delays actually vary: a fleet of
+// clients computing the same exponential schedule must not sleep
+// identically, or simultaneous failures re-synchronize into a thundering
+// herd when they all retry at once.
+func TestBackoffJitterSpreads(t *testing.T) {
+	h := &flaky{fails: 1 << 30, status: http.StatusServiceUnavailable}
+	c, delays := newTestClient(t, h, WithRetries(40), WithBackoff(time.Second, time.Second))
+
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected exhausted retries")
+	}
+	if len(*delays) != 40 {
+		t.Fatalf("recorded %d delays", len(*delays))
+	}
+	distinct := map[time.Duration]bool{}
+	for _, d := range *delays {
+		if d < 500*time.Millisecond || d > time.Second {
+			t.Fatalf("delay %v escaped the jitter window [500ms, 1s]", d)
+		}
+		distinct[d] = true
+	}
+	// 40 draws from a ~500ms window at nanosecond granularity: any
+	// collision at all would be extraordinary; identical delays mean the
+	// jitter is not being applied.
+	if len(distinct) < 10 {
+		t.Fatalf("only %d distinct delays across %d retries; backoff is not jittered", len(distinct), len(*delays))
 	}
 }
 
