@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check serve soak golden golden-check load-smoke
+.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check wal-check serve soak golden golden-check load-smoke
 
 all: build vet test
 
@@ -52,6 +52,18 @@ docs-check: fmt vet
 api-check:
 	$(GO) test ./pkg/api -run 'TestWireContract|TestErrorHelpers' -count=1
 	$(GO) test ./internal/serve -run 'TestOpenAPISync|TestRoutesTable' -count=1
+
+# wal-check guards the durability layer: the WAL package's
+# crash-injection suite (every-prefix truncation, bit flips at every
+# offset, compaction crash windows) plus the serve-layer durability tests
+# (WAL-first acks, boot recovery, reconciliation refusals, compaction
+# under a served tenant). The whole-stack kill-and-recover phase rides in
+# `make soak`.
+wal-check:
+	$(GO) test -race ./internal/wal -count=1
+	$(GO) test -race ./internal/serve -run 'TestDurable|TestAttachWAL|TestCompact|TestWALStats' -count=1
+	$(GO) test ./internal/store -run 'TestWalSeq|TestDecodeV1Compat' -count=1
+	$(GO) test ./internal/qfg -run 'TestReplay' -count=1
 
 serve: build
 	$(GO) run ./cmd/templar-serve -datasets mas,yelp,imdb -store ./snapshots -addr :8080

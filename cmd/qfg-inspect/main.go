@@ -19,6 +19,13 @@
 //	qfg-inspect unpack mas.qfg                   # dump the fragment table
 //	qfg-inspect unpack -top 20 mas.qfg
 //
+// The wal subcommand verifies and dumps a per-tenant write-ahead log
+// segment (internal/wal) offline — the operator's view of what a crashed
+// server will recover:
+//
+//	qfg-inspect wal mas.wal                      # header, record count, tail verdict
+//	qfg-inspect wal -dump mas.wal                # every record with its queries
+//
 // Log lines may carry a "Nx:" repetition prefix as in the paper's Figure 3a.
 package main
 
@@ -35,6 +42,7 @@ import (
 	"templar/internal/qfg"
 	"templar/internal/sqlparse"
 	"templar/internal/store"
+	"templar/internal/wal"
 )
 
 func main() {
@@ -48,6 +56,9 @@ func main() {
 			return
 		case "info":
 			runInfo(os.Args[2:])
+			return
+		case "wal":
+			runWal(os.Args[2:])
 			return
 		}
 	}
@@ -149,6 +160,68 @@ func runInfo(args []string) {
 	fmt.Printf("  queries:   %d\n", snap.Queries())
 	fmt.Printf("  fragments: %d interned (%d in snapshot)\n", snap.Interner().Len(), snap.Vertices())
 	fmt.Printf("  edges:     %d\n", snap.Edges())
+	fmt.Printf("  wal seq:   %d\n", ar.WalSeq)
+}
+
+// runWal verifies a write-ahead log segment offline and reports exactly
+// what a recovering server would keep: the records up to the last valid
+// one, plus the typed verdict on any damaged tail.
+func runWal(args []string) {
+	fs := flag.NewFlagSet("qfg-inspect wal", flag.ExitOnError)
+	dump := fs.Bool("dump", false, "dump every record's queries, not just the summary")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("want exactly one .wal file argument, got %d", fs.NArg()))
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := wal.Scan(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("%s: write-ahead log segment (format v%d, %d bytes)\n", path, wal.Version, len(data))
+	fmt.Printf("  dataset:  %s\n", res.Dataset)
+	fmt.Printf("  base seq: %d\n", res.BaseSeq)
+	if len(res.Records) == 0 {
+		fmt.Printf("  records:  0 (next append is seq %d)\n", res.BaseSeq+1)
+	} else {
+		fmt.Printf("  records:  %d (seq %d..%d)\n", len(res.Records), res.BaseSeq+1, res.LastSeq())
+	}
+	switch {
+	case res.TailErr == nil:
+		fmt.Printf("  tail:     clean\n")
+	default:
+		fmt.Printf("  tail:     %d byte(s) past offset %d unrecoverable: %v\n",
+			len(data)-res.ValidLen, res.ValidLen, res.TailErr)
+		fmt.Printf("            recovery keeps the %d record(s) above and truncates the rest\n", len(res.Records))
+	}
+	if !*dump {
+		return
+	}
+	for _, r := range res.Records {
+		kind := "batch"
+		if r.Session {
+			kind = fmt.Sprintf("session count=%d decay=%g", r.Count, r.Decay)
+		}
+		fmt.Printf("  seq %d: %s, %d quer%s\n", r.Seq, kind, len(r.Entries), plural(len(r.Entries), "y", "ies"))
+		for _, e := range r.Entries {
+			if r.Session {
+				fmt.Printf("    %s\n", e.SQL)
+			} else {
+				fmt.Printf("    %dx %s\n", e.Count, e.SQL)
+			}
+		}
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // runUnpack dumps a packed archive's fragment table in ID order.

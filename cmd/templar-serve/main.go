@@ -11,9 +11,18 @@
 // stays live: POST /v1/{dataset}/log appends user queries and republishes
 // an immutable snapshot copy-on-write without blocking in-flight readers.
 //
+// With -wal DIR (requires -store), every log append is additionally made
+// durable in a per-tenant write-ahead log (DIR/<name>.wal, see
+// internal/wal) before it is acknowledged: a crash between snapshots loses
+// nothing. Boot replays the WAL tail past the snapshot's recorded
+// sequence, and a background compactor folds grown logs back into fresh
+// snapshots (-wal-compact-bytes, -wal-compact-every). -wal-sync trades
+// durability for throughput: 0 fsyncs every append, an interval batches
+// them. See docs/DURABILITY.md for the full model and operator runbook.
+//
 // Usage:
 //
-//	templar-serve -datasets mas,yelp,imdb -store ./snapshots -addr :8080 [-workers 8] [-pprof]
+//	templar-serve -datasets mas,yelp,imdb -store ./snapshots -addr :8080 [-wal ./wal] [-workers 8] [-pprof]
 //
 // The first -datasets entry is the default dataset: the legacy unprefixed
 // routes (/v1/map-keywords, …) alias it, so single-tenant clients keep
@@ -61,6 +70,7 @@ import (
 	"templar/internal/sqlparse"
 	"templar/internal/store"
 	"templar/internal/templar"
+	"templar/internal/wal"
 )
 
 func main() {
@@ -69,6 +79,10 @@ func main() {
 		datasetCS  = flag.String("datasets", "mas", "comma-separated datasets to serve (mas, yelp, imdb); the first is the default")
 		dataset    = flag.String("dataset", "", "deprecated: single dataset (alias for -datasets)")
 		storeDir   = flag.String("store", "", "snapshot store directory: load packed .qfg snapshots when present, write them after building otherwise")
+		walDir     = flag.String("wal", "", "write-ahead log directory: make log appends durable before acknowledging them (requires -store)")
+		walSync    = flag.Duration("wal-sync", 0, "WAL fsync interval (0 = fsync every append; an interval batches fsyncs, trading the tail for throughput)")
+		walBytes   = flag.Int64("wal-compact-bytes", 4<<20, "compact a tenant's WAL into a fresh snapshot once its live segment exceeds this many bytes")
+		walEvery   = flag.Duration("wal-compact-every", 15*time.Second, "how often the background compactor sweeps WAL-armed tenants")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = min(GOMAXPROCS, 8))")
 		kappa      = flag.Int("kappa", 5, "kappa: candidates kept per keyword")
 		lambda     = flag.Float64("lambda", 0.8, "lambda: similarity vs log evidence weight")
@@ -85,12 +99,15 @@ func main() {
 	if *dataset != "" {
 		names = []string{*dataset}
 	}
+	if *walDir != "" && *storeDir == "" {
+		fatal(fmt.Errorf("-wal requires -store: the write-ahead log compacts into, and recovers against, packed snapshots"))
+	}
 	opts := templar.Options{
 		Keyword: keyword.Options{K: *kappa, Lambda: *lambda},
 		LogJoin: *logJoin,
 	}
 	loader := func(ctx context.Context, name string) (*serve.Tenant, error) {
-		return loadTenant(ctx, name, *storeDir, opts)
+		return loadTenant(ctx, name, *storeDir, *walDir, *walSync, opts)
 	}
 
 	reg := serve.NewRegistry()
@@ -100,7 +117,7 @@ func main() {
 		if name == "" {
 			continue
 		}
-		tenant, err := loadTenant(context.Background(), name, *storeDir, opts)
+		tenant, err := loadTenant(context.Background(), name, *storeDir, *walDir, *walSync, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -127,6 +144,12 @@ func main() {
 	}
 	log.Printf("templar-serve: serving %d dataset(s), default=%s workers=%d",
 		reg.Len(), defaultName, srv.Pool().Workers())
+	if *walDir != "" {
+		go serve.NewCompactor(reg, *walBytes, *walEvery).
+			WithLogger(log.Default()).
+			Run(context.Background())
+		log.Printf("templar-serve: WAL compactor sweeping every %s (threshold %d bytes)", *walEvery, *walBytes)
+	}
 
 	handler := srv.Handler()
 	if *withPprof {
@@ -156,10 +179,13 @@ func main() {
 // re-mining the gold-SQL log otherwise — in which case the freshly built
 // snapshot is packed back into the store so the next boot is fast. The
 // engine always serves a live log; appends keep working either way because
-// a store-loaded snapshot is rehydrated into a builder graph. ctx honors
-// the Loader contract: an admin client that disconnects mid-build stops
-// the re-mine instead of finishing a doomed engine on a pool worker.
-func loadTenant(ctx context.Context, name, storeDir string, opts templar.Options) (*serve.Tenant, error) {
+// a store-loaded snapshot is rehydrated into a builder graph. With a WAL
+// directory, the tenant's write-ahead log is attached last: any records
+// past the snapshot's recorded sequence are replayed, so the engine comes
+// up byte-identical to one that never crashed. ctx honors the Loader
+// contract: an admin client that disconnects mid-build stops the re-mine
+// instead of finishing a doomed engine on a pool worker.
+func loadTenant(ctx context.Context, name, storeDir, walDir string, walSync time.Duration, opts templar.Options) (*serve.Tenant, error) {
 	ds, ok := datasets.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (want mas, yelp or imdb)", serve.ErrUnknownDataset, name)
@@ -169,12 +195,14 @@ func loadTenant(ctx context.Context, name, storeDir string, opts templar.Options
 	var live *qfg.Live
 	source := "built"
 	path := ""
+	var snapshotSeq uint64
 	if storeDir != "" {
 		path = filepath.Join(storeDir, store.Filename(ds.Name))
 		switch ar, err := store.ReadFile(path); {
 		case err == nil:
 			live = qfg.NewLiveFromSnapshot(ar.Snapshot)
 			source = "store"
+			snapshotSeq = ar.WalSeq
 		case errors.Is(err, fs.ErrNotExist):
 			// First boot for this dataset: fall through to the build.
 		default:
@@ -200,7 +228,41 @@ func loadTenant(ctx context.Context, name, storeDir string, opts templar.Options
 		}
 	}
 	sys := templar.NewLive(ds.DB, embedding.New(), live, opts)
-	return &serve.Tenant{Name: ds.Name, Sys: sys, Source: source, LoadTime: time.Since(start)}, nil
+	tenant := &serve.Tenant{
+		Name:        ds.Name,
+		Sys:         sys,
+		Source:      source,
+		StorePath:   path,
+		SnapshotSeq: snapshotSeq,
+	}
+	if walDir != "" {
+		if err := os.MkdirAll(walDir, 0o777); err != nil {
+			return nil, err
+		}
+		rec, err := serve.AttachWAL(tenant, walDir, wal.Options{SyncInterval: walSync})
+		if err != nil {
+			return nil, err
+		}
+		if n := len(rec.Records); n > 0 || rec.DroppedBytes > 0 || rec.CompactionPending {
+			replayed := 0
+			for _, r := range rec.Records {
+				if r.Seq > snapshotSeq {
+					replayed++
+				}
+			}
+			msg := fmt.Sprintf("templar-serve: dataset=%s WAL recovery: %d record(s) scanned, %d replayed past snapshot seq %d",
+				ds.Name, n, replayed, snapshotSeq)
+			if rec.DroppedBytes > 0 {
+				msg += fmt.Sprintf(", %d torn tail byte(s) dropped (%v)", rec.DroppedBytes, rec.Cause)
+			}
+			if rec.CompactionPending {
+				msg += ", interrupted compaction completed"
+			}
+			log.Print(msg)
+		}
+	}
+	tenant.LoadTime = time.Since(start)
+	return tenant, nil
 }
 
 // buildQFG folds every benchmark gold query into the training log,

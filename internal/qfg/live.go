@@ -83,3 +83,47 @@ func (l *Live) AddSession(queries []*sqlparse.Query, count int, decay float64) e
 	l.snap.Store(l.builder.Snapshot(l.interner))
 	return nil
 }
+
+// ReplayOp is one logged append operation for Replay: a query batch
+// (Counts[i] is Queries[i]'s multiplicity, nil = all 1) or, with Session
+// set, an ordered session with the given multiplicity and decay.
+type ReplayOp struct {
+	Session bool
+	Queries []*sqlparse.Query
+	Counts  []int
+	Count   int
+	Decay   float64
+}
+
+// Replay folds a sequence of recovered append operations into the log and
+// republishes once, producing a snapshot byte-identical to the one an
+// engine that had applied the same operations through AddQueries and
+// AddSession would serve. Identity holds because each operation's new
+// fragments are interned in sorted order before the next operation's — the
+// exact ID assignment the per-operation republishes would have made — and
+// edge weights accumulate in the same record order; only the O(V + E)
+// compile is deferred to the end. An error mid-replay (a corrupt operation
+// that validation upstream should have rejected) leaves the snapshot
+// unpublished and the Live unusable.
+func (l *Live) Replay(ops []ReplayOp) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, op := range ops {
+		if op.Session {
+			if err := l.builder.AddSession(op.Queries, op.Count, op.Decay); err != nil {
+				return err
+			}
+		} else {
+			for i, q := range op.Queries {
+				count := 1
+				if op.Counts != nil {
+					count = op.Counts[i]
+				}
+				l.builder.AddQuery(q, count)
+			}
+		}
+		l.builder.internFragments(l.interner)
+	}
+	l.snap.Store(l.builder.Snapshot(l.interner))
+	return nil
+}

@@ -46,6 +46,24 @@ type SnapshotSource interface {
 // SnapshotSource for consumers that never see log appends.
 func (s *Snapshot) CurrentSnapshot() *Snapshot { return s }
 
+// internFragments interns the graph's current fragment set into in, in
+// sorted order — exactly the ID assignment Snapshot performs — without
+// paying for a compile. Live.Replay uses it to reproduce, per replayed
+// record, the IDs an incremental republish after that record would have
+// assigned.
+func (g *Graph) internFragments(in *fragment.Interner) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	frags := make([]fragment.Fragment, 0, len(g.nv))
+	for f := range g.nv {
+		frags = append(frags, f)
+	}
+	sort.Slice(frags, func(i, j int) bool { return less(frags[i], frags[j]) })
+	for _, f := range frags {
+		in.Intern(f)
+	}
+}
+
 // Snapshot compiles an immutable snapshot of the graph's current state.
 // Fragments are interned into in; passing nil creates a fresh table. The
 // compile holds the graph's read lock, so it can run concurrently with

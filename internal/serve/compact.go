@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"log"
+	"time"
+
+	"templar/internal/store"
+)
+
+// Compactor folds grown write-ahead logs back into packed snapshots in the
+// background, bounding both replay time at the next boot and WAL disk use.
+// One compactor sweeps every WAL-armed tenant of a registry on a timer;
+// each sweep compacts the tenants whose live segment has outgrown the byte
+// threshold.
+//
+// The compaction protocol per tenant (CompactTenant) is crash-safe at
+// every instant — see internal/wal's package documentation:
+//
+//  1. Under the tenant's append lock, rotate the live segment aside
+//     (wal.StartCompaction) and capture the engine snapshot; the lock
+//     guarantees the snapshot covers exactly the rotated records.
+//  2. Persist the snapshot at that sequence (store.WriteFileAt — an atomic
+//     rename, so a loader never sees a half-written archive).
+//  3. Release the rotated segment (wal.FinishCompaction).
+//
+// Dying between any two steps leaves the rotated segment on disk; the next
+// boot replays it (AttachWAL) and completes the compaction.
+type Compactor struct {
+	reg *Registry
+	// thresholdBytes is the live-segment size past which a sweep compacts
+	// a tenant; CompactTenant with force ignores it.
+	thresholdBytes int64
+	every          time.Duration
+	logger         *log.Logger
+}
+
+// NewCompactor builds a compactor over reg that, once Run, sweeps every
+// interval and compacts tenants whose WAL exceeds thresholdBytes.
+func NewCompactor(reg *Registry, thresholdBytes int64, every time.Duration) *Compactor {
+	return &Compactor{reg: reg, thresholdBytes: thresholdBytes, every: every}
+}
+
+// WithLogger emits one line per completed or failed compaction to l.
+func (c *Compactor) WithLogger(l *log.Logger) *Compactor {
+	c.logger = l
+	return c
+}
+
+// Run sweeps on the configured interval until ctx is canceled. Run it on
+// its own goroutine; errors are logged (when a logger is set) and retried
+// at the next sweep — a failed compaction never loses records, it only
+// defers folding them.
+func (c *Compactor) Run(ctx context.Context) {
+	t := time.NewTicker(c.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Sweep()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Sweep compacts every tenant whose WAL has outgrown the threshold,
+// returning how many tenants were compacted.
+func (c *Compactor) Sweep() int {
+	n := 0
+	for _, t := range c.reg.Tenants() {
+		done, err := c.CompactTenant(t, false)
+		switch {
+		case err != nil && c.logger != nil:
+			c.logger.Printf("compact %s: %v", t.Name, err)
+		case done:
+			n++
+			if c.logger != nil {
+				st := t.WAL.Stats()
+				c.logger.Printf("compact %s: snapshot now covers seq %d", t.Name, st.Seq)
+			}
+		}
+	}
+	return n
+}
+
+// CompactTenant folds one tenant's WAL into its packed snapshot, reporting
+// whether a compaction ran. Tenants without a WAL, without a StorePath or
+// with a frozen engine are skipped; without force, so are tenants whose
+// live segment is still under the byte threshold. Safe to call while the
+// tenant serves traffic: appends block only for the rotate + snapshot
+// capture (step 1), not for the disk write.
+func (c *Compactor) CompactTenant(t *Tenant, force bool) (bool, error) {
+	if t.WAL == nil || t.StorePath == "" {
+		return false, nil
+	}
+	live := t.Sys.Live()
+	if live == nil {
+		return false, nil
+	}
+
+	t.appendMu.Lock()
+	// A compaction that already rotated but failed to persist (a full disk,
+	// say) is finished here instead of rotating again: the current engine
+	// state covers everything in both segments.
+	if t.WAL.CompactionPending() {
+		seq := t.WAL.LastSeq()
+		snap := live.CurrentSnapshot()
+		t.appendMu.Unlock()
+		if err := store.WriteFileAt(t.StorePath, t.Name, snap, seq); err != nil {
+			return false, err
+		}
+		return true, t.WAL.FinishCompaction()
+	}
+	if !force && t.WAL.Stats().Bytes < c.thresholdBytes {
+		t.appendMu.Unlock()
+		return false, nil
+	}
+	seq, err := t.WAL.StartCompaction()
+	if err != nil {
+		t.appendMu.Unlock()
+		return false, err
+	}
+	// Captured under the append lock right after the rotation: the snapshot
+	// covers exactly the records now sitting in the rotated-out segment.
+	snap := live.CurrentSnapshot()
+	t.appendMu.Unlock()
+
+	if err := store.WriteFileAt(t.StorePath, t.Name, snap, seq); err != nil {
+		// The rotated segment stays on disk; boot or the next sweep
+		// completes the compaction. No acknowledged record is at risk.
+		return false, err
+	}
+	return true, t.WAL.FinishCompaction()
+}

@@ -39,6 +39,18 @@
 // routes keep the frozen legacy shapes in v1.go — a thin adapter over
 // the same core operations, bit-identical on success.
 //
+// # Durability
+//
+// A Tenant may carry a write-ahead log (templar/internal/wal). AttachWAL
+// (durable.go) opens it, reconciles it against the tenant's snapshot
+// watermark, and replays the tail into the live engine; afterwards
+// coreLogAppend writes each accepted batch to the WAL before touching
+// the engine, and the wal_seq durability receipt rides back on the
+// append response. Compactor (compact.go) folds grown logs back into
+// fresh snapshot archives in the background. WAL stats surface on
+// /healthz and the admin dataset listing. See docs/DURABILITY.md for
+// the format, the recovery protocol, and the operator runbook.
+//
 // Request contexts ride into the worker pool and the engine itself:
 // a disconnected client stops queued work from claiming workers and
 // aborts configuration enumeration and join path search mid-flight.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"templar/internal/templar"
+	"templar/internal/wal"
 )
 
 // ErrUnknownDataset is returned (possibly wrapped) by a Loader when the
@@ -31,6 +32,21 @@ type Tenant struct {
 	Source string
 	// LoadTime is how long building or loading the engine took.
 	LoadTime time.Duration
+	// WAL, when non-nil, is the tenant's open write-ahead log: every log
+	// append is made durable there before it is applied or acknowledged
+	// (see AttachWAL).
+	WAL *wal.Log
+	// StorePath, when set, is the packed-snapshot file compaction folds the
+	// WAL into (the file the tenant was — or will next be — loaded from).
+	StorePath string
+	// SnapshotSeq is the WAL sequence the tenant's boot snapshot covered
+	// (store.Archive.WalSeq). Set once at load time, never mutated.
+	SnapshotSeq uint64
+
+	// appendMu serializes the WAL-write → engine-apply pair of a log
+	// append, and compaction's rotate → engine-capture pair, so WAL order,
+	// apply order and the sequence a compacted snapshot covers all agree.
+	appendMu sync.Mutex
 }
 
 // Loader materializes a tenant on demand for POST /admin/datasets —

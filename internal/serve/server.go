@@ -14,6 +14,7 @@ import (
 	"templar/internal/pool"
 	"templar/internal/sqlparse"
 	"templar/internal/templar"
+	"templar/internal/wal"
 	"templar/pkg/api"
 )
 
@@ -156,8 +157,8 @@ func (s *Server) Routes() []Route {
 	}
 	type endpoint struct {
 		name string
-		v1   func(http.ResponseWriter, *http.Request, *templar.System)
-		v2   func(http.ResponseWriter, *http.Request, *templar.System)
+		v1   func(http.ResponseWriter, *http.Request, *Tenant)
+		v2   func(http.ResponseWriter, *http.Request, *Tenant)
 	}
 	for _, ep := range []endpoint{
 		{"map-keywords", s.handleV1MapKeywords, s.handleV2MapKeywords},
@@ -190,7 +191,7 @@ func (s *Server) Handler() http.Handler {
 // withTenant resolves the request's dataset — the {dataset} path segment,
 // or the default for unprefixed legacy routes — with one atomic registry
 // load, and 404s unknown names in the requested contract's error shape.
-func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *templar.System), v2 bool) http.HandlerFunc {
+func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *Tenant), v2 bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("dataset")
 		if name == "" {
@@ -207,7 +208,7 @@ func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *templar.
 			}
 			return
 		}
-		h(w, r, t.Sys)
+		h(w, r, t)
 	}
 }
 
@@ -326,8 +327,8 @@ func (s *Server) coreTranslate(ctx context.Context, sys *templar.System, req api
 	return &api.TranslateResponse{Results: results}, nil
 }
 
-func (s *Server) coreLogAppend(ctx context.Context, sys *templar.System, req api.LogAppendRequest) (*api.LogAppendResponse, *api.Error) {
-	live := sys.Live()
+func (s *Server) coreLogAppend(ctx context.Context, t *Tenant, req api.LogAppendRequest) (*api.LogAppendResponse, *api.Error) {
+	live := t.Sys.Live()
 	if live == nil {
 		return nil, api.NewError(http.StatusConflict, api.CodeLogFrozen,
 			"serve: log appends disabled: system built over a frozen log")
@@ -344,8 +345,11 @@ func (s *Server) coreLogAppend(ctx context.Context, sys *templar.System, req api
 	var out *api.LogAppendResponse
 	var appendErr *api.Error
 	if s.pool.RunCtx(ctx, func() {
-		// Parse and alias-resolve the whole batch before touching the log,
-		// so one malformed query rejects the batch instead of half-applying.
+		// Parse, alias-resolve and normalize the whole batch before touching
+		// the WAL or the log: one malformed query rejects the batch instead
+		// of half-applying, and — with a WAL attached — nothing that could
+		// still fail runs after a record is durable, so a logged record
+		// always replays cleanly.
 		parsed := make([]*sqlparse.Query, len(req.Queries))
 		counts := make([]int, len(req.Queries))
 		for i, e := range req.Queries {
@@ -364,12 +368,48 @@ func (s *Server) coreLogAppend(ctx context.Context, sys *templar.System, req api
 				counts[i] = 1
 			}
 		}
+		decay := req.Decay
 		if req.Session {
-			decay := req.Decay
 			if decay == 0 {
 				decay = 0.5
 			}
+			if decay <= 0 || decay > 1 {
+				appendErr = api.Errorf(http.StatusUnprocessableEntity, api.CodeValidation,
+					"serve: session decay %v outside (0, 1]", decay)
+				return
+			}
+		}
+
+		// appendMu holds the WAL write and the engine apply together: WAL
+		// order is apply order is replay order, and a concurrent compaction
+		// cannot rotate the segment between the two.
+		t.appendMu.Lock()
+		defer t.appendMu.Unlock()
+		var walSeq uint64
+		if t.WAL != nil {
+			rec := &wal.Record{Session: req.Session, Entries: make([]wal.Entry, len(parsed))}
+			for i, e := range req.Queries {
+				// Record the raw SQL with normalized counts: replay re-parses
+				// and re-resolves exactly what was applied here.
+				rec.Entries[i] = wal.Entry{SQL: e.SQL, Count: counts[i]}
+			}
+			if req.Session {
+				rec.Count, rec.Decay = 1, decay
+			}
+			seq, err := t.WAL.Append(rec)
+			if err != nil {
+				// The record is not durable, so it must not be applied or
+				// acknowledged. The log poisons itself on write failure;
+				// operators see it on /healthz and in the runbook.
+				appendErr = api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+					"serve: write-ahead log append failed: %v", err)
+				return
+			}
+			walSeq = seq
+		}
+		if req.Session {
 			if err := live.AddSession(parsed, 1, decay); err != nil {
+				// Unreachable with a WAL attached: decay was validated above.
 				appendErr = api.NewError(http.StatusUnprocessableEntity, api.CodeValidation, err.Error())
 				return
 			}
@@ -382,6 +422,7 @@ func (s *Server) coreLogAppend(ctx context.Context, sys *templar.System, req api
 			LogQueries:   snap.Queries(),
 			LogFragments: snap.Vertices(),
 			LogEdges:     snap.Edges(),
+			WALSeq:       int64(walSeq),
 		}
 	}) != nil {
 		return nil, nil // client gone before a worker freed up
@@ -395,43 +436,43 @@ func (s *Server) coreLogAppend(ctx context.Context, sys *templar.System, req api
 // ---------------------------------------------------------------------------
 // v2 handlers: pkg/api shapes in, problem+json errors out.
 
-func (s *Server) handleV2MapKeywords(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+func (s *Server) handleV2MapKeywords(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req api.MapKeywordsRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		s.writeProblem(w, r, apiErr)
 		return
 	}
-	resp, apiErr := s.coreMapKeywords(r.Context(), sys, req.KeywordsInput, req.TopK, req.CallOptions)
+	resp, apiErr := s.coreMapKeywords(r.Context(), t.Sys, req.KeywordsInput, req.TopK, req.CallOptions)
 	writeV2(s, w, r, resp, apiErr)
 }
 
-func (s *Server) handleV2InferJoins(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+func (s *Server) handleV2InferJoins(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req api.InferJoinsRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		s.writeProblem(w, r, apiErr)
 		return
 	}
-	resp, apiErr := s.coreInferJoins(r.Context(), sys, req.Relations, req.TopK)
+	resp, apiErr := s.coreInferJoins(r.Context(), t.Sys, req.Relations, req.TopK)
 	writeV2(s, w, r, resp, apiErr)
 }
 
-func (s *Server) handleV2Translate(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+func (s *Server) handleV2Translate(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req api.TranslateRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		s.writeProblem(w, r, apiErr)
 		return
 	}
-	resp, apiErr := s.coreTranslate(r.Context(), sys, req)
+	resp, apiErr := s.coreTranslate(r.Context(), t.Sys, req)
 	writeV2(s, w, r, resp, apiErr)
 }
 
-func (s *Server) handleV2Log(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+func (s *Server) handleV2Log(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req api.LogAppendRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		s.writeProblem(w, r, apiErr)
 		return
 	}
-	resp, apiErr := s.coreLogAppend(r.Context(), sys, req)
+	resp, apiErr := s.coreLogAppend(r.Context(), t, req)
 	writeV2(s, w, r, resp, apiErr)
 }
 
@@ -485,7 +526,30 @@ func (s *Server) tenantStatus(t *Tenant) api.DatasetStatus {
 		ds.LogFragments = snap.Vertices()
 		ds.LogEdges = snap.Edges()
 	}
+	if t.WAL != nil {
+		ds.WAL = walStatus(t.WAL.Stats())
+	}
 	return ds
+}
+
+// walStatus renders wal counters into the frozen wire shape.
+func walStatus(st wal.Stats) *api.WALStatus {
+	out := &api.WALStatus{
+		Seq:              int64(st.Seq),
+		Records:          st.Records,
+		Bytes:            st.Bytes,
+		SyncPolicy:       st.SyncPolicy,
+		Compactions:      st.Compactions,
+		RecoveredRecords: st.RecoveredRecords,
+		DroppedBytes:     st.DroppedBytes,
+	}
+	if !st.LastSync.IsZero() {
+		out.LastSyncUnixMS = st.LastSync.UnixMilli()
+	}
+	if !st.LastCompaction.IsZero() {
+		out.LastCompactionUnixMS = st.LastCompaction.UnixMilli()
+	}
+	return out
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -507,6 +571,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			resp.LogQueries = st.LogQueries
 			resp.LogFragments = st.LogFragments
 			resp.LogEdges = st.LogEdges
+			resp.WAL = st.WAL
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

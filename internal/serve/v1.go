@@ -3,7 +3,6 @@ package serve
 import (
 	"net/http"
 
-	"templar/internal/templar"
 	"templar/pkg/api"
 )
 
@@ -94,7 +93,7 @@ func writeV1[T any](w http.ResponseWriter, resp *T, apiErr *api.Error) {
 	}
 }
 
-func (s *Server) handleV1MapKeywords(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+func (s *Server) handleV1MapKeywords(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req V1MapKeywordsRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		writeLegacyError(w, apiErr)
@@ -104,11 +103,11 @@ func (s *Server) handleV1MapKeywords(w http.ResponseWriter, r *http.Request, sys
 	if top == 0 {
 		top = req.TopK
 	}
-	resp, apiErr := s.coreMapKeywords(r.Context(), sys, req.KeywordsInput, top, api.CallOptions{})
+	resp, apiErr := s.coreMapKeywords(r.Context(), t.Sys, req.KeywordsInput, top, api.CallOptions{})
 	writeV1(w, resp, apiErr)
 }
 
-func (s *Server) handleV1InferJoins(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+func (s *Server) handleV1InferJoins(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req V1InferJoinsRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		writeLegacyError(w, apiErr)
@@ -118,11 +117,11 @@ func (s *Server) handleV1InferJoins(w http.ResponseWriter, r *http.Request, sys 
 	if topK == 0 {
 		topK = req.Top
 	}
-	resp, apiErr := s.coreInferJoins(r.Context(), sys, req.Relations, topK)
+	resp, apiErr := s.coreInferJoins(r.Context(), t.Sys, req.Relations, topK)
 	writeV1(w, resp, apiErr)
 }
 
-func (s *Server) handleV1Translate(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+func (s *Server) handleV1Translate(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req api.TranslateRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		writeLegacyError(w, apiErr)
@@ -130,7 +129,7 @@ func (s *Server) handleV1Translate(w http.ResponseWriter, r *http.Request, sys *
 	}
 	// v1 ignores the v2-only per-request options even if present.
 	req.TopConfigs, req.TopPaths, req.CallOptions = 0, 0, api.CallOptions{}
-	resp, apiErr := s.coreTranslate(r.Context(), sys, req)
+	resp, apiErr := s.coreTranslate(r.Context(), t.Sys, req)
 	if apiErr != nil || resp == nil {
 		writeV1[api.TranslateResponse](w, nil, apiErr)
 		return
@@ -153,12 +152,12 @@ func (s *Server) handleV1Translate(w http.ResponseWriter, r *http.Request, sys *
 	writeJSON(w, http.StatusOK, legacy)
 }
 
-func (s *Server) handleV1Log(w http.ResponseWriter, r *http.Request, sys *templar.System) {
+func (s *Server) handleV1Log(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req api.LogAppendRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		writeLegacyError(w, apiErr)
 		return
 	}
-	resp, apiErr := s.coreLogAppend(r.Context(), sys, req)
+	resp, apiErr := s.coreLogAppend(r.Context(), t, req)
 	writeV1(w, resp, apiErr)
 }

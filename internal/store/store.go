@@ -15,7 +15,7 @@ import (
 	"templar/internal/qfg"
 )
 
-// Format v1 layout (all multi-byte integers little-endian; "uv" is an
+// Format layout (all multi-byte integers little-endian; "uv" is an
 // unsigned varint as in encoding/binary):
 //
 //	offset  size  field
@@ -26,6 +26,8 @@ import (
 //	              uv len + bytes   dataset name (UTF-8)
 //	              uv               obscurity level
 //	              uv               total logged queries
+//	              uv               [v2+ only] WAL sequence the snapshot
+//	                               covers (0 = no write-ahead log)
 //	              uv F             interner table size, then F times:
 //	                uv             fragment clause context
 //	                uv len + bytes fragment expression
@@ -41,10 +43,17 @@ import (
 // The declared-size field makes truncation detectable as such (ErrTruncated)
 // instead of surfacing as a checksum mismatch; co-occurrence weights travel
 // as raw IEEE-754 bits so a loaded snapshot scores bit-identically.
+//
+// Version history: v1 had no WAL sequence field; v2 (current) adds it so a
+// snapshot names the exact write-ahead-log position it covers and boot
+// replay becomes a filter (apply records with seq > WalSeq). Decode reads
+// both; v1 files carry WalSeq 0.
 const (
 	magic = "TQFGSNAP"
 	// Version is the current format version written by Encode.
-	Version = 1
+	Version = 2
+	// minVersion is the oldest format version Decode still reads.
+	minVersion = 1
 
 	headerSize  = len(magic) + 4 + 8
 	trailerSize = 4
@@ -79,6 +88,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 type Archive struct {
 	Dataset  string
 	Snapshot *qfg.Snapshot
+	// WalSeq is the write-ahead-log sequence number this snapshot covers:
+	// boot replay applies exactly the WAL records with seq > WalSeq. Zero
+	// for v1 files and for snapshots packed without a WAL.
+	WalSeq uint64
 }
 
 // Filename is the conventional file name for a dataset's packed snapshot
@@ -87,8 +100,15 @@ func Filename(dataset string) string {
 	return strings.ToLower(dataset) + ".qfg"
 }
 
-// Encode packs a snapshot into the v1 binary format.
+// Encode packs a snapshot into the current binary format with no WAL
+// coverage (WalSeq 0).
 func Encode(dataset string, snap *qfg.Snapshot) []byte {
+	return EncodeAt(dataset, snap, 0)
+}
+
+// EncodeAt packs a snapshot that covers the write-ahead log up to and
+// including sequence walSeq.
+func EncodeAt(dataset string, snap *qfg.Snapshot, walSeq uint64) []byte {
 	parts := snap.Parts()
 	frags := snap.Interner().Fragments()
 
@@ -101,6 +121,7 @@ func Encode(dataset string, snap *qfg.Snapshot) []byte {
 	buf = appendString(buf, dataset)
 	buf = binary.AppendUvarint(buf, uint64(parts.Obscurity))
 	buf = binary.AppendUvarint(buf, uint64(parts.Queries))
+	buf = binary.AppendUvarint(buf, walSeq)
 
 	buf = binary.AppendUvarint(buf, uint64(len(frags)))
 	for _, f := range frags {
@@ -129,9 +150,10 @@ func Encode(dataset string, snap *qfg.Snapshot) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 }
 
-// Decode unpacks a v1 snapshot file. Corrupt input of every kind returns a
-// typed error (see ErrBadMagic and friends) — never a panic — so a serving
-// layer can fall back to re-mining the log.
+// Decode unpacks a snapshot file of any supported version (v1 or v2).
+// Corrupt input of every kind returns a typed error (see ErrBadMagic and
+// friends) — never a panic — so a serving layer can fall back to re-mining
+// the log.
 func Decode(data []byte) (*Archive, error) {
 	if len(data) < len(magic) {
 		return nil, ErrTruncated
@@ -142,8 +164,9 @@ func Decode(data []byte) (*Archive, error) {
 	if len(data) < headerSize+trailerSize {
 		return nil, ErrTruncated
 	}
-	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != Version {
-		return nil, &UnsupportedVersionError{Version: v}
+	version := binary.LittleEndian.Uint32(data[len(magic):])
+	if version < minVersion || version > Version {
+		return nil, &UnsupportedVersionError{Version: version}
 	}
 	declared := binary.LittleEndian.Uint64(data[len(magic)+4:])
 	if uint64(len(data)) < declared {
@@ -161,6 +184,10 @@ func Decode(data []byte) (*Archive, error) {
 	dataset := d.string("dataset name")
 	obscurity := fragment.Obscurity(d.uvarint("obscurity"))
 	queries := d.int("query count")
+	var walSeq uint64
+	if version >= 2 {
+		walSeq = d.uvarint("WAL sequence")
+	}
 
 	nfrags := d.count("fragment table size")
 	frags := make([]fragment.Fragment, nfrags)
@@ -218,7 +245,7 @@ func Decode(data []byte) (*Archive, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	return &Archive{Dataset: dataset, Snapshot: snap}, nil
+	return &Archive{Dataset: dataset, Snapshot: snap, WalSeq: walSeq}, nil
 }
 
 // Write encodes a snapshot to w.
@@ -236,11 +263,21 @@ func Read(r io.Reader) (*Archive, error) {
 	return Decode(data)
 }
 
-// WriteFile atomically writes a packed snapshot: the bytes land in a
-// temporary file first and are renamed over path, so a crash mid-write
-// never leaves a half-written archive where a loader would find it.
+// WriteFile atomically writes a packed snapshot with no WAL coverage: the
+// bytes land in a temporary file first and are renamed over path, so a
+// crash mid-write never leaves a half-written archive where a loader would
+// find it.
 func WriteFile(path, dataset string, snap *qfg.Snapshot) error {
-	data := Encode(dataset, snap)
+	return WriteFileAt(path, dataset, snap, 0)
+}
+
+// WriteFileAt is WriteFile for a snapshot covering the write-ahead log
+// through sequence walSeq. Compaction relies on the same atomicity: until
+// the rename lands, the loader sees the previous archive (and replays the
+// rotated-out WAL segment); after it, the new archive's WalSeq filters
+// those records out.
+func WriteFileAt(path, dataset string, snap *qfg.Snapshot, walSeq uint64) error {
+	data := EncodeAt(dataset, snap, walSeq)
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {

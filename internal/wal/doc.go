@@ -1,0 +1,54 @@
+// Package wal gives each tenant's live query log a durable write path: an
+// append-only, checksummed, per-dataset write-ahead log that survives
+// kill -9 and recovers itself on the next boot. It closes the gap between
+// the packed .qfg snapshots of internal/store (durable but rewritten only
+// at pack time) and qfg.Live (always current but memory-only): the serving
+// layer writes every acknowledged log append here first, and boot replays
+// snapshot + WAL tail into an engine byte-identical to one that never
+// crashed.
+//
+// # Lifecycle
+//
+// A dataset's log is one live segment ("<name>.wal"), plus — only while a
+// compaction is in flight — the rotated-out previous segment
+// ("<name>.wal.old"). Records carry monotonically consecutive sequence
+// numbers; each segment's header names the base sequence its records apply
+// on top of, and the matching .qfg archive records the sequence it covers
+// (store.Archive.WalSeq). Replay is therefore a filter, not a guess: load
+// the snapshot, then apply exactly the records with seq > WalSeq, in
+// order.
+//
+// Compaction folds a grown log back into a fresh snapshot without losing
+// the crash guarantee at any instant: StartCompaction syncs and rotates
+// the live segment aside and starts a new one at the same sequence; the
+// caller persists the engine snapshot covering that sequence; and
+// FinishCompaction deletes the rotated segment. Dying between those steps
+// is safe — the next Open scans the rotated segment first (sequence
+// continuity enforced across the pair) and the caller completes the
+// interrupted compaction after replaying.
+//
+// # Durability policy
+//
+// The default policy fsyncs every append before it returns: an
+// acknowledged append is on stable storage. Options.SyncInterval trades
+// that for latency — appends return after the OS write and a background
+// ticker batches fsyncs, so a crash can lose at most the last interval's
+// acknowledgements. The policy in force is reported in Stats.SyncPolicy.
+//
+// # Failure modes
+//
+// Scan and Open never panic on hostile input. Record damage is soft:
+// record lengths chain, so the scan stops at the last intact record, Open
+// truncates the torn tail and reports the typed cause (ErrTruncated,
+// ErrChecksum, ErrCorrupt) in Recovery. Header damage is hard — a header
+// that fails its checksum means the base sequence cannot be trusted —
+// except the one self-inflicted case Open can prove benign: a file ending
+// inside its own header died before the header fsync that gates the first
+// append, so it is recreated empty. ErrBadMagic flags a foreign file and
+// *UnsupportedVersionError a format from the future, mirroring
+// internal/store's codec discipline.
+//
+// The wire layout is specified record-by-record in wal.go and, with the
+// recovery protocol and operator runbook, in docs/DURABILITY.md.
+// cmd/qfg-inspect's "wal" subcommand dumps and verifies segments offline.
+package wal

@@ -1,0 +1,778 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Segment layout (all multi-byte integers little-endian; "uv" is an
+// unsigned varint as in encoding/binary):
+//
+//	header:
+//	  offset  size  field
+//	  0       8     magic "TQFGWLOG"
+//	  8       4     format version (uint32)
+//	  12      8     base sequence number (uint64): the snapshot state this
+//	                segment's records apply on top of — every record in the
+//	                segment has seq > base, consecutively
+//	  20      …     uv len + bytes   dataset name (UTF-8)
+//	  …       4     CRC-32C (Castagnoli) over every header byte before it
+//
+//	record (repeated until EOF):
+//	  4             payload length in bytes (uint32)
+//	  …             payload:
+//	                  uv              sequence number (previous + 1)
+//	                  1               kind: 0 = query batch, 1 = session
+//	                  kind 0:         uv N, then N × (uv count,
+//	                                  uv len + bytes SQL)
+//	                  kind 1:         uv session count, 8 bytes decay
+//	                                  (float64 bits), uv N, then
+//	                                  N × (uv len + bytes SQL)
+//	  4             CRC-32C over the payload
+//
+// The header checksum makes a torn or flipped header a hard, typed failure
+// (the base sequence cannot be trusted, so nothing after it can be either);
+// record damage is soft: scanning stops at the last intact record and Open
+// truncates the tail, because record lengths chain — nothing past a broken
+// record can be framed.
+const (
+	magic = "TQFGWLOG"
+	// Version is the current segment format version written by Create.
+	Version = 1
+
+	fixedHeaderSize = len(magic) + 4 + 8
+	crcSize         = 4
+	// maxRecordBytes rejects absurd record lengths before allocation: a
+	// single append is capped far below this by the serving layer's batch
+	// and body limits, so anything larger is framing damage.
+	maxRecordBytes = 1 << 28
+)
+
+// Typed failure modes of Scan and Open, mirroring the internal/store
+// discipline: a reader dispatching on them can tell a foreign file
+// (ErrBadMagic) from a short read (ErrTruncated), a bit flip (ErrChecksum),
+// a format from the future (*UnsupportedVersionError) and a structurally
+// invalid payload (ErrCorrupt).
+var (
+	ErrBadMagic  = errors.New("wal: not a templar write-ahead log (bad magic)")
+	ErrTruncated = errors.New("wal: truncated record")
+	ErrChecksum  = errors.New("wal: record checksum mismatch")
+	ErrCorrupt   = errors.New("wal: corrupt record payload")
+)
+
+// UnsupportedVersionError reports a well-formed header whose format version
+// this build cannot read.
+type UnsupportedVersionError struct {
+	Version uint32
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("wal: unsupported log format version %d (this build reads ≤ %d)", e.Version, Version)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Filename is the conventional file name for a dataset's write-ahead log
+// inside a WAL directory ("MAS" → "mas.wal"). The rotated-out segment of an
+// in-flight compaction lives beside it as "mas.wal.old".
+func Filename(dataset string) string {
+	return strings.ToLower(dataset) + ".wal"
+}
+
+// Entry is one SQL query inside a logged append.
+type Entry struct {
+	SQL string
+	// Count is the query's multiplicity. Writers normalize it to ≥ 1 for
+	// batch records; it is unused (0) in session records, whose multiplicity
+	// is the record's Count.
+	Count int
+}
+
+// Record is one durably logged append operation — exactly one acknowledged
+// POST /{dataset}/log body, normalized (defaults applied) so replaying it
+// is deterministic.
+type Record struct {
+	// Seq is the record's sequence number, assigned by Append: consecutive,
+	// starting right after the segment's base.
+	Seq uint64
+	// Session marks an ordered-session append (cross-query decayed
+	// co-occurrence evidence) rather than an independent batch.
+	Session bool
+	// Count is the session multiplicity (session records only).
+	Count int
+	// Decay is the per-step session decay in (0, 1] (session records only).
+	Decay float64
+	// Entries are the appended queries, in order.
+	Entries []Entry
+}
+
+// appendRecord encodes rec (with seq already assigned) onto buf.
+func appendRecord(buf []byte, rec *Record) []byte {
+	lenAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // payload length, patched below
+	start := len(buf)
+	buf = binary.AppendUvarint(buf, rec.Seq)
+	if rec.Session {
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(rec.Count))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.Decay))
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Entries)))
+		for _, e := range rec.Entries {
+			buf = appendString(buf, e.SQL)
+		}
+	} else {
+		buf = append(buf, 0)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Entries)))
+		for _, e := range rec.Entries {
+			buf = binary.AppendUvarint(buf, uint64(e.Count))
+			buf = appendString(buf, e.SQL)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-start))
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], castagnoli))
+}
+
+// decodeRecord parses one record payload (checksum already verified).
+func decodeRecord(payload []byte) (*Record, error) {
+	d := &decoder{data: payload}
+	rec := &Record{Seq: d.uvarint("sequence number")}
+	switch kind := d.byte("record kind"); kind {
+	case 0:
+		n := d.count("batch size")
+		rec.Entries = make([]Entry, 0, n)
+		for i := 0; i < n; i++ {
+			rec.Entries = append(rec.Entries, Entry{Count: d.int("query count"), SQL: d.string("query SQL")})
+		}
+	case 1:
+		rec.Session = true
+		rec.Count = d.int("session count")
+		rec.Decay = d.float64("session decay")
+		n := d.count("session size")
+		rec.Entries = make([]Entry, 0, n)
+		for i := 0; i < n; i++ {
+			rec.Entries = append(rec.Entries, Entry{SQL: d.string("query SQL")})
+		}
+	default:
+		if d.err == nil {
+			d.fail(fmt.Sprintf("record kind %d", kind), ErrCorrupt)
+		}
+	}
+	if d.err == nil && d.off != len(d.data) {
+		d.fail("payload end", ErrCorrupt)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return rec, nil
+}
+
+// encodeHeader builds a fresh segment header.
+func encodeHeader(dataset string, baseSeq uint64) []byte {
+	buf := make([]byte, 0, fixedHeaderSize+len(dataset)+8)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint64(buf, baseSeq)
+	buf = appendString(buf, dataset)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// ScanResult is a parsed in-memory view of one WAL segment: the header
+// fields, every intact record in order, and how the scan ended.
+type ScanResult struct {
+	Dataset string
+	BaseSeq uint64
+	Records []*Record
+	// ValidLen is the byte offset just past the last intact record — the
+	// length recovery truncates the segment to.
+	ValidLen int
+	// TailErr is nil for a cleanly-ending segment, or the typed error
+	// (ErrTruncated, ErrChecksum, ErrCorrupt) that stopped the scan;
+	// everything past ValidLen is unrecoverable because record lengths
+	// chain.
+	TailErr error
+}
+
+// LastSeq returns the sequence number of the last intact record, or the
+// segment base when it holds none.
+func (s *ScanResult) LastSeq() uint64 {
+	if n := len(s.Records); n > 0 {
+		return s.Records[n-1].Seq
+	}
+	return s.BaseSeq
+}
+
+// Scan parses a WAL segment image. Header damage is a hard error (nil
+// result): a header that fails its checksum means the base sequence — and
+// therefore every record — cannot be trusted. Record damage is soft: the
+// scan stops at the last intact record and reports the cause in TailErr.
+// Scan never panics on hostile input.
+func Scan(data []byte) (*ScanResult, error) {
+	if len(data) < len(magic) {
+		return nil, ErrTruncated
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, ErrBadMagic
+	}
+	if len(data) < fixedHeaderSize {
+		return nil, ErrTruncated
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != Version {
+		return nil, &UnsupportedVersionError{Version: v}
+	}
+	base := binary.LittleEndian.Uint64(data[len(magic)+4:])
+	d := &decoder{data: data, off: fixedHeaderSize}
+	dataset := d.string("dataset name")
+	if d.err != nil {
+		return nil, fmt.Errorf("wal: bad header: %w", d.err)
+	}
+	if len(data)-d.off < crcSize {
+		return nil, ErrTruncated
+	}
+	if crc32.Checksum(data[:d.off], castagnoli) != binary.LittleEndian.Uint32(data[d.off:]) {
+		return nil, fmt.Errorf("wal: header checksum mismatch: %w", ErrChecksum)
+	}
+
+	res := &ScanResult{Dataset: dataset, BaseSeq: base, ValidLen: d.off + crcSize}
+	want := base + 1
+	for off := res.ValidLen; off < len(data); {
+		if len(data)-off < 4 {
+			res.TailErr = ErrTruncated
+			return res, nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n == 0 || n > maxRecordBytes {
+			res.TailErr = fmt.Errorf("%w: record length %d at offset %d", ErrCorrupt, n, off)
+			return res, nil
+		}
+		if len(data)-off < 4+n+crcSize {
+			res.TailErr = ErrTruncated
+			return res, nil
+		}
+		payload := data[off+4 : off+4+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4+n:]) {
+			res.TailErr = ErrChecksum
+			return res, nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			res.TailErr = err
+			return res, nil
+		}
+		if rec.Seq != want {
+			res.TailErr = fmt.Errorf("%w: sequence %d at offset %d, want %d", ErrCorrupt, rec.Seq, off, want)
+			return res, nil
+		}
+		want++
+		res.Records = append(res.Records, rec)
+		off += 4 + n + crcSize
+		res.ValidLen = off
+	}
+	return res, nil
+}
+
+// Options configures a Log.
+type Options struct {
+	// SyncInterval selects the fsync policy. Zero (the default) syncs every
+	// append before it returns: an acknowledged append survives kill -9.
+	// A positive interval batches fsyncs on a background ticker: appends
+	// return after the OS write, trading the durability of the last
+	// interval's acknowledgements for append latency.
+	SyncInterval time.Duration
+	// CreateBase is the base sequence a freshly created segment starts at.
+	// It matters when a log is first attached beside a snapshot that
+	// already covers some sequence (a compacted store whose WAL was lost or
+	// deliberately removed): starting the new segment at the snapshot's
+	// covered sequence keeps replay a pure filter. Ignored when a segment
+	// already exists on disk.
+	CreateBase uint64
+}
+
+// Stats is a point-in-time view of a Log's counters, surfaced on /healthz
+// and the admin API.
+type Stats struct {
+	// Seq is the last assigned sequence number (0 before any append ever).
+	Seq uint64
+	// Records counts the records in the live segment, replayed and new.
+	Records int64
+	// Bytes is the live segment's size.
+	Bytes int64
+	// SyncPolicy is "always" (per-append fsync) or "interval".
+	SyncPolicy string
+	// LastSync is when the segment was last fsynced (zero before the
+	// first).
+	LastSync time.Time
+	// Compactions counts completed compactions (FinishCompaction calls).
+	Compactions int64
+	// LastCompaction is when the last compaction completed.
+	LastCompaction time.Time
+	// RecoveredRecords is how many records Open replayed from disk.
+	RecoveredRecords int64
+	// DroppedBytes is how many torn-tail bytes Open truncated.
+	DroppedBytes int64
+}
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Records holds every intact record, rotated-out segment first, in
+	// sequence order. The caller replays those past its snapshot's covered
+	// sequence.
+	Records []*Record
+	// DroppedBytes counts torn-tail bytes truncated from the live segment.
+	DroppedBytes int64
+	// Cause is the typed error that ended the live segment's scan (nil for
+	// a clean tail).
+	Cause error
+	// CompactionPending reports that a rotated-out segment ("….wal.old")
+	// was found: a compaction was interrupted before its snapshot landed.
+	// After replaying, complete it: persist the snapshot at the recovered
+	// sequence, then call FinishCompaction.
+	CompactionPending bool
+}
+
+// Log is one tenant's open write-ahead log. Appends are serialized
+// internally; the caller serializes Append against StartCompaction when it
+// needs the rotation point to match an engine state (see
+// serve.CompactTenant).
+type Log struct {
+	dir     string
+	dataset string
+	path    string
+	opts    Options
+
+	mu      sync.Mutex
+	f       *os.File
+	seq     uint64
+	records int64
+	bytes   int64
+	dirty   bool
+
+	lastSync       time.Time
+	compactions    int64
+	lastCompaction time.Time
+	recovered      int64
+	dropped        int64
+	pendingOld     bool
+
+	stop chan struct{}
+	done chan struct{}
+	buf  []byte
+}
+
+// Open opens (creating if absent) the dataset's log under dir, recovering
+// whatever a crash left behind: a torn or corrupt tail is truncated to the
+// last intact record (Recovery.Cause carries the typed error), and a
+// rotated-out segment from an interrupted compaction is scanned first with
+// sequence continuity enforced across the pair. Open fails hard — no
+// silent data loss — on a damaged header, a dataset-name mismatch, or a
+// sequence gap between segments.
+func Open(dir, dataset string, opts Options) (*Log, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, Filename(dataset))
+	oldPath := path + ".old"
+	rec := &Recovery{}
+
+	base := opts.CreateBase
+	if data, err := os.ReadFile(oldPath); err == nil {
+		old, err := Scan(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: rotated segment %s: %w", oldPath, err)
+		}
+		if !strings.EqualFold(old.Dataset, dataset) {
+			return nil, nil, fmt.Errorf("wal: %s belongs to dataset %q, not %q", oldPath, old.Dataset, dataset)
+		}
+		rec.Records = old.Records
+		rec.CompactionPending = true
+		base = old.LastSeq()
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, err
+	}
+
+	l := &Log{dir: dir, dataset: dataset, path: path, opts: opts, pendingOld: rec.CompactionPending}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh log — or the narrow crash window of a rotation that renamed
+		// the live segment away but died before creating its replacement.
+		// Either way, start a segment that continues the sequence.
+		if err := l.create(base); err != nil {
+			return nil, nil, err
+		}
+	case err != nil:
+		return nil, nil, err
+	default:
+		res, err := Scan(data)
+		if err != nil && len(data) < len(encodeHeader(dataset, 0)) &&
+			(errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt)) {
+			// The file ends inside its own header: the process died inside
+			// create, before the header fsync that gates the first append —
+			// so no acknowledged record can exist here. Recreate the
+			// segment. The length guard makes this provable: create writes
+			// the header in one fsync-gated step, so a genuine torn create
+			// is always a strict prefix of a full header, while a full-size
+			// file whose header fails to parse is flipped bits over trusted
+			// state — that stays a hard error (a bad base sequence cannot
+			// be recovered from).
+			rec.Cause = err
+			rec.DroppedBytes += int64(len(data))
+			if err := os.Remove(path); err != nil {
+				return nil, nil, err
+			}
+			if err := l.create(base); err != nil {
+				return nil, nil, err
+			}
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		if !strings.EqualFold(res.Dataset, dataset) {
+			return nil, nil, fmt.Errorf("wal: %s belongs to dataset %q, not %q", path, res.Dataset, dataset)
+		}
+		if rec.CompactionPending && res.BaseSeq != base {
+			return nil, nil, fmt.Errorf("%w: segment base %d does not continue rotated segment end %d",
+				ErrCorrupt, res.BaseSeq, base)
+		}
+		rec.Records = append(rec.Records, res.Records...)
+		rec.Cause = res.TailErr
+		if res.TailErr != nil {
+			rec.DroppedBytes = int64(len(data) - res.ValidLen)
+			if err := os.Truncate(path, int64(res.ValidLen)); err != nil {
+				return nil, nil, err
+			}
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		l.f = f
+		l.seq = res.LastSeq()
+		l.records = int64(len(res.Records))
+		l.bytes = int64(res.ValidLen)
+		// The truncation must be durable before new records land past it.
+		if rec.Cause != nil {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			l.lastSync = time.Now()
+		}
+	}
+	l.recovered = int64(len(rec.Records))
+	l.dropped = rec.DroppedBytes
+	if opts.SyncInterval > 0 {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop(l.stop, l.done)
+	}
+	return l, rec, nil
+}
+
+// create writes a fresh live segment whose records continue from base.
+func (l *Log) create(base uint64) error {
+	f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := encodeHeader(l.dataset, base)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(l.path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(l.path)
+		return err
+	}
+	l.f = f
+	l.seq = base
+	l.records = 0
+	l.bytes = int64(len(hdr))
+	l.dirty = false
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Append assigns the next sequence number to rec, writes it, and — under
+// the default per-append sync policy — fsyncs before returning, so a nil
+// error means the record survives kill -9. rec.Seq is ignored on input and
+// set on return.
+func (l *Log) Append(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, errors.New("wal: log is closed")
+	}
+	rec.Seq = l.seq + 1
+	l.buf = appendRecord(l.buf[:0], rec)
+	if _, err := l.f.Write(l.buf); err != nil {
+		// A short write leaves a torn tail exactly like a crash would; the
+		// next Open truncates it. Poison the handle so no later append can
+		// frame a record after the tear.
+		l.f.Close()
+		l.f = nil
+		return 0, err
+	}
+	if l.opts.SyncInterval <= 0 {
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			l.f = nil
+			return 0, err
+		}
+		l.lastSync = time.Now()
+	} else {
+		l.dirty = true
+	}
+	l.seq = rec.Seq
+	l.records++
+	l.bytes += int64(len(l.buf))
+	return rec.Seq, nil
+}
+
+// Sync flushes written records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil || !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+	return nil
+}
+
+// syncLoop drives the interval fsync policy. The channels arrive as
+// arguments because Close nils the struct fields while the loop is still
+// selecting — a reload there would block forever on a nil channel.
+func (l *Log) syncLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// LastSeq returns the last assigned sequence number.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// CompactionPending reports whether a rotated-out segment is waiting for
+// its compaction to be completed (FinishCompaction).
+func (l *Log) CompactionPending() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pendingOld
+}
+
+// Stats returns a point-in-time view of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	policy := "always"
+	if l.opts.SyncInterval > 0 {
+		policy = "interval"
+	}
+	return Stats{
+		Seq:              l.seq,
+		Records:          l.records,
+		Bytes:            l.bytes,
+		SyncPolicy:       policy,
+		LastSync:         l.lastSync,
+		Compactions:      l.compactions,
+		LastCompaction:   l.lastCompaction,
+		RecoveredRecords: l.recovered,
+		DroppedBytes:     l.dropped,
+	}
+}
+
+// StartCompaction rotates the live segment out: the current file is synced
+// and renamed aside, and a fresh segment based at the returned sequence
+// starts accepting appends. The caller must (1) hold its own append lock
+// across StartCompaction and its engine-state capture, so the returned
+// sequence matches the snapshot it persists, and (2) call FinishCompaction
+// once the snapshot is durably on disk. If the process dies in between,
+// the rotated segment is still replayed by the next Open (sequence-gap
+// free), so no acknowledged append is ever lost to a compaction crash.
+func (l *Log) StartCompaction() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, errors.New("wal: log is closed")
+	}
+	if l.pendingOld {
+		return 0, errors.New("wal: a compaction is already in flight")
+	}
+	if err := l.syncLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.f.Close(); err != nil {
+		l.f = nil
+		return 0, err
+	}
+	l.f = nil
+	if err := os.Rename(l.path, l.path+".old"); err != nil {
+		return 0, err
+	}
+	l.pendingOld = true
+	if err := l.create(l.seq); err != nil {
+		return 0, err
+	}
+	return l.seq, nil
+}
+
+// FinishCompaction removes the rotated-out segment after the caller has
+// durably persisted a snapshot covering every record in it.
+func (l *Log) FinishCompaction() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.pendingOld {
+		return nil
+	}
+	if err := os.Remove(l.path + ".old"); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	l.pendingOld = false
+	l.compactions++
+	l.lastCompaction = time.Now()
+	return nil
+}
+
+// Close flushes and closes the log. Safe to call twice.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		l.mu.Lock()
+		stop := l.stop
+		l.stop = nil
+		l.mu.Unlock()
+		if stop != nil {
+			close(stop)
+			<-l.done
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a bounds-checked cursor over a payload, with sticky errors —
+// the same discipline internal/store uses.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) fail(what string, sentinel error) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: bad %s at offset %d", sentinel, what, d.off)
+	}
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail(what, ErrCorrupt)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.data) {
+		d.fail(what, ErrCorrupt)
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+// count reads a collection size and rejects values that cannot fit in the
+// remaining payload (each element takes at least one byte).
+func (d *decoder) count(what string) int {
+	v := d.uvarint(what)
+	if d.err == nil && v > uint64(len(d.data)-d.off) {
+		d.fail(what, ErrCorrupt)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) int(what string) int {
+	v := d.uvarint(what)
+	if d.err == nil && v > math.MaxInt64/2 {
+		d.fail(what, ErrCorrupt)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) string(what string) string {
+	n := d.count(what)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.data[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) float64(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data)-d.off < 8 {
+		d.fail(what, ErrCorrupt)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.off:]))
+	d.off += 8
+	return v
+}

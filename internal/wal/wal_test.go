@@ -1,0 +1,437 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testRecords is a mixed batch/session workload exercising every field.
+func testRecords() []*Record {
+	return []*Record{
+		{Entries: []Entry{{SQL: "SELECT a FROM t", Count: 1}}},
+		{Entries: []Entry{{SQL: "SELECT b FROM t WHERE x = 1", Count: 3}, {SQL: "SELECT c FROM u", Count: 1}}},
+		{Session: true, Count: 1, Decay: 0.5, Entries: []Entry{{SQL: "SELECT a FROM t"}, {SQL: "SELECT a FROM t JOIN u ON t.id = u.id"}}},
+		{Entries: []Entry{{SQL: "SELECT count(*) FROM v GROUP BY k", Count: 2}}},
+		{Session: true, Count: 2, Decay: 0.25, Entries: []Entry{{SQL: "SELECT z FROM w"}}},
+	}
+}
+
+// fill appends testRecords to an open log and returns them with their
+// assigned sequence numbers.
+func fill(t *testing.T, l *Log) []*Record {
+	t.Helper()
+	recs := testRecords()
+	for i, r := range recs {
+		seq, err := l.Append(r)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != r.Seq {
+			t.Fatalf("append %d: returned seq %d but set %d", i, seq, r.Seq)
+		}
+	}
+	return recs
+}
+
+// headerLen is the byte length of a complete segment header for dataset.
+func headerLen(dataset string) int {
+	return len(encodeHeader(dataset, 0))
+}
+
+// recordEnd returns the offset just past the record starting at off.
+func recordEnd(data []byte, off int) int {
+	n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+	return off + 4 + n + crcSize
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, "MAS", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 0 || rec.Cause != nil || rec.CompactionPending {
+		t.Fatalf("fresh open recovered %+v", rec)
+	}
+	want := fill(t, l)
+	st := l.Stats()
+	if st.Seq != uint64(len(want)) || st.Records != int64(len(want)) || st.SyncPolicy != "always" {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.LastSync.IsZero() {
+		t.Fatal("per-append sync policy never recorded a sync")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: every record comes back bit-equal, sequencing continues.
+	l2, rec2, err := Open(dir, "mas", Options{}) // case-insensitive dataset match
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec2.Cause != nil || rec2.DroppedBytes != 0 {
+		t.Fatalf("clean reopen reported damage: %+v", rec2)
+	}
+	if !reflect.DeepEqual(rec2.Records, want) {
+		t.Fatalf("recovered records differ:\n got %+v\nwant %+v", rec2.Records, want)
+	}
+	if got := l2.Stats().RecoveredRecords; got != int64(len(want)) {
+		t.Fatalf("RecoveredRecords = %d, want %d", got, len(want))
+	}
+	seq, err := l2.Append(&Record{Entries: []Entry{{SQL: "SELECT 1", Count: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(len(want))+1 {
+		t.Fatalf("append after reopen got seq %d, want %d", seq, len(want)+1)
+	}
+}
+
+func TestDatasetMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Same file name, different recorded dataset: a bad operator move.
+	if err := os.Rename(filepath.Join(dir, "mas.wal"), filepath.Join(dir, "yelp.wal")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, "yelp", Options{}); err == nil {
+		t.Fatal("open accepted a segment recorded for another dataset")
+	}
+}
+
+// TestEveryPrefixTruncation is the torn-tail gate: for EVERY byte length a
+// crash could leave the file at, Open recovers exactly the records that
+// were fully written, reports a typed cause, truncates the tail, and keeps
+// accepting appends at the right sequence.
+func TestEveryPrefixTruncation(t *testing.T) {
+	ref := t.TempDir()
+	l, _, err := Open(ref, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fill(t, l)
+	l.Close()
+	full, err := os.ReadFile(filepath.Join(ref, "mas.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// boundaries maps each clean cut offset to the records intact at it.
+	boundaries := map[int]int{}
+	off := headerLen("mas")
+	boundaries[off] = 0
+	for i := range want {
+		off = recordEnd(full, off)
+		boundaries[off] = i + 1
+	}
+	if off != len(full) {
+		t.Fatalf("walked record area to %d, file is %d bytes", off, len(full))
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "mas.wal")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Open(dir, "mas", Options{})
+		if err != nil {
+			t.Fatalf("cut %d: open failed: %v", cut, err)
+		}
+		wantN, atBoundary := boundaries[cut]
+		if !atBoundary {
+			// Inside the header or a record: everything up to the last
+			// whole record survives, and the damage is typed.
+			wantN = lastBoundaryBelow(boundaries, cut)
+			if rec.Cause == nil {
+				t.Fatalf("cut %d: torn tail reported no cause", cut)
+			}
+			if !errors.Is(rec.Cause, ErrTruncated) && !errors.Is(rec.Cause, ErrChecksum) && !errors.Is(rec.Cause, ErrCorrupt) {
+				t.Fatalf("cut %d: cause %v is not a typed corruption error", cut, rec.Cause)
+			}
+		} else if rec.Cause != nil {
+			t.Fatalf("cut %d: clean boundary reported cause %v", cut, rec.Cause)
+		}
+		if len(rec.Records) != wantN {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(rec.Records), wantN)
+		}
+		if wantN > 0 && !reflect.DeepEqual(rec.Records, want[:wantN]) {
+			t.Fatalf("cut %d: recovered records differ from the written prefix", cut)
+		}
+		// The log must keep working: the next append lands right after the
+		// last recovered record.
+		seq, err := l.Append(&Record{Entries: []Entry{{SQL: "SELECT 1", Count: 1}}})
+		if err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if seq != uint64(wantN)+1 {
+			t.Fatalf("cut %d: post-recovery seq %d, want %d", cut, seq, wantN+1)
+		}
+		l.Close()
+
+		// A second recovery sees the truncated-then-appended history, clean.
+		l2, rec2, err := Open(dir, "mas", Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if rec2.Cause != nil || len(rec2.Records) != wantN+1 {
+			t.Fatalf("cut %d: reopen recovered %d records (cause %v), want %d", cut, len(rec2.Records), rec2.Cause, wantN+1)
+		}
+		l2.Close()
+	}
+}
+
+// lastBoundaryBelow returns the record count at the highest boundary < cut.
+func lastBoundaryBelow(boundaries map[int]int, cut int) int {
+	best, n := -1, 0
+	for off, cnt := range boundaries {
+		if off < cut && off > best {
+			best, n = off, cnt
+		}
+	}
+	return n
+}
+
+// TestBitFlips flips a bit in each byte of a recorded segment in turn and
+// asserts recovery never panics, never invents or mutates records, and
+// always reports a typed cause when record-area damage drops anything.
+// Header flips fail the open outright — the base sequence is untrusted —
+// and must never silently drop records by masquerading as a torn create.
+func TestBitFlips(t *testing.T) {
+	ref := t.TempDir()
+	l, _, err := Open(ref, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fill(t, l)
+	l.Close()
+	full, err := os.ReadFile(filepath.Join(ref, "mas.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerEnd := headerLen("mas")
+
+	for i := 0; i < len(full); i++ {
+		flipped := bytes.Clone(full)
+		flipped[i] ^= 0x40
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "mas.wal"), flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Open(dir, "mas", Options{})
+		if err != nil {
+			if i >= headerEnd {
+				t.Fatalf("flip %d: record-area damage must recover, got open error %v", i, err)
+			}
+			continue // header damage: a hard typed failure is the contract
+		}
+		if i < headerEnd {
+			t.Fatalf("flip %d: header damage opened cleanly with %d records", i, len(rec.Records))
+		}
+		// The recovered records must be a strict prefix of what was
+		// written — a flip can hide records, never corrupt one in place.
+		if len(rec.Records) > len(want) {
+			t.Fatalf("flip %d: recovered %d records, wrote %d", i, len(rec.Records), len(want))
+		}
+		if len(rec.Records) > 0 && !reflect.DeepEqual(rec.Records, want[:len(rec.Records)]) {
+			t.Fatalf("flip %d: recovered records are not a prefix of the written log", i)
+		}
+		if len(rec.Records) < len(want) && rec.Cause == nil {
+			t.Fatalf("flip %d: dropped records without a typed cause", i)
+		}
+		l.Close()
+	}
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, "mas", Options{SyncInterval: time.Hour}) // ticker never fires in-test
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Entries: []Entry{{SQL: "SELECT 1", Count: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.SyncPolicy != "interval" {
+		t.Fatalf("policy %q", st.SyncPolicy)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().LastSync.IsZero() {
+		t.Fatal("explicit Sync not recorded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close flushed: the record is durable across the policy switch too.
+	_, rec, err := Open(dir, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 {
+		t.Fatalf("recovered %d records after interval-policy close, want 1", len(rec.Records))
+	}
+}
+
+// TestCompactionProtocol walks the happy path and every crash window of
+// the rotate → persist snapshot → finish protocol.
+func TestCompactionProtocol(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fill(t, l)
+	seq, err := l.StartCompaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(len(want)) {
+		t.Fatalf("rotation seq %d, want %d", seq, len(want))
+	}
+	if !l.CompactionPending() {
+		t.Fatal("rotation did not mark the compaction pending")
+	}
+	if _, err := l.StartCompaction(); err == nil {
+		t.Fatal("second rotation allowed while one is in flight")
+	}
+	// Appends continue into the fresh segment, sequence unbroken.
+	after := &Record{Entries: []Entry{{SQL: "SELECT 9", Count: 1}}}
+	if s, err := l.Append(after); err != nil || s != seq+1 {
+		t.Fatalf("append during compaction: seq %d err %v", s, err)
+	}
+
+	// Crash window A: death before FinishCompaction. Open replays both
+	// segments in order with continuity enforced.
+	l.Close()
+	l2, rec, err := Open(dir, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.CompactionPending {
+		t.Fatal("interrupted compaction not reported")
+	}
+	all := append(append([]*Record{}, want...), after)
+	if !reflect.DeepEqual(rec.Records, all) {
+		t.Fatalf("recovered %d records across segments, want %d", len(rec.Records), len(all))
+	}
+	// The caller persists its snapshot, then finishes.
+	if err := l2.FinishCompaction(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mas.wal.old")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("rotated segment not removed: %v", err)
+	}
+	if st := l2.Stats(); st.Compactions != 1 || st.LastCompaction.IsZero() {
+		t.Fatalf("compaction counters %+v", st)
+	}
+	l2.Close()
+
+	// Crash window B: death after the rename but before the fresh segment's
+	// header landed. No acknowledged record can live in the missing file,
+	// so Open recreates it at the rotated segment's end.
+	dirB := t.TempDir()
+	lb, _, err := Open(dirB, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, lb)
+	lb.Close()
+	if err := os.Rename(filepath.Join(dirB, "mas.wal"), filepath.Join(dirB, "mas.wal.old")); err != nil {
+		t.Fatal(err)
+	}
+	lb2, recB, err := Open(dirB, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recB.CompactionPending || len(recB.Records) != len(want) {
+		t.Fatalf("window B recovery: pending=%v records=%d", recB.CompactionPending, len(recB.Records))
+	}
+	if s, err := lb2.Append(&Record{Entries: []Entry{{SQL: "SELECT 2", Count: 1}}}); err != nil || s != uint64(len(want))+1 {
+		t.Fatalf("window B append: seq %d err %v", s, err)
+	}
+	lb2.Close()
+
+	// Crash window C: death with the fresh segment created and a torn tail
+	// in it. Both segments replay; only the torn tail drops.
+	dirC := t.TempDir()
+	lc, _, err := Open(dirC, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, lc)
+	if _, err := lc.StartCompaction(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lc.Append(&Record{Entries: []Entry{{SQL: "SELECT 3", Count: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	lc.Close()
+	pathC := filepath.Join(dirC, "mas.wal")
+	data, err := os.ReadFile(pathC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pathC, data[:len(data)-3], 0o644); err != nil { // tear the tail
+		t.Fatal(err)
+	}
+	_, recC, err := Open(dirC, "mas", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recC.CompactionPending || !errors.Is(recC.Cause, ErrTruncated) || len(recC.Records) != len(want) {
+		t.Fatalf("window C recovery: pending=%v cause=%v records=%d", recC.CompactionPending, recC.Cause, len(recC.Records))
+	}
+}
+
+func TestScanRejectsForeignAndFutureFiles(t *testing.T) {
+	if _, err := Scan([]byte("TQFGSNAPxxxxxxxxxxxx")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("foreign magic: %v", err)
+	}
+	hdr := encodeHeader("mas", 0)
+	future := bytes.Clone(hdr)
+	future[len(magic)] = 99
+	var ve *UnsupportedVersionError
+	if _, err := Scan(future); !errors.As(err, &ve) || ve.Version != 99 {
+		t.Fatalf("future version: %v", err)
+	}
+	if _, err := Scan(hdr[:5]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+}
+
+func BenchmarkAppendSyncAlways(b *testing.B) {
+	benchmarkAppend(b, Options{})
+}
+
+func BenchmarkAppendSyncInterval(b *testing.B) {
+	benchmarkAppend(b, Options{SyncInterval: 100 * time.Millisecond})
+}
+
+func benchmarkAppend(b *testing.B, opts Options) {
+	l, _, err := Open(b.TempDir(), "bench", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := &Record{Entries: []Entry{{SQL: "SELECT paper.title FROM paper WHERE paper.year = 2020", Count: 1}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package workload
+
+// The kill-and-recover phase of the soak suite: all three datasets served
+// durably (snapshot store + write-ahead log), with concurrent appenders
+// tracking every acknowledged wal_seq, readers, and background compaction
+// sweeps racing them. The process is then "kill -9"-ed — the disk state is
+// imaged at an arbitrary instant, exactly what a crash leaves behind — and
+// fresh tenants are booted from the image. Recovery must prove the WAL's
+// central promise: an acknowledged append is never lost, and the recovered
+// engine answers byte-identically to the one that never died. A torn-tail
+// variant damages the imaged log past the last acknowledged record and
+// asserts recovery truncates precisely there, with a typed cause.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"templar/internal/datasets"
+	"templar/internal/serve"
+	"templar/internal/wal"
+	"templar/pkg/client"
+)
+
+// copyDirFiles images every regular file of src into dst — the moral
+// equivalent of what the disk holds at the instant of a crash. Called only
+// after traffic and compaction have quiesced, so the image is a state a
+// real single-instant crash could have produced.
+func copyDirFiles(t testing.TB, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// probeBattery generates a deterministic read-only request list per
+// dataset and returns each request's raw response bytes from ts.
+type probe struct {
+	path string
+	body any
+}
+
+func batteryFor(t testing.TB, name string, n int) []probe {
+	t.Helper()
+	profiles, err := MineProfiles([]string{name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(profiles, Mix{MapKeywords: 5, InferJoins: 3, Translate: 2}, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]probe, 0, n)
+	for _, req := range g.Generate(n) {
+		switch req.Op {
+		case OpMapKeywords:
+			out = append(out, probe{"/v2/" + name + "/map-keywords", req.MapKeywords})
+		case OpInferJoins:
+			out = append(out, probe{"/v2/" + name + "/infer-joins", req.InferJoins})
+		case OpTranslate:
+			out = append(out, probe{"/v2/" + name + "/translate", req.Translate})
+		}
+	}
+	return out
+}
+
+func answers(t testing.TB, ts *httptest.Server, battery []probe) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(battery))
+	for i, p := range battery {
+		status, raw, err := postRaw(ts, p.path, p.body)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("probe %s: status %d err %v", p.path, status, err)
+		}
+		out[i] = raw
+	}
+	return out
+}
+
+// TestSoakKillAndRecover is the acceptance gate for the durability layer:
+// under racing appends, reads and compactions on all three datasets, every
+// acknowledged append survives a crash, and the recovered engines are
+// byte-identical to the survivors.
+func TestSoakKillAndRecover(t *testing.T) {
+	names := []string{"MAS", "Yelp", "IMDB"}
+	storeDir, walDir := t.TempDir(), t.TempDir()
+
+	reg := serve.NewRegistry()
+	tenants := map[string]*serve.Tenant{}
+	for _, name := range names {
+		ds, _ := datasets.ByName(name)
+		tn, _ := durableTenant(t, ds, storeDir, walDir)
+		if err := reg.Add(tn); err != nil {
+			t.Fatal(err)
+		}
+		tenants[name] = tn
+	}
+	ts := httptest.NewServer(serve.NewRegistryServer(reg, names[0], 8, nil).Handler())
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(soakDuration(t))
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []string
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(failures) < 20 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// One appender per dataset, tracking every acknowledged sequence. A
+	// single appender per tenant means acks arrive in sequence order, so
+	// the WAL receipt must be exactly the previous receipt plus one —
+	// anything else is a lost or double-counted durable write.
+	acked := map[string]*int64{}
+	for i, name := range names {
+		i, name := i, name
+		last := new(int64)
+		acked[name] = last
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			profiles, err := MineProfiles([]string{name})
+			if err != nil {
+				fail("appender %s: %v", name, err)
+				return
+			}
+			g, err := NewGenerator(profiles, Mix{LogAppend: 1, SessionFraction: 0.3}, uint64(5000+i))
+			if err != nil {
+				fail("appender %s: %v", name, err)
+				return
+			}
+			for time.Now().Before(deadline) {
+				req := g.Next()
+				resp, err := c.AppendLog(ctx, name, *req.LogAppend)
+				if err != nil {
+					fail("appender %s: %v", name, err)
+					return
+				}
+				if resp.WALSeq != *last+1 {
+					fail("appender %s: ack wal_seq %d after %d (not sequential)", name, resp.WALSeq, *last)
+					return
+				}
+				*last = resp.WALSeq
+			}
+		}()
+	}
+
+	// Readers keep snapshot lookups racing the appends and compactions.
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			profiles, err := MineProfiles(names)
+			if err != nil {
+				fail("reader %d: %v", w, err)
+				return
+			}
+			g, err := NewGenerator(profiles, Mix{MapKeywords: 5, InferJoins: 3, Translate: 2}, uint64(6000+w))
+			if err != nil {
+				fail("reader %d: %v", w, err)
+				return
+			}
+			for time.Now().Before(deadline) {
+				if err := execute(ctx, c, g.Next()); err != nil {
+					fail("reader %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Compaction sweeps race the traffic with a threshold low enough to
+	// fire repeatedly, so the imaged state may sit at any point of the
+	// compaction lifecycle the protocol allows.
+	compactor := serve.NewCompactor(reg, 2048, time.Hour)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			compactor.Sweep()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	if len(failures) > 0 {
+		t.Fatalf("soak failures:\n%s", failures[0])
+	}
+
+	// Pre-crash ground truth: final log shapes and a probe battery.
+	hBefore, err := getHealth(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapeBefore := map[string]logShape{}
+	for _, st := range hBefore.Datasets {
+		shapeBefore[st.Name] = shapeOf(st)
+	}
+	batteries := map[string][]probe{}
+	wants := map[string][][]byte{}
+	for _, name := range names {
+		batteries[name] = batteryFor(t, name, 15)
+		wants[name] = answers(t, ts, batteries[name])
+	}
+	appends := int64(0)
+	for _, name := range names {
+		appends += *acked[name]
+	}
+	if appends == 0 {
+		t.Fatal("soak made no appends; kill-and-recover was vacuous (raise TEMPLAR_SOAK_MS?)")
+	}
+
+	// kill -9: image the disk, then boot fresh tenants from the image. The
+	// old tenants' WALs are never closed or synced first — with per-append
+	// fsync, everything acknowledged must already be durable.
+	imgStore, imgWal := t.TempDir(), t.TempDir()
+	copyDirFiles(t, storeDir, imgStore)
+	copyDirFiles(t, walDir, imgWal)
+
+	reg2 := serve.NewRegistry()
+	for _, name := range names {
+		ds, _ := datasets.ByName(name)
+		tn2, _ := durableTenant(t, ds, imgStore, imgWal)
+		if got, want := tn2.WAL.LastSeq(), uint64(*acked[name]); got != want {
+			t.Fatalf("%s: recovered WAL at seq %d, last acknowledged append was %d", name, got, want)
+		}
+		if err := reg2.Add(tn2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts2 := httptest.NewServer(serve.NewRegistryServer(reg2, names[0], 8, nil).Handler())
+	t.Cleanup(ts2.Close)
+
+	hAfter, err := getHealth(ts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range hAfter.Datasets {
+		if got := shapeOf(st); got != shapeBefore[st.Name] {
+			t.Fatalf("%s: recovered shape %+v, want pre-crash %+v", st.Name, got, shapeBefore[st.Name])
+		}
+	}
+	for _, name := range names {
+		got := answers(t, ts2, batteries[name])
+		for i := range got {
+			if !bytes.Equal(got[i], wants[name][i]) {
+				t.Fatalf("%s probe %d (%s): recovered engine diverged\nbefore: %s\nafter:  %s",
+					name, i, batteries[name][i].path, wants[name][i], got[i])
+			}
+		}
+	}
+
+	// Torn-tail variant: a crash mid-append leaves a partial, unacked
+	// record after the last acknowledged one. Recovery must truncate
+	// exactly that record — typed cause, no acked record harmed.
+	tornStore, tornWal := t.TempDir(), t.TempDir()
+	copyDirFiles(t, storeDir, tornStore)
+	copyDirFiles(t, walDir, tornWal)
+	tornPath := filepath.Join(tornWal, wal.Filename("MAS"))
+	f, err := os.OpenFile(tornPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := binary.LittleEndian.AppendUint32(nil, 64) // promises 64 payload bytes...
+	torn = append(torn, "only-these-arrived"...)      // ...delivers 18
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := datasets.ByName("MAS")
+	tn3, rec3 := durableTenant(t, ds, tornStore, tornWal)
+	if got, want := tn3.WAL.LastSeq(), uint64(*acked["MAS"]); got != want {
+		t.Fatalf("torn tail: recovered WAL at seq %d, last acknowledged append was %d", got, want)
+	}
+	if rec3.DroppedBytes != int64(len(torn)) {
+		t.Fatalf("torn tail: dropped %d bytes, want %d", rec3.DroppedBytes, len(torn))
+	}
+	if !errors.Is(rec3.Cause, wal.ErrTruncated) {
+		t.Fatalf("torn tail: cause = %v, want %v", rec3.Cause, wal.ErrTruncated)
+	}
+	s3 := tn3.Sys.Live().CurrentSnapshot()
+	if shape := (logShape{queries: s3.Queries(), fragments: s3.Vertices(), edges: s3.Edges()}); shape != shapeBefore["MAS"] {
+		t.Fatalf("torn tail: recovered shape %+v, want pre-crash %+v", shape, shapeBefore["MAS"])
+	}
+}

@@ -7,6 +7,7 @@ package workload
 import (
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"templar/internal/sqlparse"
 	"templar/internal/store"
 	"templar/internal/templar"
+	"templar/internal/wal"
 	"templar/pkg/client"
 )
 
@@ -65,6 +67,33 @@ func storeLoadedLiveSystem(t testing.TB, ds *datasets.Dataset) *templar.System {
 	}
 	live := qfg.NewLiveFromSnapshot(ar.Snapshot)
 	return templar.NewLive(ds.DB, embedding.New(), live, templar.Options{LogJoin: true})
+}
+
+// durableTenant assembles a WAL-armed tenant the way templar-serve does:
+// pack (or reuse) the dataset's snapshot in storeDir, load the engine from
+// it, attach the write-ahead log under walDir and replay any tail — the
+// full crash-recovery boot path.
+func durableTenant(t testing.TB, ds *datasets.Dataset, storeDir, walDir string) (*serve.Tenant, *wal.Recovery) {
+	t.Helper()
+	path := filepath.Join(storeDir, store.Filename(ds.Name))
+	if _, err := os.Stat(path); err != nil {
+		if err := store.WriteFile(path, ds.Name, buildGraph(t, ds).Snapshot(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ar, err := store.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := qfg.NewLiveFromSnapshot(ar.Snapshot)
+	sys := templar.NewLive(ds.DB, embedding.New(), live, templar.Options{LogJoin: true})
+	tn := &serve.Tenant{Name: ds.Name, Sys: sys, Source: "store", StorePath: path, SnapshotSeq: ar.WalSeq}
+	rec, err := serve.AttachWAL(tn, walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tn.WAL.Close() })
+	return tn, rec
 }
 
 // tenantServer wires named engines into a registry server and returns it

@@ -168,6 +168,35 @@ type LogAppendResponse struct {
 	LogQueries   int `json:"log_queries"`
 	LogFragments int `json:"log_fragments"`
 	LogEdges     int `json:"log_edges"`
+	// WALSeq is the write-ahead-log sequence number the append was made
+	// durable at, when the dataset has a WAL attached (0 otherwise). A
+	// response carrying a non-zero WALSeq is a durability receipt: the
+	// append survives a crash from this point on.
+	WALSeq int64 `json:"wal_seq,omitempty"`
+}
+
+// WALStatus is one dataset's write-ahead-log counters, reported on
+// /healthz and the dataset listings when a WAL is attached.
+type WALStatus struct {
+	// Seq is the last acknowledged sequence number.
+	Seq int64 `json:"seq"`
+	// Records counts records in the live segment (replayed and new).
+	Records int64 `json:"records"`
+	// Bytes is the live segment's size on disk.
+	Bytes int64 `json:"bytes"`
+	// SyncPolicy is "always" (fsync per append) or "interval".
+	SyncPolicy string `json:"sync_policy"`
+	// LastSyncUnixMS is when the log was last fsynced (0 = never).
+	LastSyncUnixMS int64 `json:"last_sync_unix_ms,omitempty"`
+	// Compactions counts completed WAL-into-snapshot compactions.
+	Compactions int64 `json:"compactions"`
+	// LastCompactionUnixMS is when the last compaction completed (0 =
+	// never).
+	LastCompactionUnixMS int64 `json:"last_compaction_unix_ms,omitempty"`
+	// RecoveredRecords is how many records boot replayed from disk.
+	RecoveredRecords int64 `json:"recovered_records,omitempty"`
+	// DroppedBytes is how many torn-tail bytes boot truncated.
+	DroppedBytes int64 `json:"dropped_bytes,omitempty"`
 }
 
 // DatasetStatus is one hosted dataset's engine stats, shared by the
@@ -189,6 +218,9 @@ type DatasetStatus struct {
 	LogEdges     int `json:"log_edges"`
 	// LoadMillis is how long building or loading the engine took.
 	LoadMillis float64 `json:"load_ms,omitempty"`
+	// WAL reports the dataset's write-ahead-log counters when one is
+	// attached; absent for memory-only tenants.
+	WAL *WALStatus `json:"wal,omitempty"`
 }
 
 // DatasetsResponse is the body of GET /v2/datasets and GET
@@ -226,6 +258,9 @@ type HealthResponse struct {
 	LogQueries   int `json:"log_queries"`
 	LogFragments int `json:"log_fragments"`
 	LogEdges     int `json:"log_edges"`
+	// WAL reports the default dataset's write-ahead-log counters when one
+	// is attached, mirroring DatasetStatus.WAL.
+	WAL *WALStatus `json:"wal,omitempty"`
 	// Datasets lists every hosted dataset (multi-tenant view).
 	Datasets []DatasetStatus `json:"datasets,omitempty"`
 	// Metrics is the middleware request telemetry.

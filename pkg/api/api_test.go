@@ -28,6 +28,7 @@ var wireTypes = []any{
 	LogEntry{},
 	LogAppendRequest{},
 	LogAppendResponse{},
+	WALStatus{},
 	DatasetStatus{},
 	DatasetsResponse{},
 	Metrics{},
