@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check wal-check serve soak golden golden-check load-smoke
+.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check wal-check serve soak golden golden-check load-smoke overload-smoke
 
 all: build vet test
 
@@ -90,3 +90,12 @@ golden-check:
 # server and writes the bench2json-compatible latency report.
 load-smoke: build
 	$(GO) run ./cmd/templar-load -self -datasets mas,yelp -requests 400 -workers 8 -seed 1 -o load.json
+
+# overload-smoke drives an open-loop burst (fixed arrival rate, not
+# bounded by worker completion) into an admission-bounded in-process
+# server and asserts the designed overload outcome: requests are shed
+# with 429 (-expect-shed requires shed > 0) and the server never answers
+# 5xx. Retries are disabled so every shed is observed, not ridden out.
+overload-smoke: build
+	$(GO) run ./cmd/templar-load -self -datasets mas -requests 400 -workers 32 -seed 1 \
+		-rate 4000 -max-inflight 4 -retries 0 -expect-shed -o overload.json

@@ -19,6 +19,16 @@
 // The -o report is JSON shape-compatible with the cmd/bench2json
 // benchmark artifacts (tooling reading .benchmarks[] needs no changes);
 // the full per-endpoint detail rides under .workload.
+//
+// By default the run is a closed loop: each worker sends its next request
+// when its last one finishes, so the offered load self-limits to -workers
+// in flight and can never overrun a server's admission bound. -rate R
+// switches the run open-loop — request i is dispatched at start + i/R,
+// like a population of independent users — which is the only mode that
+// can push a server into shedding. An overload smoke run pairs it with
+// -self -max-inflight N (admission-bounded in-process server) and
+// -expect-shed, which inverts the exit criteria: sheds must appear, 5xx
+// must not, and shed requests don't count as failures.
 package main
 
 import (
@@ -55,7 +65,10 @@ func main() {
 		sessions  = flag.Float64("session-frac", -1, "fraction of log appends folded as sessions (-1 = mix default)")
 		out       = flag.String("o", "", "write the JSON report here (bench2json-compatible document)")
 		print     = flag.Bool("print", false, "print the synthesized stream as JSON lines plus its fingerprint, then exit")
-		retries   = flag.Int("retries", 2, "SDK retry budget for idempotent calls (5xx/transport, jittered backoff)")
+		retries   = flag.Int("retries", 2, "SDK retry budget for idempotent calls (5xx/transport/429, jittered backoff)")
+		rate      = flag.Float64("rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop); size -workers above rate × latency")
+		maxInFly  = flag.Int("max-inflight", 0, "with -self: bound the in-process server's admitted requests so it sheds under -rate overload")
+		expShed   = flag.Bool("expect-shed", false, "overload-run exit criteria: require shed > 0 and server errors == 0 instead of treating sheds as failures")
 	)
 	flag.Parse()
 
@@ -103,10 +116,12 @@ func main() {
 		if !*self {
 			fatal(fmt.Errorf("no target: pass -server URL or -self"))
 		}
-		base, err = selfServe(names, *workers)
+		base, err = selfServe(names, *workers, *maxInFly)
 		if err != nil {
 			fatal(err)
 		}
+	} else if *maxInFly > 0 {
+		fatal(fmt.Errorf("-max-inflight only applies to the -self in-process server; bound a real server with templar-serve -max-inflight"))
 	}
 	c, err := client.New(base, client.WithRetries(*retries))
 	if err != nil {
@@ -124,6 +139,7 @@ func main() {
 		Requests: stream,
 		Seed:     *seed,
 		Mix:      mix,
+		Rate:     *rate,
 	})
 	if err != nil {
 		fatal(err)
@@ -143,12 +159,24 @@ func main() {
 	if rep.Errors > 0 {
 		fatal(fmt.Errorf("%d requests failed", rep.Errors))
 	}
+	if *expShed {
+		// Overload smoke criteria: the server must have shed (the run
+		// actually overran the bound) and must never have fallen over.
+		if rep.Shed == 0 {
+			fatal(fmt.Errorf("-expect-shed: no requests were shed — the run never overran the admission bound (raise -rate or lower -max-inflight)"))
+		}
+		if rep.ServerErrors > 0 {
+			fatal(fmt.Errorf("-expect-shed: %d server errors (5xx) — overload must shed with 429, not fail", rep.ServerErrors))
+		}
+		fmt.Fprintf(os.Stderr, "templar-load: overload criteria met: %d shed, 0 server errors\n", rep.Shed)
+	}
 }
 
 // selfServe builds live engines for the named datasets, mounts a
 // registry server on a loopback listener and returns its base URL — the
-// zero-setup mode CI's load-smoke artifact uses.
-func selfServe(names []string, workers int) (string, error) {
+// zero-setup mode CI's load-smoke artifact uses. maxInFlight > 0 bounds
+// the server's admission so an open-loop run can exercise shedding.
+func selfServe(names []string, workers, maxInFlight int) (string, error) {
 	reg := serve.NewRegistry()
 	defaultName := ""
 	for _, name := range names {
@@ -177,7 +205,7 @@ func selfServe(names []string, workers int) (string, error) {
 			defaultName = ds.Name
 		}
 	}
-	srv := serve.NewRegistryServer(reg, defaultName, workers, nil)
+	srv := serve.NewRegistryServer(reg, defaultName, workers, nil).WithAdmission(maxInFlight)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", err

@@ -45,6 +45,15 @@
 // With -pprof, the net/http/pprof profiling endpoints are mounted under
 // /debug/pprof/ on the same listener (CPU: /debug/pprof/profile, heap:
 // /debug/pprof/heap, …).
+//
+// Overload control (see docs/OPERATIONS.md): -max-inflight bounds the
+// admitted requests server-wide, shedding the expensive endpoints first
+// with 429 + Retry-After; -tenant-rps/-tenant-burst/-tenant-max-inflight
+// set default per-dataset quotas (override per dataset via
+// PUT /admin/datasets/{name}/limits). SIGTERM/SIGINT triggers a graceful
+// drain: /healthz flips to "draining" (load balancers stop routing), new
+// work is refused with 503, in-flight requests finish, the WAL is swept,
+// synced and closed, and the process exits — all within -drain-timeout.
 package main
 
 import (
@@ -57,8 +66,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"templar/internal/datasets"
@@ -92,6 +103,11 @@ func main() {
 		accessLog  = flag.Bool("access-log", false, "log one line per request (method, path, status, latency, request id)")
 		maxBody    = flag.Int64("max-body-bytes", 0, "request body byte cap (0 = default 1MiB); structured 413 beyond it")
 		maxBatch   = flag.Int("max-batch", 0, "translate/log batch size cap (0 = defaults 64/256); structured 422 beyond it")
+		maxInFly   = flag.Int("max-inflight", 0, "server-wide admitted-request bound (0 = unbounded); past it, expensive endpoints shed first with 429 + Retry-After")
+		tenantRPS  = flag.Float64("tenant-rps", 0, "default per-dataset sustained request rate (0 = unlimited); token-bucket, 429 rate_limited when dry")
+		tenantBur  = flag.Int("tenant-burst", 0, "default per-dataset burst above -tenant-rps (0 with a rate = max(1, ceil(rate)))")
+		tenantFly  = flag.Int("tenant-max-inflight", 0, "default per-dataset in-flight quota (0 = unlimited)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT: in-flight requests plus the final WAL sweep must finish within it")
 	)
 	flag.Parse()
 
@@ -138,17 +154,37 @@ func main() {
 
 	srv := serve.NewRegistryServer(reg, defaultName, *workers, loader).
 		WithAdminToken(*adminToken).
-		WithLimits(*maxBody, *maxBatch, *maxBatch)
+		WithLimits(*maxBody, *maxBatch, *maxBatch).
+		WithAdmission(*maxInFly)
+	if *tenantRPS > 0 || *tenantBur > 0 || *tenantFly > 0 {
+		srv.WithTenantDefaults(serve.TenantLimits{
+			PerSecond:   *tenantRPS,
+			Burst:       *tenantBur,
+			MaxInFlight: *tenantFly,
+		})
+		log.Printf("templar-serve: per-dataset defaults rps=%g burst=%d max-inflight=%d", *tenantRPS, *tenantBur, *tenantFly)
+	}
 	if *accessLog {
 		srv.WithAccessLog(log.Default())
 	}
-	log.Printf("templar-serve: serving %d dataset(s), default=%s workers=%d",
-		reg.Len(), defaultName, srv.Pool().Workers())
+	log.Printf("templar-serve: serving %d dataset(s), default=%s workers=%d max-inflight=%d",
+		reg.Len(), defaultName, srv.Pool().Workers(), *maxInFly)
+
+	// The compactor runs on a cancelable context so drain can stop it and
+	// take over the final sweep without racing a background compaction.
+	compactCtx, stopCompactor := context.WithCancel(context.Background())
+	defer stopCompactor()
+	compactorDone := make(chan struct{})
+	var compactor *serve.Compactor
 	if *walDir != "" {
-		go serve.NewCompactor(reg, *walBytes, *walEvery).
-			WithLogger(log.Default()).
-			Run(context.Background())
+		compactor = serve.NewCompactor(reg, *walBytes, *walEvery).WithLogger(log.Default())
+		go func() {
+			defer close(compactorDone)
+			compactor.Run(compactCtx)
+		}()
 		log.Printf("templar-serve: WAL compactor sweeping every %s (threshold %d bytes)", *walEvery, *walBytes)
+	} else {
+		close(compactorDone)
 	}
 
 	handler := srv.Handler()
@@ -165,12 +201,70 @@ func main() {
 	}
 	log.Printf("templar-serve: listening on %s", *addr)
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
+		Addr:    *addr,
+		Handler: handler,
+		// Slowloris guard: a client must finish its request header quickly,
+		// and idle keep-alive connections are reaped so a drain is not held
+		// hostage by sockets with no request on them.
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
 	}
-	if err := httpSrv.ListenAndServe(); err != nil {
-		fatal(err)
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stopSignals()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		fatal(err) // bind failure or listener death — nothing to drain
+	case <-sigCtx.Done():
+	}
+	// Restore default signal handling: a second SIGTERM/SIGINT kills the
+	// process immediately instead of being swallowed mid-drain.
+	stopSignals()
+
+	// Graceful drain, in dependency order, all under one deadline:
+	// refuse new work, finish what was admitted, then quiesce the WAL so
+	// the next boot replays nothing that was already folded.
+	start := time.Now()
+	log.Printf("templar-serve: signal received, draining (deadline %s)", *drainWait)
+	srv.BeginDrain() // healthz flips to "draining"; non-exempt requests get 503
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx) // stop accepting, wait for handlers
+	drainErr := srv.DrainWait(ctx)       // admitted in-flight gauge reaches 0
+	stopCompactor()
+	<-compactorDone // the background sweeper is parked; the final sweep is ours
+	compacted := 0
+	if compactor != nil && drainErr == nil {
+		compacted = compactor.Sweep() // fold the WAL tail into fresh snapshots
+	}
+	walSynced := 0
+	for _, t := range reg.Tenants() {
+		if t.WAL == nil {
+			continue
+		}
+		if err := t.WAL.Sync(); err != nil {
+			log.Printf("templar-serve: dataset=%s final WAL fsync: %v", t.Name, err)
+			continue
+		}
+		if err := t.WAL.Close(); err != nil {
+			log.Printf("templar-serve: dataset=%s WAL close: %v", t.Name, err)
+			continue
+		}
+		walSynced++
+	}
+
+	ov := srv.Overload()
+	clean := shutdownErr == nil && drainErr == nil
+	log.Printf("templar-serve: shutdown clean=%t took=%s inflight=%d admitted=%d shed_draining=%d compacted=%d wal_closed=%d",
+		clean, time.Since(start).Round(time.Millisecond), ov.InFlight, ov.Admitted, ov.ShedDraining, compacted, walSynced)
+	if !clean {
+		// In-flight work outlived the deadline: exit nonzero so operators
+		// and orchestrators see the drain was forced, not graceful. The WAL
+		// was still synced above — acknowledged appends are on disk, and
+		// anything unfolded replays at the next boot.
+		fatal(fmt.Errorf("drain deadline exceeded after %s (shutdown: %v, drain: %v)", *drainWait, shutdownErr, drainErr))
 	}
 }
 

@@ -6,6 +6,7 @@ package serve
 // whole-stack kill-and-recover soak lives in internal/workload.
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -390,6 +391,106 @@ func TestWALStatsOnWire(t *testing.T) {
 	if got := dsResp.Datasets[0].WAL; got.Seq != 1 || got.SyncPolicy != "always" {
 		t.Fatalf("admin wal = %+v", got)
 	}
+}
+
+// TestDrainRacesCompaction simulates SIGTERM arriving while a compaction
+// is mid-flight (rotated, snapshot not yet persisted — the PR-6 crash
+// window) and pins both drain outcomes:
+//
+//   - the drain handoff (stop admitting → final sweep → WAL sync+close)
+//     completes the pending compaction, so the next boot recovers a clean
+//     log;
+//   - the drain deadline kills the process before the final sweep — the
+//     on-disk state is exactly the recoverable rotate window, and boot
+//     finishes the compaction with every acked append intact.
+//
+// Either way, a SIGTERM racing the compactor must never invent a third,
+// unrecoverable disk state.
+func TestDrainRacesCompaction(t *testing.T) {
+	ds := datasets.MAS()
+
+	boot := func(t *testing.T) (*Server, *httptest.Server, *Tenant, string, string) {
+		t.Helper()
+		storeDir, walDir := t.TempDir(), t.TempDir()
+		tn, _ := durableTenant(t, ds, storeDir, walDir)
+		reg := NewRegistry()
+		if err := reg.Add(tn); err != nil {
+			t.Fatal(err)
+		}
+		srv := NewRegistryServer(reg, tn.Name, 2, nil).WithAdmission(16)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		appendBatch(t, ts, "mas", api.LogAppendRequest{Queries: []api.LogEntry{
+			{SQL: "SELECT j.name FROM journal j", Count: 2},
+		}})
+		appendBatch(t, ts, "mas", api.LogAppendRequest{Queries: []api.LogEntry{
+			{SQL: "SELECT p.title FROM publication p"},
+		}})
+		// The compaction has rotated but not yet captured the snapshot
+		// when the SIGTERM lands.
+		if _, err := tn.WAL.StartCompaction(); err != nil {
+			t.Fatal(err)
+		}
+		srv.BeginDrain()
+		// Draining refuses new appends — nothing can be acked that the
+		// handoff (or the next boot) would then have to preserve.
+		status, hdr, raw := postRaw(t, ts.URL+"/v2/mas/log", api.LogAppendRequest{
+			Queries: []api.LogEntry{{SQL: "SELECT a.name FROM author a"}},
+		})
+		wantProblem(t, status, hdr, raw, http.StatusServiceUnavailable, api.CodeDraining)
+		return srv, ts, tn, storeDir, walDir
+	}
+
+	assertRecovered := func(t *testing.T, tn *Tenant, storeDir, walDir string) {
+		t.Helper()
+		tn2, _ := durableTenant(t, ds, storeDir, walDir)
+		if tn2.WAL.CompactionPending() {
+			t.Fatal("pending compaction survived recovery")
+		}
+		s1, s2 := tn.Sys.Live().CurrentSnapshot(), tn2.Sys.Live().CurrentSnapshot()
+		if s1.Queries() != s2.Queries() || s1.Vertices() != s2.Vertices() || s1.Edges() != s2.Edges() {
+			t.Fatalf("recovered shape (%d,%d,%d) != drained shape (%d,%d,%d)",
+				s2.Queries(), s2.Vertices(), s2.Edges(), s1.Queries(), s1.Vertices(), s1.Edges())
+		}
+		ar, err := store.ReadFile(tn2.StorePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ar.WalSeq != 2 {
+			t.Fatalf("compacted archive WalSeq = %d, want 2 (both acked appends)", ar.WalSeq)
+		}
+	}
+
+	t.Run("handoff completes it", func(t *testing.T) {
+		srv, _, tn, storeDir, walDir := boot(t)
+		// The templar-serve drain sequence after the listener stops.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.DrainWait(ctx); err != nil {
+			t.Fatalf("drain wait: %v", err)
+		}
+		NewCompactor(srv.Registry(), 1<<30, time.Hour).Sweep()
+		if tn.WAL.CompactionPending() {
+			t.Fatal("final sweep left the compaction pending")
+		}
+		if err := tn.WAL.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.WAL.Close(); err != nil {
+			t.Fatal(err)
+		}
+		assertRecovered(t, tn, storeDir, walDir)
+	})
+
+	t.Run("deadline kills it mid-window", func(t *testing.T) {
+		_, _, tn, storeDir, walDir := boot(t)
+		// No final sweep, no close: the process died with the rotate
+		// window open. Boot must notice and complete the compaction.
+		if !tn.WAL.CompactionPending() {
+			t.Fatal("test setup: compaction window not open")
+		}
+		assertRecovered(t, tn, storeDir, walDir)
+	})
 }
 
 // decodeBody decodes an HTTP response body into out.

@@ -16,13 +16,20 @@ import (
 //
 //	request ID  → every request gets (or keeps) an X-Request-ID, exposed
 //	              to handlers via the context and echoed on the response,
-//	metrics     → in-flight gauge, request/error counters and cumulative
-//	              latency, reported on /healthz,
+//	metrics     → request/error counters and cumulative latency,
+//	              reported on /healthz,
+//	admission   → the server-wide overload gate (overload.go): drain
+//	              refusals, then the bounded in-flight admission that
+//	              sheds by cost class. Exempt paths (health probes,
+//	              dataset discovery, admin) bypass it entirely — and are
+//	              excluded from the in-flight gauge, so a /healthz probe
+//	              no longer counts itself,
 //	access log  → one line per request when a logger is configured.
 //
 // Body-size and batch-size limits are enforced at the decode layer
 // (readJSON and the batch caps in the core ops), not here, because they
-// need per-endpoint knowledge.
+// need per-endpoint knowledge. Per-tenant quotas are enforced in
+// withTenant, after the dataset is resolved.
 
 // ctxKey is the private context key namespace of this package.
 type ctxKey int
@@ -78,10 +85,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 const statusClientClosed = 499
 
 // metricsState accumulates the serving-layer telemetry with plain
-// atomics; snapshot renders it for /healthz.
+// atomics; snapshot renders it for /healthz. The in-flight gauge lives in
+// the admission layer (overload.go), which counts admitted work only —
+// health probes and admin calls are exempt, so a probe never sees itself.
 type metricsState struct {
 	requests      atomic.Int64
-	inFlight      atomic.Int64
 	clientErrors  atomic.Int64
 	serverErrors  atomic.Int64
 	latencyMicros atomic.Int64
@@ -98,10 +106,10 @@ func (m *metricsState) observe(status int, dur time.Duration) {
 	}
 }
 
-func (m *metricsState) snapshot() *api.Metrics {
+func (m *metricsState) snapshot(inFlight int64) *api.Metrics {
 	out := &api.Metrics{
 		Requests:     m.requests.Load(),
-		InFlight:     m.inFlight.Load(),
+		InFlight:     inFlight,
 		ClientErrors: m.clientErrors.Load(),
 		ServerErrors: m.serverErrors.Load(),
 	}
@@ -122,11 +130,9 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
 
 		sw := &statusWriter{ResponseWriter: w}
-		s.metrics.inFlight.Add(1)
 		start := time.Now()
 		defer func() {
 			dur := time.Since(start)
-			s.metrics.inFlight.Add(-1)
 			status := sw.status
 			if status == 0 {
 				status = statusClientClosed
@@ -139,6 +145,26 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 					r.Method, r.URL.EscapedPath(), status, sw.bytes, dur.Round(time.Microsecond), id)
 			}
 		}()
+
+		// Admission gate. Sheds are written here, before any handler runs
+		// or body byte is read: rejecting must stay cheap under overload.
+		// Shed responses still flow through the deferred metrics/access-log
+		// block above, so 429s/503s are visible in the telemetry.
+		if class := classify(r.URL.Path); class != classExempt {
+			if s.adm.draining.Load() {
+				s.adm.shedDraining.Add(1)
+				s.writeShed(sw, r, api.NewError(http.StatusServiceUnavailable, api.CodeDraining,
+					"serve: draining for shutdown, not admitting new work"), shedRetryAfter)
+				return
+			}
+			if !s.adm.admit(class) {
+				s.writeShed(sw, r, api.Errorf(http.StatusTooManyRequests, api.CodeOverloaded,
+					"serve: %d requests in flight, shedding at the %d-request bound",
+					s.adm.inFlight.Load(), s.adm.max), shedRetryAfter)
+				return
+			}
+			defer s.adm.release(class)
+		}
 		next.ServeHTTP(sw, r)
 	})
 }

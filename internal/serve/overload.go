@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"templar/pkg/api"
+)
+
+// The overload-control layer keeps the server alive on its worst days:
+//
+//   - Server-wide admission control bounds the admitted in-flight
+//     requests. Past the bound the excess is shed with 429 + Retry-After
+//     instead of queueing without limit — expensive endpoints shed first
+//     (translate, then log appends, then map-keywords/infer-joins), so
+//     under rising load the cheap read path keeps answering long after
+//     translations started bouncing. Health probes, dataset discovery
+//     and the admin API are never shed: operators must be able to see
+//     and steer an overloaded server.
+//
+//   - Per-tenant token-bucket rate limits and in-flight quotas stop one
+//     hot dataset from starving its siblings: a tenant past its quota
+//     sheds its own traffic with 429 rate_limited while every other
+//     tenant keeps its fair share of the admission budget.
+//
+//   - Graceful drain flips /healthz to "draining" (HTTP 503, so load
+//     balancers stop routing), refuses new work with 503 draining +
+//     Retry-After, and lets in-flight requests finish — the
+//     rolling-restart half of the durability story (docs/OPERATIONS.md).
+//
+// Shed responses are written before any body is read and before any pool
+// worker is claimed, so shedding costs microseconds — the property that
+// makes admission control an overload defense rather than extra load.
+
+// shedClass is a request's admission cost class.
+type shedClass int
+
+const (
+	// classExempt requests bypass admission entirely: health probes,
+	// dataset discovery, the admin API. They are never shed and never
+	// counted in flight — a monitoring probe must not be able to wedge,
+	// or be wedged by, an overloaded server.
+	classExempt shedClass = iota
+	// classQuery is the cheap read path (map-keywords, infer-joins):
+	// shed only when admitted load reaches the full bound.
+	classQuery
+	// classLog is log appends (parse + WAL fsync + snapshot republish):
+	// shed at 3/4 of the bound.
+	classLog
+	// classTranslate is full translations (enumeration + Steiner search
+	// per batch item), the most expensive work: shed first, at 1/2 of
+	// the bound.
+	classTranslate
+)
+
+// classLimit returns the admitted-in-flight watermark at which class is
+// shed, given the server-wide bound. Fractions are chosen so the classes
+// shed strictly in cost order and every class keeps at least one slot.
+func classLimit(bound int64, class shedClass) int64 {
+	var lim int64
+	switch class {
+	case classTranslate:
+		lim = bound / 2
+	case classLog:
+		lim = bound * 3 / 4
+	default:
+		lim = bound
+	}
+	if lim < 1 {
+		lim = 1
+	}
+	return lim
+}
+
+// classify maps a request path to its admission class. Unknown paths
+// (404s from the mux) ride the cheapest class — they answer in
+// microseconds and shedding them would mask routing errors as overload.
+func classify(path string) shedClass {
+	switch {
+	case path == "/healthz",
+		path == "/v2/datasets",
+		strings.HasPrefix(path, "/admin/"),
+		strings.HasPrefix(path, "/debug/"):
+		return classExempt
+	case strings.HasSuffix(path, "/translate"):
+		return classTranslate
+	case strings.HasSuffix(path, "/log"):
+		return classLog
+	default:
+		return classQuery
+	}
+}
+
+// admission is the server-wide admitted-request accounting: one atomic
+// gauge bounded by max, per-class shed counters, and the drain flag.
+type admission struct {
+	// max is the admitted in-flight bound; 0 means unbounded (requests
+	// are still counted, so drain and /healthz stay accurate).
+	max int64
+
+	inFlight atomic.Int64
+	admitted atomic.Int64
+	draining atomic.Bool
+
+	shedTranslate atomic.Int64
+	shedLog       atomic.Int64
+	shedQuery     atomic.Int64
+	shedDraining  atomic.Int64
+}
+
+// admit claims an in-flight slot for class, reporting false when the
+// class's watermark is reached (the caller sheds). Exempt classes never
+// claim a slot. The CAS loop keeps the gauge exact under concurrency: two
+// racing requests cannot both take the last slot below a watermark.
+func (a *admission) admit(class shedClass) bool {
+	if class == classExempt {
+		return true
+	}
+	if a.max <= 0 {
+		a.inFlight.Add(1)
+		a.admitted.Add(1)
+		return true
+	}
+	limit := classLimit(a.max, class)
+	for {
+		cur := a.inFlight.Load()
+		if cur >= limit {
+			a.shedCounter(class).Add(1)
+			return false
+		}
+		if a.inFlight.CompareAndSwap(cur, cur+1) {
+			a.admitted.Add(1)
+			return true
+		}
+	}
+}
+
+// release returns an admitted request's slot.
+func (a *admission) release(class shedClass) {
+	if class != classExempt {
+		a.inFlight.Add(-1)
+	}
+}
+
+func (a *admission) shedCounter(class shedClass) *atomic.Int64 {
+	switch class {
+	case classTranslate:
+		return &a.shedTranslate
+	case classLog:
+		return &a.shedLog
+	default:
+		return &a.shedQuery
+	}
+}
+
+// snapshot renders the admission state for /healthz.
+func (a *admission) snapshot() *api.OverloadStatus {
+	return &api.OverloadStatus{
+		MaxInFlight:   int(a.max),
+		InFlight:      a.inFlight.Load(),
+		Admitted:      a.admitted.Load(),
+		Draining:      a.draining.Load(),
+		ShedTranslate: a.shedTranslate.Load(),
+		ShedLog:       a.shedLog.Load(),
+		ShedQuery:     a.shedQuery.Load(),
+		ShedDraining:  a.shedDraining.Load(),
+	}
+}
+
+// WithAdmission bounds the server-wide admitted in-flight requests.
+// Past the bound, requests are shed with 429 overloaded + Retry-After in
+// cost order: translate at half the bound, log appends at three quarters,
+// map-keywords/infer-joins at the full bound. Health probes, /v2/datasets
+// and /admin are never shed. maxInFlight <= 0 leaves admission unbounded
+// (the development default); production deployments should set it to the
+// concurrency the hardware actually sustains (see docs/OPERATIONS.md).
+func (s *Server) WithAdmission(maxInFlight int) *Server {
+	if maxInFlight > 0 {
+		s.adm.max = int64(maxInFlight)
+	}
+	return s
+}
+
+// WithTenantDefaults applies limits to every tenant that has no explicit
+// override (PUT /admin/datasets/{name}/limits sets overrides). The zero
+// value removes the default.
+func (s *Server) WithTenantDefaults(l TenantLimits) *Server {
+	if l == (TenantLimits{}) {
+		s.tenantDefaults.Store(nil)
+	} else {
+		s.tenantDefaults.Store(&l)
+	}
+	return s
+}
+
+// BeginDrain flips the server into draining mode: /healthz answers 503
+// with status "draining" (so load balancers stop routing here), every
+// non-exempt request is refused with 503 draining + Retry-After, and
+// already-admitted requests run to completion. Idempotent; there is no
+// undo — a draining server exits.
+func (s *Server) BeginDrain() {
+	s.adm.draining.Store(true)
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.adm.draining.Load() }
+
+// DrainWait blocks until every admitted request has finished or ctx
+// expires (returning its error). Call after BeginDrain: with admission
+// closed the in-flight gauge only falls.
+func (s *Server) DrainWait(ctx context.Context) error {
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for s.adm.inFlight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return nil
+}
+
+// Overload returns the server-wide admission state (the same snapshot
+// /healthz reports).
+func (s *Server) Overload() api.OverloadStatus { return *s.adm.snapshot() }
+
+// shedRetryAfter is the delay shed responses advise when no better
+// estimate exists (per-tenant rate sheds compute the token wait instead).
+// One second keeps well-behaved clients off a saturated server without
+// parking them through a whole recovery.
+const shedRetryAfter = time.Second
+
+// writeShed writes a shed response: Retry-After plus the structured error
+// in the dialect the path speaks (problem+json for v2/admin, the frozen
+// envelope for v1). Shed responses are written by the admission layer
+// before any handler runs, so they must pick the dialect from the path.
+func (s *Server) writeShed(w http.ResponseWriter, r *http.Request, e *api.Error, retryAfter time.Duration) {
+	secs := int64(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		writeLegacyError(w, e)
+		return
+	}
+	s.writeProblem(w, r, e)
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant limits: token-bucket rate plus in-flight quota.
+
+// TenantLimits bounds one tenant's admitted traffic. A zero field means
+// "unlimited" for that dimension; the zero value as a whole means no
+// limits. See api.TenantLimits for the wire twin.
+type TenantLimits struct {
+	// PerSecond is the sustained admitted request rate (token refill).
+	PerSecond float64
+	// Burst is the token-bucket capacity; 0 with PerSecond set defaults
+	// to max(1, ceil(PerSecond)).
+	Burst int
+	// MaxInFlight caps the tenant's concurrently admitted requests.
+	MaxInFlight int
+}
+
+// wire converts the limits to their pkg/api shape.
+func (l TenantLimits) wire() *api.TenantLimits {
+	return &api.TenantLimits{PerSecond: l.PerSecond, Burst: l.Burst, MaxInFlight: l.MaxInFlight}
+}
+
+// effectiveBurst is the bucket capacity the rate limiter actually uses.
+func (l TenantLimits) effectiveBurst() float64 {
+	if l.Burst > 0 {
+		return float64(l.Burst)
+	}
+	b := math.Ceil(l.PerSecond)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// tenantLoad is one tenant's admission runtime state. It lives on the
+// Tenant so limits survive server re-wraps and show on every listing.
+type tenantLoad struct {
+	limits   atomic.Pointer[TenantLimits] // explicit override; nil = server default
+	inFlight atomic.Int64
+	admitted atomic.Int64
+	shedRate atomic.Int64
+	shedInFl atomic.Int64
+
+	// bucket is the token-bucket state, mutex-guarded: refills happen on
+	// the admitting request's clock, so an idle bucket costs nothing.
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	// now is the bucket clock, swappable by tests; nil means time.Now.
+	now func() time.Time
+}
+
+func (tl *tenantLoad) clock() time.Time {
+	if tl.now != nil {
+		return tl.now()
+	}
+	return time.Now()
+}
+
+// admitRate draws one token from the bucket, reporting how long the
+// caller should wait when none is available.
+func (tl *tenantLoad) admitRate(lim TenantLimits) (ok bool, retryAfter time.Duration) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	now := tl.clock()
+	burst := lim.effectiveBurst()
+	if tl.last.IsZero() {
+		tl.tokens = burst // a fresh bucket starts full
+	} else if dt := now.Sub(tl.last).Seconds(); dt > 0 {
+		tl.tokens = math.Min(burst, tl.tokens+dt*lim.PerSecond)
+	}
+	tl.last = now
+	if tl.tokens >= 1 {
+		tl.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - tl.tokens) / lim.PerSecond * float64(time.Second))
+	return false, wait
+}
+
+// SetLimits installs an explicit limit override on the tenant (visible on
+// the next listing); the zero value clears it back to the server default.
+func (t *Tenant) SetLimits(l TenantLimits) {
+	if l == (TenantLimits{}) {
+		t.load.limits.Store(nil)
+		return
+	}
+	t.load.limits.Store(&l)
+}
+
+// Limits returns the tenant's explicit limit override, or nil.
+func (t *Tenant) Limits() *TenantLimits { return t.load.limits.Load() }
+
+// effectiveLimits resolves the limits admission enforces for t: the
+// tenant's override when set, the server-wide default otherwise.
+func (s *Server) effectiveLimits(t *Tenant) *TenantLimits {
+	if l := t.load.limits.Load(); l != nil {
+		return l
+	}
+	return s.tenantDefaults.Load()
+}
+
+// admitTenant runs the per-tenant admission checks, claiming a tenant
+// in-flight slot on success. On shed it returns the structured 429 and
+// the advised retry delay.
+func (s *Server) admitTenant(t *Tenant) (ok bool, e *api.Error, retryAfter time.Duration) {
+	lim := s.effectiveLimits(t)
+	if lim == nil {
+		t.load.inFlight.Add(1)
+		t.load.admitted.Add(1)
+		return true, nil, 0
+	}
+	if lim.PerSecond > 0 {
+		if ok, wait := t.load.admitRate(*lim); !ok {
+			t.load.shedRate.Add(1)
+			e := api.Errorf(http.StatusTooManyRequests, api.CodeRateLimited,
+				"serve: dataset %q is over its %.3g req/s rate limit", t.Name, lim.PerSecond)
+			e.Dataset = t.Name
+			return false, e, wait
+		}
+	}
+	if max := int64(lim.MaxInFlight); max > 0 {
+		for {
+			cur := t.load.inFlight.Load()
+			if cur >= max {
+				t.load.shedInFl.Add(1)
+				e := api.Errorf(http.StatusTooManyRequests, api.CodeRateLimited,
+					"serve: dataset %q is at its in-flight quota of %d", t.Name, lim.MaxInFlight)
+				e.Dataset = t.Name
+				return false, e, shedRetryAfter
+			}
+			if t.load.inFlight.CompareAndSwap(cur, cur+1) {
+				break
+			}
+		}
+	} else {
+		t.load.inFlight.Add(1)
+	}
+	t.load.admitted.Add(1)
+	return true, nil, 0
+}
+
+// releaseTenant returns a tenant in-flight slot.
+func releaseTenant(t *Tenant) { t.load.inFlight.Add(-1) }
+
+// tenantLoadStatus renders a tenant's admission state for the listings.
+func (s *Server) tenantLoadStatus(t *Tenant) *api.TenantLoad {
+	out := &api.TenantLoad{
+		InFlight:     t.load.inFlight.Load(),
+		Admitted:     t.load.admitted.Load(),
+		ShedRate:     t.load.shedRate.Load(),
+		ShedInFlight: t.load.shedInFl.Load(),
+	}
+	if lim := s.effectiveLimits(t); lim != nil {
+		out.Limits = lim.wire()
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"templar/internal/datasets"
+	"templar/internal/keyword"
+	"templar/pkg/api"
+)
+
+// overloadServer boots a live-log MAS server with the given admission
+// bound, returning the server (for direct admission-state manipulation)
+// and its test listener.
+func overloadServer(t testing.TB, maxInFlight int) (*Server, *httptest.Server) {
+	t.Helper()
+	ds := datasets.MAS()
+	srv := NewServer(buildLiveSystem(t, ds, keyword.Options{}), ds.Name, 4).WithAdmission(maxInFlight)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// mapBody is a minimal valid map-keywords request against MAS.
+func mapBody() api.MapKeywordsRequest {
+	return api.MapKeywordsRequest{KeywordsInput: api.KeywordsInput{Spec: "papers:select"}}
+}
+
+// wantRetryAfter asserts the header is a positive integer second count.
+func wantRetryAfter(t testing.TB, hdr http.Header) int {
+	t.Helper()
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", hdr.Get("Retry-After"))
+	}
+	return secs
+}
+
+// TestAdmissionShedsByCostClass pins the shed ordering: with the gauge
+// held at fractions of the bound, translate sheds at 1/2, log at 3/4,
+// map-keywords only at the full bound — and the exempt endpoints never.
+// The gauge is occupied directly (not with slow requests) so the
+// thresholds are tested exactly, without timing.
+func TestAdmissionShedsByCostClass(t *testing.T) {
+	srv, ts := overloadServer(t, 8)
+	occupy := func(n int64) { srv.adm.inFlight.Store(n) }
+	defer occupy(0)
+
+	assertShed := func(path string, body any, wantCode string) {
+		t.Helper()
+		status, hdr, raw := postRaw(t, ts.URL+path, body)
+		e := wantProblem(t, status, hdr, raw, http.StatusTooManyRequests, wantCode)
+		wantRetryAfter(t, hdr)
+		if e.Title == "" {
+			t.Fatalf("shed problem without title: %+v", e)
+		}
+	}
+	assertAdmitted := func(path string, body any) {
+		t.Helper()
+		status, _, raw := postRaw(t, ts.URL+path, body)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			t.Fatalf("POST %s shed (%d): %s", path, status, raw)
+		}
+	}
+
+	// Below every threshold: everything is admitted.
+	occupy(3)
+	assertAdmitted("/v2/mas/translate", api.TranslateRequest{Queries: []api.KeywordsInput{{Spec: "papers:select"}}})
+	assertAdmitted("/v2/mas/log", api.LogAppendRequest{Queries: []api.LogEntry{{SQL: "SELECT title FROM papers"}}})
+	assertAdmitted("/v2/mas/map-keywords", mapBody())
+
+	// At half the bound the expensive class sheds; everything else holds.
+	occupy(4)
+	assertShed("/v2/mas/translate", api.TranslateRequest{}, api.CodeOverloaded)
+	assertAdmitted("/v2/mas/log", api.LogAppendRequest{Queries: []api.LogEntry{{SQL: "SELECT title FROM papers"}}})
+	assertAdmitted("/v2/mas/map-keywords", mapBody())
+
+	// At three quarters, log appends shed too.
+	occupy(6)
+	assertShed("/v2/mas/log", api.LogAppendRequest{}, api.CodeOverloaded)
+	assertAdmitted("/v2/mas/map-keywords", mapBody())
+	assertAdmitted("/v2/mas/infer-joins", api.InferJoinsRequest{Relations: []string{"papers"}})
+
+	// At the full bound everything non-exempt sheds — but health, dataset
+	// discovery and the admin API keep answering.
+	occupy(8)
+	assertShed("/v2/mas/map-keywords", mapBody(), api.CodeOverloaded)
+	assertShed("/v2/mas/infer-joins", api.InferJoinsRequest{}, api.CodeOverloaded)
+	var h api.HealthResponse
+	if s := getJSON(t, ts.URL+"/healthz", &h); s != http.StatusOK {
+		t.Fatalf("healthz shed at full bound: %d", s)
+	}
+	if h.Overload == nil || h.Overload.MaxInFlight != 8 || h.Overload.InFlight != 8 {
+		t.Fatalf("overload snapshot = %+v", h.Overload)
+	}
+	if h.Overload.ShedTranslate < 1 || h.Overload.ShedLog < 1 || h.Overload.ShedQuery < 2 {
+		t.Fatalf("shed counters not recorded: %+v", h.Overload)
+	}
+	var list api.DatasetsResponse
+	if s := getJSON(t, ts.URL+"/v2/datasets", &list); s != http.StatusOK {
+		t.Fatalf("/v2/datasets shed at full bound: %d", s)
+	}
+	if s := getJSON(t, ts.URL+"/admin/datasets", &list); s != http.StatusOK {
+		t.Fatalf("/admin/datasets shed at full bound: %d", s)
+	}
+
+	// Releasing the pressure re-admits everything.
+	occupy(0)
+	assertAdmitted("/v2/mas/translate", api.TranslateRequest{Queries: []api.KeywordsInput{{Spec: "papers:select"}}})
+}
+
+// TestAdmissionShedSpeaksV1 pins the error dialect: a shed v1 request
+// gets the frozen legacy envelope, not a problem document — old clients
+// must be able to parse their own rejections.
+func TestAdmissionShedSpeaksV1(t *testing.T) {
+	srv, ts := overloadServer(t, 2)
+	srv.adm.inFlight.Store(2)
+	defer srv.adm.inFlight.Store(0)
+
+	status, hdr, raw := postRaw(t, ts.URL+"/v1/mas/map-keywords", mapBody())
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("v1 shed status = %d, want 429 (body %s)", status, raw)
+	}
+	wantRetryAfter(t, hdr)
+	var env struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == "" {
+		t.Fatalf("v1 shed body %q is not the legacy envelope (err %v)", raw, err)
+	}
+	if bytes.Contains(raw, []byte(`"type"`)) {
+		t.Fatalf("v1 shed body leaked problem+json fields: %s", raw)
+	}
+}
+
+// TestAdmissionGaugeReturnsToZero asserts release accounting: after a
+// burst of admitted requests completes, the in-flight gauge is exactly
+// zero (a leak here would ratchet the server into permanent shedding).
+func TestAdmissionGaugeReturnsToZero(t *testing.T) {
+	srv, ts := overloadServer(t, 64)
+	for i := 0; i < 8; i++ {
+		postRaw(t, ts.URL+"/v2/mas/map-keywords", mapBody())
+		getJSON(t, ts.URL+"/healthz", &api.HealthResponse{})
+	}
+	if got := srv.adm.inFlight.Load(); got != 0 {
+		t.Fatalf("in-flight gauge = %d after all requests completed, want 0", got)
+	}
+	if got := srv.adm.admitted.Load(); got != 8 {
+		t.Fatalf("admitted = %d, want 8 (health probes are exempt)", got)
+	}
+}
+
+// TestTenantRateLimit drives the token bucket on a fake clock: with 1
+// req/s and burst 2, the first two requests pass, the third sheds with
+// rate_limited and a computed Retry-After, and one advanced second buys
+// exactly one more admission.
+func TestTenantRateLimit(t *testing.T) {
+	srv, ts := overloadServer(t, 0)
+	tn := srv.Registry().Get("mas")
+	var clk atomic.Int64
+	clk.Store(1_000_000)
+	tn.load.now = func() time.Time { return time.Unix(clk.Load(), 0) }
+	tn.SetLimits(TenantLimits{PerSecond: 1, Burst: 2})
+
+	admit := func(want bool) *http.Header {
+		t.Helper()
+		status, hdr, raw := postRaw(t, ts.URL+"/v2/mas/map-keywords", mapBody())
+		if want && status == http.StatusTooManyRequests {
+			t.Fatalf("unexpected shed: %s", raw)
+		}
+		if !want {
+			wantProblem(t, status, hdr, raw, http.StatusTooManyRequests, api.CodeRateLimited)
+		}
+		return &hdr
+	}
+
+	admit(true)
+	admit(true)
+	hdr := admit(false)
+	if secs := wantRetryAfter(t, *hdr); secs != 1 {
+		t.Fatalf("Retry-After = %d, want 1 (1 token at 1/s)", secs)
+	}
+	clk.Add(1)
+	admit(true)
+	admit(false)
+
+	// Clearing the override lifts the limit entirely.
+	tn.SetLimits(TenantLimits{})
+	admit(true)
+
+	// Shed counters surface on the tenant's status listing.
+	var h api.HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	for _, ds := range h.Datasets {
+		if ds.Name == "mas" {
+			if ds.Load == nil || ds.Load.ShedRate != 2 {
+				t.Fatalf("tenant load = %+v, want shed_rate 2", ds.Load)
+			}
+		}
+	}
+}
+
+// TestTenantInFlightQuota pins the per-tenant concurrency cap and that a
+// tenant override beats the server-wide default.
+func TestTenantInFlightQuota(t *testing.T) {
+	srv, ts := overloadServer(t, 0)
+	srv.WithTenantDefaults(TenantLimits{MaxInFlight: 1})
+	tn := srv.Registry().Get("mas")
+
+	// Default applies: with the tenant's single slot occupied, shed.
+	tn.load.inFlight.Add(1)
+	status, hdr, raw := postRaw(t, ts.URL+"/v2/mas/map-keywords", mapBody())
+	e := wantProblem(t, status, hdr, raw, http.StatusTooManyRequests, api.CodeRateLimited)
+	if e.Dataset != tn.Name {
+		t.Fatalf("shed problem names dataset %q, want %q", e.Dataset, tn.Name)
+	}
+	wantRetryAfter(t, hdr)
+
+	// An explicit override wins over the default.
+	tn.SetLimits(TenantLimits{MaxInFlight: 2})
+	if s, _, raw := postRaw(t, ts.URL+"/v2/mas/map-keywords", mapBody()); s == http.StatusTooManyRequests {
+		t.Fatalf("override ignored: %s", raw)
+	}
+	tn.load.inFlight.Add(-1)
+
+	if got := tn.load.inFlight.Load(); got != 0 {
+		t.Fatalf("tenant in-flight gauge = %d, want 0", got)
+	}
+	if tn.load.shedInFl.Load() != 1 {
+		t.Fatalf("shed_in_flight = %d, want 1", tn.load.shedInFl.Load())
+	}
+}
+
+// TestAdminLimitsEndpoint covers the runtime limit API: set, observe on
+// the listings, validate, clear.
+func TestAdminLimitsEndpoint(t *testing.T) {
+	_, ts := overloadServer(t, 0)
+	put := func(path string, body any) (int, []byte) {
+		t.Helper()
+		buf, _ := json.Marshal(body)
+		req, err := http.NewRequest(http.MethodPut, ts.URL+path, bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		_, _ = out.ReadFrom(resp.Body)
+		return resp.StatusCode, out.Bytes()
+	}
+
+	// Set limits and read them back off the response and both listings.
+	status, raw := put("/admin/datasets/mas/limits", api.TenantLimits{PerSecond: 5, Burst: 10, MaxInFlight: 3})
+	if status != http.StatusOK {
+		t.Fatalf("put limits: %d %s", status, raw)
+	}
+	var ds api.DatasetStatus
+	if err := json.Unmarshal(raw, &ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Load == nil || ds.Load.Limits == nil || ds.Load.Limits.PerSecond != 5 ||
+		ds.Load.Limits.Burst != 10 || ds.Load.Limits.MaxInFlight != 3 {
+		t.Fatalf("limits not echoed: %+v", ds.Load)
+	}
+	var list api.DatasetsResponse
+	getJSON(t, ts.URL+"/admin/datasets", &list)
+	if len(list.Datasets) != 1 || list.Datasets[0].Load == nil || list.Datasets[0].Load.Limits == nil ||
+		list.Datasets[0].Load.Limits.PerSecond != 5 {
+		t.Fatalf("admin listing missing limits: %+v", list.Datasets)
+	}
+
+	// Validation: unknown dataset, negative values, unrefillable burst.
+	if s, _ := put("/admin/datasets/nope/limits", api.TenantLimits{PerSecond: 1}); s != http.StatusNotFound {
+		t.Fatalf("unknown dataset: %d", s)
+	}
+	if s, _ := put("/admin/datasets/mas/limits", api.TenantLimits{PerSecond: -1}); s != http.StatusUnprocessableEntity {
+		t.Fatalf("negative rate accepted: %d", s)
+	}
+	if s, _ := put("/admin/datasets/mas/limits", api.TenantLimits{Burst: 4}); s != http.StatusUnprocessableEntity {
+		t.Fatalf("burst without rate accepted: %d", s)
+	}
+
+	// The zero body clears the override.
+	if s, raw := put("/admin/datasets/mas/limits", api.TenantLimits{}); s != http.StatusOK {
+		t.Fatalf("clear limits: %d %s", s, raw)
+	}
+	var after api.DatasetsResponse
+	getJSON(t, ts.URL+"/admin/datasets", &after)
+	if after.Datasets[0].Load != nil && after.Datasets[0].Load.Limits != nil {
+		t.Fatalf("limits survived the clear: %+v", after.Datasets[0].Load)
+	}
+}
+
+// TestDrainRefusesNewWork pins the drain protocol at the serve layer:
+// after BeginDrain, /healthz answers 503 "draining" with the full body,
+// new work is refused with 503 draining + Retry-After in both dialects,
+// and DrainWait blocks exactly until the admitted work finishes.
+func TestDrainRefusesNewWork(t *testing.T) {
+	srv, ts := overloadServer(t, 16)
+
+	// Simulate one admitted in-flight request, then start draining.
+	srv.adm.inFlight.Add(1)
+	srv.BeginDrain()
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h api.HealthResponse
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("healthz while draining: %d %q", resp.StatusCode, h.Status)
+	}
+	if h.Overload == nil || !h.Overload.Draining || h.Overload.InFlight != 1 {
+		t.Fatalf("overload while draining: %+v", h.Overload)
+	}
+
+	status, hdr, raw := postRaw(t, ts.URL+"/v2/mas/map-keywords", mapBody())
+	wantProblem(t, status, hdr, raw, http.StatusServiceUnavailable, api.CodeDraining)
+	wantRetryAfter(t, hdr)
+	if status, _, raw := postRaw(t, ts.URL+"/v1/mas/map-keywords", mapBody()); status != http.StatusServiceUnavailable {
+		t.Fatalf("v1 drain refusal = %d: %s", status, raw)
+	}
+	if srv.adm.shedDraining.Load() != 2 {
+		t.Fatalf("shed_draining = %d, want 2", srv.adm.shedDraining.Load())
+	}
+
+	// DrainWait times out while work is in flight, returns once it ends.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.DrainWait(ctx); err == nil {
+		t.Fatal("DrainWait returned with a request still in flight")
+	}
+	srv.adm.inFlight.Add(-1)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := srv.DrainWait(ctx2); err != nil {
+		t.Fatalf("DrainWait after release: %v", err)
+	}
+}

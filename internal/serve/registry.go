@@ -47,6 +47,12 @@ type Tenant struct {
 	// append, and compaction's rotate → engine-capture pair, so WAL order,
 	// apply order and the sequence a compacted snapshot covers all agree.
 	appendMu sync.Mutex
+
+	// load is the tenant's admission state: limit override, in-flight
+	// gauge, token bucket and shed counters (see overload.go). Living on
+	// the tenant, an operator-set limit survives server re-wraps and is
+	// enforced no matter which route resolved the tenant.
+	load tenantLoad
 }
 
 // Loader materializes a tenant on demand for POST /admin/datasets —

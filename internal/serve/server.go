@@ -66,6 +66,13 @@ type Server struct {
 	metrics   metricsState
 	idPrefix  string
 	reqSeq    atomic.Uint64
+
+	// adm is the server-wide admission state: in-flight bound, shed
+	// counters and the drain flag (see overload.go).
+	adm admission
+	// tenantDefaults is the per-tenant limit applied to tenants without
+	// an explicit override; nil means unlimited.
+	tenantDefaults atomic.Pointer[TenantLimits]
 }
 
 // NewServer binds a single-tenant server to one system: a registry holding
@@ -176,6 +183,7 @@ func (s *Server) Routes() []Route {
 		Route{Method: http.MethodGet, Pattern: "/admin/datasets", handler: s.handleAdminList},
 		Route{Method: http.MethodPost, Pattern: "/admin/datasets", handler: s.handleAdminLoad},
 		Route{Method: http.MethodDelete, Pattern: "/admin/datasets/{name}", handler: s.handleAdminRemove},
+		Route{Method: http.MethodPut, Pattern: "/admin/datasets/{name}/limits", handler: s.handleAdminLimits},
 	)
 }
 
@@ -208,6 +216,14 @@ func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *Tenant),
 			}
 			return
 		}
+		// Per-tenant admission: rate and in-flight quota checks run after
+		// the server-wide gate (middleware) and before any body is read,
+		// so a shed costs the hot tenant microseconds, not a pool worker.
+		if ok, e, retryAfter := s.admitTenant(t); !ok {
+			s.writeShed(w, r, e, retryAfter)
+			return
+		}
+		defer releaseTenant(t)
 		h(w, r, t)
 	}
 }
@@ -529,6 +545,7 @@ func (s *Server) tenantStatus(t *Tenant) api.DatasetStatus {
 	if t.WAL != nil {
 		ds.WAL = walStatus(t.WAL.Stats())
 	}
+	ds.Load = s.tenantLoadStatus(t)
 	return ds
 }
 
@@ -554,10 +571,18 @@ func walStatus(st wal.Stats) *api.WALStatus {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := api.HealthResponse{
-		Status:  "ok",
-		Dataset: s.defaultName,
-		Workers: s.pool.Workers(),
-		Metrics: s.metrics.snapshot(),
+		Status:   "ok",
+		Dataset:  s.defaultName,
+		Workers:  s.pool.Workers(),
+		Metrics:  s.metrics.snapshot(s.adm.inFlight.Load()),
+		Overload: s.adm.snapshot(),
+	}
+	status := http.StatusOK
+	if s.adm.draining.Load() {
+		// Draining answers 503 so load balancers stop routing here, with
+		// the full body so operators can watch in-flight fall to zero.
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
 	}
 	for _, t := range s.reg.Tenants() {
 		st := s.tenantStatus(t)
@@ -574,7 +599,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			resp.WAL = st.WAL
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, status, resp)
 }
 
 // adminAuthorized enforces the optional admin bearer token, writing the
@@ -665,6 +690,39 @@ func (s *Server) handleAdminRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.AdminRemoveResponse{Removed: name})
+}
+
+// handleAdminLimits sets (or, with an all-zero body, clears) a tenant's
+// per-tenant limit override at runtime — the operator's throttle for a
+// hot dataset, no restart needed. Responds with the tenant's full status
+// so the caller sees the limits it just installed.
+func (s *Server) handleAdminLimits(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAuthorized(w, r) {
+		return
+	}
+	t := s.reg.Get(r.PathValue("name"))
+	if t == nil {
+		s.writeProblem(w, r, api.Errorf(http.StatusNotFound, api.CodeUnknownDataset,
+			"serve: unknown dataset %q", r.PathValue("name")))
+		return
+	}
+	var req api.TenantLimits
+	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
+		s.writeProblem(w, r, apiErr)
+		return
+	}
+	if req.PerSecond < 0 || req.Burst < 0 || req.MaxInFlight < 0 {
+		s.writeProblem(w, r, api.NewError(http.StatusUnprocessableEntity, api.CodeValidation,
+			"serve: limits must be non-negative"))
+		return
+	}
+	if req.Burst > 0 && req.PerSecond <= 0 {
+		s.writeProblem(w, r, api.NewError(http.StatusUnprocessableEntity, api.CodeValidation,
+			"serve: burst without per_second never refills"))
+		return
+	}
+	t.SetLimits(TenantLimits{PerSecond: req.PerSecond, Burst: req.Burst, MaxInFlight: req.MaxInFlight})
+	writeJSON(w, http.StatusOK, s.tenantStatus(t))
 }
 
 // ---------------------------------------------------------------------------

@@ -329,8 +329,8 @@ func TestMiddleware(t *testing.T) {
 	if h.Metrics == nil || h.Metrics.Requests < 2 || h.Metrics.ClientErrors < 1 {
 		t.Fatalf("metrics = %+v", h.Metrics)
 	}
-	if h.Metrics.InFlight != 1 { // the in-flight /healthz request itself
-		t.Fatalf("in_flight = %d, want 1 (the probing request)", h.Metrics.InFlight)
+	if h.Metrics.InFlight != 0 { // health probes are exempt from admission accounting
+		t.Fatalf("in_flight = %d, want 0 (the probe must not count itself)", h.Metrics.InFlight)
 	}
 }
 

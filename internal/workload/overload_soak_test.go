@@ -1,0 +1,366 @@
+package workload
+
+// The overload phase of the soak suite: open-loop traffic driven past the
+// server's admission bound must be shed — with 429s, fairly across
+// tenants, and never after a request was admitted — and a drain under
+// load must lose zero acknowledged appends. These are the acceptance
+// tests for the overload-control layer, the robustness counterpart to the
+// kill-and-recover durability gate above.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"templar/internal/datasets"
+	"templar/internal/serve"
+	"templar/pkg/api"
+	"templar/pkg/client"
+)
+
+// overloadClient is an SDK client with retries disabled: an overload run
+// must observe every shed as a shed, not have the client quietly absorb
+// them into latency.
+func overloadClient(t testing.TB, url string) *client.Client {
+	t.Helper()
+	c, err := client.New(url, client.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestOverloadShedsAtBoundFairly drives an open-loop stream at well past
+// the admission bound across two tenants and asserts the acceptance
+// criteria: sheds happen and are the only non-success outcome (no 5xx,
+// no transport errors — admitted requests all complete), and no tenant's
+// admitted rate falls below half its fair share.
+func TestOverloadShedsAtBoundFairly(t *testing.T) {
+	names := []string{"MAS", "Yelp"}
+	reg := serve.NewRegistry()
+	for _, name := range names {
+		ds, _ := datasets.ByName(name)
+		if err := reg.Add(&serve.Tenant{Name: name, Sys: liveSystem(t, ds), Source: "preloaded"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two pool workers against a dispatch rate far above the service rate:
+	// in-flight work stacks up to the bound almost immediately.
+	const bound = 4
+	srv := serve.NewRegistryServer(reg, names[0], 2, nil).WithAdmission(bound)
+	ts := newOverloadServer(t, srv)
+
+	profiles, err := MineProfiles(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(profiles, Mix{MapKeywords: 3, InferJoins: 2, Translate: 3}, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(soakDuration(t).Milliseconds()) * 2 // 2 arrivals per soak-ms
+	requests := g.Generate(n)
+
+	rep, err := Run(context.Background(), RunConfig{
+		Client:   overloadClient(t, ts.URL),
+		Workers:  32,
+		Requests: requests,
+		Seed:     777,
+		Rate:     2000, // 2× the bound's plausible service rate and then some
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Shed == 0 {
+		t.Fatal("open-loop overload run shed nothing; admission control is not engaging")
+	}
+	if rep.ServerErrors != 0 {
+		t.Fatalf("%d requests failed with 5xx under overload; a healthy server sheds with 429", rep.ServerErrors)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d non-shed errors under overload:\n%s", rep.Errors, rep.Summary())
+	}
+	var ok int64
+	perTenant := map[string]int64{}
+	for _, ep := range rep.Endpoints {
+		ok += ep.Count
+		perTenant[ep.Dataset] += ep.Count
+	}
+	if got := ok + rep.Shed; got != int64(n) {
+		t.Fatalf("accounting leak: %d ok + %d shed != %d requests", ok, rep.Shed, n)
+	}
+	if ok < 20 {
+		t.Fatalf("only %d admitted requests; the fairness check would be vacuous (raise TEMPLAR_SOAK_MS?)", ok)
+	}
+	// Fairness: the stream is uniform across tenants, so each tenant's
+	// admitted share must be at least half of ok/len(names).
+	fair := ok / int64(len(names))
+	for _, name := range names {
+		if got := perTenant[name]; got < fair/2 {
+			t.Fatalf("tenant %s admitted %d of %d successes (fair share %d); shedding is starving it",
+				name, got, ok, fair)
+		}
+	}
+
+	// The server survived: healthy again once the pressure stops, with the
+	// shed counters on display.
+	h, err := getHealth(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Overload == nil || h.Overload.MaxInFlight != bound {
+		t.Fatalf("healthz overload = %+v", h.Overload)
+	}
+	if shed := h.Overload.ShedTranslate + h.Overload.ShedLog + h.Overload.ShedQuery; shed != rep.Shed {
+		t.Fatalf("server counted %d sheds, client observed %d", shed, rep.Shed)
+	}
+}
+
+// TestHotTenantCannotStarveSiblings pins per-tenant isolation: a tenant
+// flooding ten times harder than its sibling, throttled by a per-tenant
+// rate limit, has its own traffic shed while the sibling's requests all
+// complete untouched.
+func TestHotTenantCannotStarveSiblings(t *testing.T) {
+	hot, calm := "MAS", "Yelp"
+	reg := serve.NewRegistry()
+	for _, name := range []string{hot, calm} {
+		ds, _ := datasets.ByName(name)
+		if err := reg.Add(&serve.Tenant{Name: name, Sys: liveSystem(t, ds), Source: "preloaded"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := serve.NewRegistryServer(reg, hot, 4, nil).WithAdmission(64)
+	reg.Get(hot).SetLimits(serve.TenantLimits{PerSecond: 50, Burst: 5})
+	ts := newOverloadServer(t, srv)
+
+	// A 10:1 interleaved stream: nine hot-tenant arrivals for every calm one.
+	gen := func(name string, seed uint64) *Generator {
+		profiles, err := MineProfiles([]string{name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(profiles, Mix{MapKeywords: 1}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	gHot, gCalm := gen(hot, 101), gen(calm, 202)
+	n := int(soakDuration(t).Milliseconds())
+	requests := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		if i%10 == 9 {
+			requests = append(requests, gCalm.Next())
+		} else {
+			requests = append(requests, gHot.Next())
+		}
+	}
+
+	rep, err := Run(context.Background(), RunConfig{
+		Client:   overloadClient(t, ts.URL),
+		Workers:  16,
+		Requests: requests,
+		Seed:     101,
+		Rate:     1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.ServerErrors != 0 {
+		t.Fatalf("non-shed failures in quota run:\n%s", rep.Summary())
+	}
+	var hotShed, calmShed, calmOK int64
+	for _, ep := range rep.Endpoints {
+		switch ep.Dataset {
+		case hot:
+			hotShed += ep.Shed
+		case calm:
+			calmShed += ep.Shed
+			calmOK += ep.Count
+		}
+	}
+	if hotShed == 0 {
+		t.Fatal("the flooding tenant was never rate-limited")
+	}
+	if calmShed != 0 {
+		t.Fatalf("the calm tenant was shed %d times by its sibling's flood", calmShed)
+	}
+	if want := int64(n / 10); calmOK != want {
+		t.Fatalf("calm tenant completed %d of %d requests", calmOK, want)
+	}
+}
+
+// TestDrainUnderLoadLosesNoAckedWork is the graceful-shutdown acceptance
+// gate: with appends, reads and compaction sweeps in flight, a drain must
+// (a) refuse new work, (b) let admitted work finish within the deadline,
+// and (c) hand the WAL over such that a boot from the drained disk
+// recovers exactly the acknowledged appends — no more, no less.
+func TestDrainUnderLoadLosesNoAckedWork(t *testing.T) {
+	ds, _ := datasets.ByName("MAS")
+	storeDir, walDir := t.TempDir(), t.TempDir()
+	tn, _ := durableTenant(t, ds, storeDir, walDir)
+	reg := serve.NewRegistry()
+	if err := reg.Add(tn); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewRegistryServer(reg, tn.Name, 8, nil).WithAdmission(16)
+	ts := newOverloadServer(t, srv)
+	c, err := client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []string
+	fail := func(s string) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(failures) < 20 {
+			failures = append(failures, s)
+		}
+	}
+	isDrainRefusal := func(err error) bool {
+		var e *api.Error
+		return errors.As(err, &e) && e.Code == api.CodeDraining
+	}
+
+	// One appender tracking every acknowledged wal_seq; it keeps appending
+	// until the drain refuses it, so the SIGTERM lands mid-traffic.
+	acked := new(int64)
+	drained := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		profiles, err := MineProfiles([]string{tn.Name})
+		if err != nil {
+			fail("appender: " + err.Error())
+			return
+		}
+		g, err := NewGenerator(profiles, Mix{LogAppend: 1, SessionFraction: 0.3}, 9001)
+		if err != nil {
+			fail("appender: " + err.Error())
+			return
+		}
+		for {
+			req := g.Next()
+			resp, err := c.AppendLog(ctx, tn.Name, *req.LogAppend)
+			if err != nil {
+				if isDrainRefusal(err) {
+					return // the drain cut us off — exactly once, cleanly
+				}
+				fail("appender: " + err.Error())
+				return
+			}
+			if resp.WALSeq != *acked+1 {
+				fail("appender: non-sequential ack")
+				return
+			}
+			*acked = resp.WALSeq
+		}
+	}()
+
+	// Readers race the appends; they tolerate drain refusals and sheds.
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			profiles, err := MineProfiles([]string{tn.Name})
+			if err != nil {
+				fail("reader: " + err.Error())
+				return
+			}
+			g, err := NewGenerator(profiles, Mix{MapKeywords: 5, Translate: 2}, uint64(9100+w))
+			if err != nil {
+				fail("reader: " + err.Error())
+				return
+			}
+			for {
+				select {
+				case <-drained:
+					return
+				default:
+				}
+				if err := execute(ctx, c, g.Next()); err != nil && !isShed(err) {
+					fail("reader: " + err.Error())
+					return
+				}
+			}
+		}()
+	}
+
+	// Compaction sweeps race the traffic and the drain itself.
+	compactor := serve.NewCompactor(reg, 2048, time.Hour)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-drained:
+				return
+			default:
+				compactor.Sweep()
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+
+	// SIGTERM lands mid-soak: the templar-serve drain sequence.
+	time.Sleep(soakDuration(t))
+	deadline := 10 * time.Second
+	drainStart := time.Now()
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+	if err := srv.DrainWait(dctx); err != nil {
+		t.Fatalf("drain did not finish within %v: %v", deadline, err)
+	}
+	close(drained)
+	wg.Wait()
+	if len(failures) > 0 {
+		t.Fatalf("drain soak failures:\n%s", failures[0])
+	}
+	// Final handoff: complete any pending compaction, fsync, release.
+	compactor.Sweep()
+	if err := tn.WAL.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(drainStart); took > deadline {
+		t.Fatalf("drain handoff took %v, past the %v deadline", took, deadline)
+	}
+	if *acked == 0 {
+		t.Fatal("drain soak acked no appends; the zero-loss check was vacuous (raise TEMPLAR_SOAK_MS?)")
+	}
+
+	// Boot from the drained disk: the recovered WAL must sit exactly at
+	// the last acknowledged append, and the engine must match the drained
+	// one's log shape.
+	imgStore, imgWal := t.TempDir(), t.TempDir()
+	copyDirFiles(t, storeDir, imgStore)
+	copyDirFiles(t, walDir, imgWal)
+	tn2, _ := durableTenant(t, ds, imgStore, imgWal)
+	if got, want := tn2.WAL.LastSeq(), uint64(*acked); got != want {
+		t.Fatalf("recovered WAL at seq %d, last acknowledged append was %d", got, want)
+	}
+	s1, s2 := tn.Sys.Live().CurrentSnapshot(), tn2.Sys.Live().CurrentSnapshot()
+	if s1.Queries() != s2.Queries() || s1.Vertices() != s2.Vertices() || s1.Edges() != s2.Edges() {
+		t.Fatalf("recovered shape (%d,%d,%d) != drained shape (%d,%d,%d)",
+			s2.Queries(), s2.Vertices(), s2.Edges(), s1.Queries(), s1.Vertices(), s1.Edges())
+	}
+}
+
+// newOverloadServer starts an httptest server over a configured
+// serve.Server (the helpers above build the handler themselves when no
+// admission knobs are needed).
+func newOverloadServer(t testing.TB, srv *serve.Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

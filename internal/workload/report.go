@@ -14,9 +14,15 @@ type EndpointStats struct {
 	Dataset string `json:"dataset"`
 	Op      Op     `json:"op"`
 	// Count is successful requests; Errors is failed SDK calls (transport
-	// failures and non-2xx responses after the client's retries).
-	Count  int64 `json:"count"`
-	Errors int64 `json:"errors,omitempty"`
+	// failures and non-2xx responses after the client's retries). Shed is
+	// requests the overload-control layer refused (429 overloaded /
+	// rate_limited, 503 draining) — the designed overload outcome, so it
+	// is reported apart from Errors. ServerErrors is the 5xx subset of
+	// Errors, the count an overload run asserts is zero.
+	Count        int64 `json:"count"`
+	Errors       int64 `json:"errors,omitempty"`
+	Shed         int64 `json:"shed,omitempty"`
+	ServerErrors int64 `json:"server_errors,omitempty"`
 	// RPS is successful requests per wall-clock second of the whole run.
 	RPS float64 `json:"rps"`
 	// Latency quantiles in milliseconds, from the merged histogram.
@@ -31,24 +37,32 @@ type EndpointStats struct {
 // mix, worker count — everything needed to reproduce the stream) plus
 // aggregate and per-endpoint results.
 type Report struct {
-	Seed        uint64          `json:"seed"`
-	Mix         Mix             `json:"mix"`
-	Workers     int             `json:"workers"`
-	Requests    int             `json:"requests"`
-	Errors      int64           `json:"errors"`
-	WallSeconds float64         `json:"wall_seconds"`
-	RPS         float64         `json:"rps"`
-	Endpoints   []EndpointStats `json:"endpoints"`
+	Seed     uint64 `json:"seed"`
+	Mix      Mix    `json:"mix"`
+	Workers  int    `json:"workers"`
+	Requests int    `json:"requests"`
+	// Rate is the open-loop arrival rate the run was paced at (0 for a
+	// closed loop).
+	Rate         float64         `json:"rate,omitempty"`
+	Errors       int64           `json:"errors"`
+	Shed         int64           `json:"shed,omitempty"`
+	ServerErrors int64           `json:"server_errors,omitempty"`
+	WallSeconds  float64         `json:"wall_seconds"`
+	RPS          float64         `json:"rps"`
+	Endpoints    []EndpointStats `json:"endpoints"`
 }
 
 // buildReport aggregates merged per-endpoint state into a Report, with
 // endpoints sorted by (dataset, op) so the output is deterministic.
-func buildReport(cfg RunConfig, wall time.Duration, workers int, hists map[endpointKey]*Histogram, errs map[endpointKey]int64) *Report {
+func buildReport(cfg RunConfig, wall time.Duration, workers int, hists map[endpointKey]*Histogram, errs, sheds, serverErrs map[endpointKey]int64) *Report {
 	keys := make(map[endpointKey]bool, len(hists)+len(errs))
 	for k := range hists {
 		keys[k] = true
 	}
 	for k := range errs {
+		keys[k] = true
+	}
+	for k := range sheds {
 		keys[k] = true
 	}
 	ordered := make([]endpointKey, 0, len(keys))
@@ -68,12 +82,13 @@ func buildReport(cfg RunConfig, wall time.Duration, workers int, hists map[endpo
 		Mix:         cfg.Mix.withDefaults(),
 		Workers:     workers,
 		Requests:    len(cfg.Requests),
+		Rate:        cfg.Rate,
 		WallSeconds: secs,
 	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	var ok int64
 	for _, k := range ordered {
-		st := EndpointStats{Dataset: k.dataset, Op: k.op, Errors: errs[k]}
+		st := EndpointStats{Dataset: k.dataset, Op: k.op, Errors: errs[k], Shed: sheds[k], ServerErrors: serverErrs[k]}
 		if h := hists[k]; h != nil && h.Count() > 0 {
 			st.Count = h.Count()
 			if secs > 0 {
@@ -87,6 +102,8 @@ func buildReport(cfg RunConfig, wall time.Duration, workers int, hists map[endpo
 		}
 		ok += st.Count
 		rep.Errors += st.Errors
+		rep.Shed += st.Shed
+		rep.ServerErrors += st.ServerErrors
 		rep.Endpoints = append(rep.Endpoints, st)
 	}
 	if secs > 0 {
@@ -139,6 +156,7 @@ func (r *Report) EncodeJSON() ([]byte, error) {
 				"max-ms":  ep.MaxMillis,
 				"rps":     ep.RPS,
 				"errors":  float64(ep.Errors),
+				"shed":    float64(ep.Shed),
 			},
 		})
 	}
@@ -148,13 +166,17 @@ func (r *Report) EncodeJSON() ([]byte, error) {
 // Summary renders a fixed-width human-readable table of the run.
 func (r *Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "seed=%d workers=%d requests=%d errors=%d wall=%.2fs rps=%.1f\n",
-		r.Seed, r.Workers, r.Requests, r.Errors, r.WallSeconds, r.RPS)
-	fmt.Fprintf(&b, "%-8s %-14s %8s %6s %9s %9s %9s %9s\n",
-		"dataset", "op", "count", "errs", "p50(ms)", "p95(ms)", "p99(ms)", "rps")
+	fmt.Fprintf(&b, "seed=%d workers=%d requests=%d errors=%d shed=%d wall=%.2fs rps=%.1f",
+		r.Seed, r.Workers, r.Requests, r.Errors, r.Shed, r.WallSeconds, r.RPS)
+	if r.Rate > 0 {
+		fmt.Fprintf(&b, " rate=%.1f", r.Rate)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-8s %-14s %8s %6s %6s %9s %9s %9s %9s\n",
+		"dataset", "op", "count", "errs", "shed", "p50(ms)", "p95(ms)", "p99(ms)", "rps")
 	for _, ep := range r.Endpoints {
-		fmt.Fprintf(&b, "%-8s %-14s %8d %6d %9.2f %9.2f %9.2f %9.1f\n",
-			strings.ToLower(ep.Dataset), string(ep.Op), ep.Count, ep.Errors,
+		fmt.Fprintf(&b, "%-8s %-14s %8d %6d %6d %9.2f %9.2f %9.2f %9.1f\n",
+			strings.ToLower(ep.Dataset), string(ep.Op), ep.Count, ep.Errors, ep.Shed,
 			ep.P50Millis, ep.P95Millis, ep.P99Millis, ep.RPS)
 	}
 	return b.String()

@@ -2,11 +2,13 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"templar/pkg/api"
 	"templar/pkg/client"
 )
 
@@ -22,6 +24,14 @@ type RunConfig struct {
 	Seed uint64
 	// Mix is recorded into the report.
 	Mix Mix
+	// Rate, when positive, switches the run open-loop: request i is
+	// dispatched at start + i/Rate arrivals per second, regardless of how
+	// fast earlier requests complete — the load a population of
+	// independent users actually applies, and the only mode that can
+	// drive a server past its admission bound (a closed loop self-limits
+	// to Workers in flight). Workers bounds the dispatch concurrency, so
+	// size it above Rate × worst-case latency or the schedule slips.
+	Rate float64
 }
 
 // endpointKey identifies one (dataset, op) histogram.
@@ -33,12 +43,42 @@ type endpointKey struct {
 // workerStats is one worker's private recording state; workers never
 // share mutable state while the run is hot.
 type workerStats struct {
-	hists  map[endpointKey]*Histogram
-	errors map[endpointKey]int64
+	hists      map[endpointKey]*Histogram
+	errors     map[endpointKey]int64
+	sheds      map[endpointKey]int64
+	serverErrs map[endpointKey]int64
 }
 
 func newWorkerStats() *workerStats {
-	return &workerStats{hists: make(map[endpointKey]*Histogram), errors: make(map[endpointKey]int64)}
+	return &workerStats{
+		hists:      make(map[endpointKey]*Histogram),
+		errors:     make(map[endpointKey]int64),
+		sheds:      make(map[endpointKey]int64),
+		serverErrs: make(map[endpointKey]int64),
+	}
+}
+
+// isShed reports whether an SDK error is the server's overload-control
+// layer refusing the request (server-wide shed, per-tenant quota, drain)
+// — the designed overload outcome, reported apart from real failures.
+func isShed(err error) bool {
+	var e *api.Error
+	if !errors.As(err, &e) {
+		return false
+	}
+	switch e.Code {
+	case api.CodeOverloaded, api.CodeRateLimited, api.CodeDraining:
+		return true
+	}
+	return false
+}
+
+// isServerError reports whether an SDK error is a 5xx response — the
+// outcome an overload run asserts never happens (a healthy server sheds
+// with 429, it does not fall over with 500s).
+func isServerError(err error) bool {
+	var e *api.Error
+	return errors.As(err, &e) && e.Status >= 500
 }
 
 // Run replays the request stream against the server with N concurrent
@@ -85,6 +125,17 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 				if i >= len(cfg.Requests) || ctx.Err() != nil {
 					return
 				}
+				if cfg.Rate > 0 {
+					// Open loop: hold request i until its scheduled arrival.
+					due := start.Add(time.Duration(float64(i) * float64(time.Second) / cfg.Rate))
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(d):
+						}
+					}
+				}
 				req := cfg.Requests[i]
 				key := endpointKey{dataset: req.Dataset, op: req.Op}
 				t0 := time.Now()
@@ -94,7 +145,14 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 					if ctx.Err() != nil {
 						return // cancellation, not a server failure
 					}
+					if isShed(err) {
+						st.sheds[key]++
+						continue
+					}
 					st.errors[key]++
+					if isServerError(err) {
+						st.serverErrs[key]++
+					}
 					continue
 				}
 				h := st.hists[key]
@@ -111,6 +169,8 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 
 	merged := make(map[endpointKey]*Histogram)
 	errs := make(map[endpointKey]int64)
+	sheds := make(map[endpointKey]int64)
+	serverErrs := make(map[endpointKey]int64)
 	for _, st := range stats {
 		for k, h := range st.hists {
 			m := merged[k]
@@ -123,8 +183,14 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 		for k, n := range st.errors {
 			errs[k] += n
 		}
+		for k, n := range st.sheds {
+			sheds[k] += n
+		}
+		for k, n := range st.serverErrs {
+			serverErrs[k] += n
+		}
 	}
-	return buildReport(cfg, wall, workers, merged, errs), ctx.Err()
+	return buildReport(cfg, wall, workers, merged, errs, sheds, serverErrs), ctx.Err()
 }
 
 // execute performs one request through the SDK. The response body is

@@ -199,6 +199,60 @@ type WALStatus struct {
 	DroppedBytes int64 `json:"dropped_bytes,omitempty"`
 }
 
+// TenantLimits bounds one dataset's admitted traffic: a token-bucket
+// request rate plus an in-flight concurrency quota. The zero value of a
+// field means "unlimited" for that dimension. Set server-wide defaults
+// with templar-serve's -tenant-rps/-tenant-burst/-tenant-max-inflight
+// flags and per-dataset overrides with PUT /admin/datasets/{name}/limits.
+type TenantLimits struct {
+	// PerSecond is the sustained admitted request rate (token refill).
+	PerSecond float64 `json:"per_second,omitempty"`
+	// Burst is the token-bucket capacity — how far above the sustained
+	// rate a short spike may go (0 with PerSecond set = max(1, ceil(rate))).
+	Burst int `json:"burst,omitempty"`
+	// MaxInFlight caps the dataset's concurrently admitted requests.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// TenantLoad is one dataset's admission-control state, reported beside
+// the engine stats on the dataset listings and /healthz.
+type TenantLoad struct {
+	// InFlight is how many admitted requests the dataset is serving now.
+	InFlight int64 `json:"in_flight"`
+	// Admitted counts requests admitted against this dataset since boot.
+	Admitted int64 `json:"admitted"`
+	// ShedRate counts requests shed by the token-bucket rate limit.
+	ShedRate int64 `json:"shed_rate,omitempty"`
+	// ShedInFlight counts requests shed by the in-flight quota.
+	ShedInFlight int64 `json:"shed_in_flight,omitempty"`
+	// Limits is the dataset's effective limit set (absent = unlimited).
+	Limits *TenantLimits `json:"limits,omitempty"`
+}
+
+// OverloadStatus is the server-wide admission-control state on /healthz:
+// the in-flight bound, the current admitted load, and how many requests
+// each cost class has shed since boot (see docs/OPERATIONS.md for the
+// shedding order).
+type OverloadStatus struct {
+	// MaxInFlight is the server-wide admitted-request bound (0 = unbounded).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// InFlight is the admitted requests executing right now. Health probes
+	// and admin calls are exempt from admission and not counted here.
+	InFlight int64 `json:"in_flight"`
+	// Admitted counts requests admitted since boot.
+	Admitted int64 `json:"admitted"`
+	// Draining reports that the server stopped admitting new work and is
+	// waiting for in-flight requests before exiting.
+	Draining bool `json:"draining,omitempty"`
+	// ShedTranslate/ShedLog/ShedQuery count 429-shed requests per cost
+	// class (translate sheds first, then log appends, then map-keywords /
+	// infer-joins); ShedDraining counts 503s refused during drain.
+	ShedTranslate int64 `json:"shed_translate,omitempty"`
+	ShedLog       int64 `json:"shed_log,omitempty"`
+	ShedQuery     int64 `json:"shed_query,omitempty"`
+	ShedDraining  int64 `json:"shed_draining,omitempty"`
+}
+
 // DatasetStatus is one hosted dataset's engine stats, shared by the
 // health, dataset-listing and admin bodies.
 type DatasetStatus struct {
@@ -221,6 +275,9 @@ type DatasetStatus struct {
 	// WAL reports the dataset's write-ahead-log counters when one is
 	// attached; absent for memory-only tenants.
 	WAL *WALStatus `json:"wal,omitempty"`
+	// Load reports the dataset's admission-control counters and effective
+	// per-tenant limits.
+	Load *TenantLoad `json:"load,omitempty"`
 }
 
 // DatasetsResponse is the body of GET /v2/datasets and GET
@@ -234,7 +291,9 @@ type DatasetsResponse struct {
 type Metrics struct {
 	// Requests counts every HTTP request that reached the route table.
 	Requests int64 `json:"requests"`
-	// InFlight is how many requests are being served right now.
+	// InFlight is how many admitted requests are being served right now.
+	// Health probes and admin calls are exempt from admission accounting,
+	// so a /healthz response never counts itself here.
 	InFlight int64 `json:"in_flight"`
 	// ClientErrors / ServerErrors count 4xx and 5xx responses.
 	ClientErrors int64 `json:"client_errors"`
@@ -245,7 +304,9 @@ type Metrics struct {
 
 // HealthResponse is the body of GET /healthz. The top-level dataset
 // fields mirror the default dataset for single-tenant clients; Datasets
-// lists every hosted engine.
+// lists every hosted engine. Status is "ok" while serving and "draining"
+// (with HTTP 503, so load balancers stop routing) during graceful
+// shutdown — health probes themselves are never shed.
 type HealthResponse struct {
 	Status    string `json:"status"`
 	Dataset   string `json:"dataset"`
@@ -265,6 +326,8 @@ type HealthResponse struct {
 	Datasets []DatasetStatus `json:"datasets,omitempty"`
 	// Metrics is the middleware request telemetry.
 	Metrics *Metrics `json:"metrics,omitempty"`
+	// Overload is the server-wide admission-control state.
+	Overload *OverloadStatus `json:"overload,omitempty"`
 }
 
 // AdminLoadRequest is the body of POST /admin/datasets: the name of a

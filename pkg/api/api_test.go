@@ -29,6 +29,9 @@ var wireTypes = []any{
 	LogAppendRequest{},
 	LogAppendResponse{},
 	WALStatus{},
+	TenantLimits{},
+	TenantLoad{},
+	OverloadStatus{},
 	DatasetStatus{},
 	DatasetsResponse{},
 	Metrics{},

@@ -41,6 +41,17 @@ const (
 	// CodeNotConfigured: the endpoint exists but the server was started
 	// without the capability (e.g. no dataset loader) (501).
 	CodeNotConfigured = "not_configured"
+	// CodeOverloaded: the server-wide admission bound is reached and the
+	// request's cost class is being shed; retry after the Retry-After
+	// header's delay, ideally against another replica (429).
+	CodeOverloaded = "overloaded"
+	// CodeRateLimited: the target dataset's per-tenant rate or in-flight
+	// quota is exhausted — the tenant, not the server, is hot. Retry after
+	// the Retry-After header's delay (429).
+	CodeRateLimited = "rate_limited"
+	// CodeDraining: the server is shutting down gracefully and admits no
+	// new work; retry against another replica (503).
+	CodeDraining = "draining"
 	// CodeInternal: an unexpected server-side failure (500).
 	CodeInternal = "internal"
 )
@@ -94,6 +105,9 @@ var titles = map[string]string{
 	CodeConflict:       "conflicting state",
 	CodeUnauthorized:   "authorization required",
 	CodeNotConfigured:  "capability not configured",
+	CodeOverloaded:     "server overloaded, request shed",
+	CodeRateLimited:    "per-tenant quota exhausted",
+	CodeDraining:       "server draining for shutdown",
 	CodeInternal:       "internal server error",
 }
 

@@ -10,7 +10,11 @@
 //	if errors.As(err, &apiErr) && apiErr.Code == api.CodeUnknownDataset { ... }
 //
 // Idempotent calls (everything except AppendLog) are retried with
-// jittered exponential backoff on transport errors and 5xx responses; server
+// jittered exponential backoff on transport errors, 5xx responses and 429
+// sheds; a Retry-After header on a 429/503 raises the next delay to the
+// server's advice, capped at the backoff ceiling. Non-idempotent appends
+// are never retried — not even on 429, where the server promises nothing
+// was applied — because a transport error cannot prove that. Server
 // errors always surface as *api.Error so callers branch on Code, not on
 // message prose. The v1 routes are not wrapped — they exist for frozen
 // legacy clients, and new integrations should speak v2.
@@ -25,6 +29,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -215,59 +220,91 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 	}
 	wait := c.backoff
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := c.sleep(ctx, c.jitter(wait)); err != nil {
+			d := c.jitter(wait)
+			// An overloaded or draining server's Retry-After is a floor,
+			// not a suggestion: sleeping less re-hammers it inside the
+			// window it asked for. It was capped at maxWait when parsed,
+			// so a confused server cannot park the client forever.
+			if retryAfter > d {
+				d = retryAfter
+			}
+			if err := c.sleep(ctx, d); err != nil {
 				return err
 			}
 			if wait *= 2; wait > c.maxWait {
 				wait = c.maxWait
 			}
 		}
-		retry, err := c.attempt(ctx, method, path, body, out)
-		if err == nil {
+		var retry bool
+		retry, retryAfter, lastErr = c.attempt(ctx, method, path, body, out)
+		if lastErr == nil {
 			return nil
 		}
-		lastErr = err
 		if !retry || ctx.Err() != nil {
-			return err
+			return lastErr
 		}
 	}
 	return lastErr
 }
 
+// retryAfterHint parses a 429/503 response's Retry-After advice (integer
+// seconds only; the HTTP-date form is ignored), capped at the client's
+// backoff ceiling.
+func (c *Client) retryAfterHint(resp *http.Response) time.Duration {
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > c.maxWait {
+		d = c.maxWait
+	}
+	return d
+}
+
 // attempt runs one HTTP round trip; retry reports whether the failure
-// class is worth another attempt.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retry bool, err error) {
+// class is worth another attempt, and retryAfter carries the server's
+// (capped) Retry-After advice for the next backoff.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retry bool, retryAfter time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return false, fmt.Errorf("client: %w", err)
+		return false, 0, fmt.Errorf("client: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return true, fmt.Errorf("client: %s %s: %w", method, path, err)
+		return true, 0, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return true, fmt.Errorf("client: reading response: %w", err)
+		return true, 0, fmt.Errorf("client: reading response: %w", err)
 	}
 	if resp.StatusCode >= 400 {
-		return resp.StatusCode >= 500, decodeError(resp, raw)
+		// A 429 is the server shedding load, not the request being wrong:
+		// retrying (after its Retry-After) is the designed client behavior
+		// for idempotent calls. Other 4xx replays would fail identically.
+		retry := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		return retry, c.retryAfterHint(resp), decodeError(resp, raw)
 	}
 	if out != nil {
 		if err := json.Unmarshal(raw, out); err != nil {
-			return false, fmt.Errorf("client: undecodable %d response: %w", resp.StatusCode, err)
+			return false, 0, fmt.Errorf("client: undecodable %d response: %w", resp.StatusCode, err)
 		}
 	}
-	return false, nil
+	return false, 0, nil
 }
 
 // decodeError turns an error response into an *api.Error, synthesizing

@@ -154,6 +154,109 @@ func TestNoRetryOn4xx(t *testing.T) {
 	}
 }
 
+// shedding fails the first n attempts with status + a Retry-After header,
+// then succeeds with body.
+type shedding struct {
+	fails      int32
+	status     int
+	retryAfter string
+	body       any
+	hits       atomic.Int32
+}
+
+func (f *shedding) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.hits.Add(1) <= f.fails {
+		if f.retryAfter != "" {
+			w.Header().Set("Retry-After", f.retryAfter)
+		}
+		w.Header().Set("Content-Type", api.ProblemContentType)
+		w.WriteHeader(f.status)
+		json.NewEncoder(w).Encode(api.NewError(f.status, api.CodeOverloaded, "shed"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(f.body)
+}
+
+// TestRetryAfterExactSchedule pins the Retry-After contract with identity
+// jitter: the server's advice is a floor on the next delay (the 100ms/
+// 200ms exponential schedule would otherwise apply), and it is capped at
+// the backoff ceiling, so a confused server cannot park the client.
+func TestRetryAfterExactSchedule(t *testing.T) {
+	t.Run("advice raises the delay", func(t *testing.T) {
+		h := &shedding{fails: 2, status: http.StatusTooManyRequests, retryAfter: "1",
+			body: api.HealthResponse{Status: "ok"}}
+		c, delays := newTestClient(t, h,
+			WithRetries(2),
+			WithBackoff(100*time.Millisecond, 2*time.Second),
+			WithJitter(func(d time.Duration) time.Duration { return d }))
+		if _, err := c.Health(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		want := []time.Duration{time.Second, time.Second}
+		if len(*delays) != 2 || (*delays)[0] != want[0] || (*delays)[1] != want[1] {
+			t.Fatalf("delays = %v, want %v", *delays, want)
+		}
+	})
+
+	t.Run("advice capped at the ceiling", func(t *testing.T) {
+		h := &shedding{fails: 1, status: http.StatusServiceUnavailable, retryAfter: "3600",
+			body: api.HealthResponse{Status: "ok"}}
+		c, delays := newTestClient(t, h,
+			WithRetries(1),
+			WithBackoff(100*time.Millisecond, 2*time.Second),
+			WithJitter(func(d time.Duration) time.Duration { return d }))
+		if _, err := c.Health(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if len(*delays) != 1 || (*delays)[0] != 2*time.Second {
+			t.Fatalf("delays = %v, want [2s] (capped)", *delays)
+		}
+	})
+
+	t.Run("exponential floor wins when advice is lower", func(t *testing.T) {
+		h := &shedding{fails: 1, status: http.StatusTooManyRequests, retryAfter: "1",
+			body: api.HealthResponse{Status: "ok"}}
+		c, delays := newTestClient(t, h,
+			WithRetries(1),
+			WithBackoff(3*time.Second, 10*time.Second),
+			WithJitter(func(d time.Duration) time.Duration { return d }))
+		if _, err := c.Health(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if len(*delays) != 1 || (*delays)[0] != 3*time.Second {
+			t.Fatalf("delays = %v, want [3s] (backoff already past the advice)", *delays)
+		}
+	})
+}
+
+// TestShedRetryability pins the 429 split: idempotent calls retry a shed
+// and succeed once admitted; a non-idempotent append surfaces the 429
+// immediately (the server promises nothing was applied, but the client
+// cannot distinguish that from a torn transport on a replay).
+func TestShedRetryability(t *testing.T) {
+	h := &shedding{fails: 2, status: http.StatusTooManyRequests, retryAfter: "1",
+		body: api.MapKeywordsResponse{}}
+	c, _ := newTestClient(t, h, WithRetries(3))
+	if _, err := c.MapKeywords(context.Background(), "mas", api.MapKeywordsRequest{}); err != nil {
+		t.Fatalf("idempotent call did not ride out the shed: %v", err)
+	}
+	if got := h.hits.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+
+	h2 := &shedding{fails: 99, status: http.StatusTooManyRequests, retryAfter: "1"}
+	c2, delays := newTestClient(t, h2, WithRetries(3))
+	_, err := c2.AppendLog(context.Background(), "mas", api.LogAppendRequest{Queries: []api.LogEntry{{SQL: "SELECT 1"}}})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeOverloaded {
+		t.Fatalf("err = %v, want overloaded problem", err)
+	}
+	if h2.hits.Load() != 1 || len(*delays) != 0 {
+		t.Fatalf("shed append retried: %d attempts, %v delays", h2.hits.Load(), *delays)
+	}
+}
+
 func TestAppendLogNeverRetries(t *testing.T) {
 	h := &flaky{fails: 99, status: http.StatusServiceUnavailable}
 	c, _ := newTestClient(t, h, WithRetries(5))
