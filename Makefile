@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check wal-check serve soak golden golden-check load-smoke overload-smoke
+.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check wal-check repl-check serve soak golden golden-check load-smoke overload-smoke
 
 all: build vet test
 
@@ -64,6 +64,18 @@ wal-check:
 	$(GO) test -race ./internal/serve -run 'TestDurable|TestAttachWAL|TestCompact|TestWALStats' -count=1
 	$(GO) test ./internal/store -run 'TestWalSeq|TestDecodeV1Compat' -count=1
 	$(GO) test ./internal/qfg -run 'TestReplay' -count=1
+
+# repl-check guards the replication layer: the WAL stream codec and tail
+# reader, follower bootstrap/tail/re-bootstrap with fault injection
+# (unreachable primary, compacted-away gap, bit-flipped wire), the serve
+# endpoints and redirect-to-primary behavior, and consistent-hash gateway
+# routing (eject/readmit stability, staleness bound, write-to-primary,
+# gateway-vs-direct parity). The replica-convergence soak phase rides in
+# `make soak`.
+repl-check:
+	$(GO) test -race ./internal/repl ./internal/gateway -count=1
+	$(GO) test -race ./internal/wal -run 'TestTailSince|TestRecordReader' -count=1
+	$(GO) test -race ./internal/workload -run 'TestRunnerClassifiesRedirectedAppends' -count=1
 
 serve: build
 	$(GO) run ./cmd/templar-serve -datasets mas,yelp,imdb -store ./snapshots -addr :8080

@@ -1,0 +1,102 @@
+// Command templar-gateway fronts a Templar primary and its follower
+// replicas (templar-serve -follow) with consistent-hash tenant routing:
+// one listener, a static fleet behind it.
+//
+// The first -backends entry is the primary. Log appends and the /admin
+// plane always go to the primary — it is the only process with a WAL;
+// a follower that receives a write anyway answers 307 back to the
+// primary, so even a stale gateway cannot lose one. Reads hash the
+// target dataset onto a fixed ring of virtual nodes, so each tenant's
+// reads stick to one backend and tenants spread across the fleet. A
+// health loop polls every backend's /healthz: unreachable or draining
+// backends are ejected (only their tenants move, to the next live ring
+// owner) and readmitted when they recover, and followers whose
+// replication lag exceeds -max-lag are skipped for the lagging dataset,
+// pushing those reads toward the primary instead of serving arbitrarily
+// stale answers.
+//
+// Usage:
+//
+//	templar-gateway -addr :8090 \
+//	    -backends http://primary:8080,http://replica1:8081,http://replica2:8082 \
+//	    [-max-lag 0] [-health-every 2s]
+//
+// GET /healthz on the gateway itself reports the fleet view (per-backend
+// health, primary flag, per-dataset follower lag); every other route is
+// proxied. See docs/OPERATIONS.md for the replication runbook.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"templar/internal/gateway"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8090", "listen address")
+		backends  = flag.String("backends", "", "comma-separated backend base URLs; the first is the primary")
+		maxLag    = flag.Int64("max-lag", 0, "read staleness bound: skip a follower whose replication lag for the requested dataset exceeds this many WAL sequences")
+		healthEvr = flag.Duration("health-every", 2*time.Second, "backend health-poll period")
+	)
+	flag.Parse()
+
+	var fleet []string
+	for _, raw := range strings.Split(*backends, ",") {
+		if b := strings.TrimSpace(raw); b != "" {
+			fleet = append(fleet, b)
+		}
+	}
+	if len(fleet) == 0 {
+		fatal(fmt.Errorf("no backends (want -backends http://primary:8080,http://replica:8081,...)"))
+	}
+	g, err := gateway.New(fleet, gateway.Options{
+		MaxLag:      *maxLag,
+		HealthEvery: *healthEvr,
+		Logger:      log.Default(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	go g.Run(ctx)
+
+	log.Printf("templar-gateway: routing %d backend(s), primary=%s max-lag=%d, listening on %s",
+		len(fleet), g.Primary(), *maxLag, *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           g,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("templar-gateway: signal received, shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "templar-gateway:", err)
+	os.Exit(1)
+}

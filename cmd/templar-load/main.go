@@ -156,6 +156,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "templar-load: wrote %s\n", *out)
 	}
+	if rep.Redirects > 0 {
+		// Behind a gateway or follower replica, appends bounce to the
+		// primary with 307; the SDK replays them there and they succeed.
+		// Redirected calls are successes, never counted into rep.Errors.
+		fmt.Fprintf(os.Stderr, "templar-load: %d requests were redirected to the primary and succeeded there\n", rep.Redirects)
+	}
 	if rep.Errors > 0 {
 		fatal(fmt.Errorf("%d requests failed", rep.Errors))
 	}

@@ -20,9 +20,19 @@
 // durability for throughput: 0 fsyncs every append, an interval batches
 // them. See docs/DURABILITY.md for the full model and operator runbook.
 //
+// With -follow URL (excludes -store/-wal), the process runs as a
+// read-only follower replica of the primary at URL: each dataset
+// bootstraps from the primary's snapshot endpoint and tails its WAL
+// stream (GET /v2/{dataset}/wal), folding records through the same
+// replay path boot recovery uses. Appends are answered with a 307
+// redirect to the primary; replication lag is reported per dataset on
+// /healthz. Put cmd/templar-gateway in front to route a fleet. See
+// docs/ARCHITECTURE.md (replication) and docs/OPERATIONS.md (runbook).
+//
 // Usage:
 //
 //	templar-serve -datasets mas,yelp,imdb -store ./snapshots -addr :8080 [-wal ./wal] [-workers 8] [-pprof]
+//	templar-serve -datasets mas,yelp,imdb -follow http://primary:8080 -addr :8081
 //
 // The first -datasets entry is the default dataset: the legacy unprefixed
 // routes (/v1/map-keywords, …) alias it, so single-tenant clients keep
@@ -69,6 +79,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -77,6 +88,7 @@ import (
 	"templar/internal/fragment"
 	"templar/internal/keyword"
 	"templar/internal/qfg"
+	"templar/internal/repl"
 	"templar/internal/serve"
 	"templar/internal/sqlparse"
 	"templar/internal/store"
@@ -94,6 +106,7 @@ func main() {
 		walSync    = flag.Duration("wal-sync", 0, "WAL fsync interval (0 = fsync every append; an interval batches fsyncs, trading the tail for throughput)")
 		walBytes   = flag.Int64("wal-compact-bytes", 4<<20, "compact a tenant's WAL into a fresh snapshot once its live segment exceeds this many bytes")
 		walEvery   = flag.Duration("wal-compact-every", 15*time.Second, "how often the background compactor sweeps WAL-armed tenants")
+		follow     = flag.String("follow", "", "primary base URL: serve as a read-only follower replica (bootstrap from the primary's snapshot, tail its WAL stream; appends redirect to the primary; excludes -store/-wal)")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = min(GOMAXPROCS, 8))")
 		kappa      = flag.Int("kappa", 5, "kappa: candidates kept per keyword")
 		lambda     = flag.Float64("lambda", 0.8, "lambda: similarity vs log evidence weight")
@@ -118,12 +131,38 @@ func main() {
 	if *walDir != "" && *storeDir == "" {
 		fatal(fmt.Errorf("-wal requires -store: the write-ahead log compacts into, and recovers against, packed snapshots"))
 	}
+	if *follow != "" && (*storeDir != "" || *walDir != "") {
+		fatal(fmt.Errorf("-follow excludes -store/-wal: a follower replicates the primary's durability over HTTP, it does not own any"))
+	}
 	opts := templar.Options{
 		Keyword: keyword.Options{K: *kappa, Lambda: *lambda},
 		LogJoin: *logJoin,
 	}
+	// Followers tail the primary on a cancelable context so drain can park
+	// them before the listener closes; on a primary the group stays empty.
+	followCtx, stopFollowers := context.WithCancel(context.Background())
+	defer stopFollowers()
+	var followerWG sync.WaitGroup
+
 	loader := func(ctx context.Context, name string) (*serve.Tenant, error) {
 		return loadTenant(ctx, name, *storeDir, *walDir, *walSync, opts)
+	}
+	if *follow != "" {
+		// On a follower, admin-loaded datasets are replicas too: bootstrap
+		// from the primary and start the tail loop, never own a WAL.
+		loader = func(ctx context.Context, name string) (*serve.Tenant, error) {
+			t, err := followTenant(ctx, name, *follow, opts)
+			if err != nil {
+				return nil, err
+			}
+			f := t.Follower
+			followerWG.Add(1)
+			go func() {
+				defer followerWG.Done()
+				f.Run(followCtx)
+			}()
+			return t, nil
+		}
 	}
 
 	reg := serve.NewRegistry()
@@ -133,7 +172,7 @@ func main() {
 		if name == "" {
 			continue
 		}
-		tenant, err := loadTenant(context.Background(), name, *storeDir, *walDir, *walSync, opts)
+		tenant, err := loader(context.Background(), name)
 		if err != nil {
 			fatal(err)
 		}
@@ -235,6 +274,8 @@ func main() {
 	drainErr := srv.DrainWait(ctx)       // admitted in-flight gauge reaches 0
 	stopCompactor()
 	<-compactorDone // the background sweeper is parked; the final sweep is ours
+	stopFollowers()
+	followerWG.Wait() // replication pollers parked; no half-applied batch remains
 	compacted := 0
 	if compactor != nil && drainErr == nil {
 		compacted = compactor.Sweep() // fold the WAL tail into fresh snapshots
@@ -357,6 +398,39 @@ func loadTenant(ctx context.Context, name, storeDir, walDir string, walSync time
 	}
 	tenant.LoadTime = time.Since(start)
 	return tenant, nil
+}
+
+// followTenant materializes one dataset as a read-only follower replica:
+// download the primary's packed snapshot (the watermark names the WAL
+// sequence it covers), build a live engine from it, and hand back a
+// tenant armed with the tail loop the caller starts. The tenant carries
+// no WAL and no store path — durability is the primary's job; a follower
+// that restarts simply re-bootstraps.
+func followTenant(ctx context.Context, name, primary string, opts templar.Options) (*serve.Tenant, error) {
+	ds, ok := datasets.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (want mas, yelp or imdb)", serve.ErrUnknownDataset, name)
+	}
+	start := time.Now()
+	rc, err := repl.NewClient(primary, nil)
+	if err != nil {
+		return nil, err
+	}
+	live, seq, err := repl.Bootstrap(ctx, rc, ds.Name)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrapping %s from %s: %w", ds.Name, primary, err)
+	}
+	sys := templar.NewLive(ds.DB, embedding.New(), live, opts)
+	f := repl.NewFollower(rc, ds.Name, live, seq, repl.FollowerOptions{Logger: log.Default()})
+	log.Printf("templar-serve: dataset=%s bootstrapped from %s at seq %d", ds.Name, primary, seq)
+	return &serve.Tenant{
+		Name:     ds.Name,
+		Sys:      sys,
+		Source:   "replica",
+		Follower: f,
+		Primary:  primary,
+		LoadTime: time.Since(start),
+	}, nil
 }
 
 // buildQFG folds every benchmark gold query into the training log,

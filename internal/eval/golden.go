@@ -126,14 +126,12 @@ type GoldenCorpus struct {
 func BuildGolden(ds *datasets.Dataset, ob fragment.Obscurity, opts GoldenOptions) (*GoldenCorpus, error) {
 	opts = opts.withDefaults()
 	entries := make([]sqlparse.LogEntry, 0, len(ds.Tasks))
-	bags := make([][]string, len(ds.Tasks))
-	for i, task := range ds.Tasks {
+	for _, task := range ds.Tasks {
 		q, err := sqlparse.Parse(task.Gold)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s: %w", task.ID, err)
 		}
 		entries = append(entries, sqlparse.LogEntry{Query: q, Count: 1})
-		bags[i] = q.Relations()
 	}
 	graph, err := qfg.Build(entries, ob)
 	if err != nil {
@@ -143,6 +141,28 @@ func BuildGolden(ds *datasets.Dataset, ob fragment.Obscurity, opts GoldenOptions
 		Keyword: keyword.Options{K: opts.K, Lambda: opts.Lambda, Obscurity: ob},
 		LogJoin: true,
 	})
+	return ReplayGolden(ds, sys, ob, opts)
+}
+
+// ReplayGolden drives an EXISTING serving system through the same seeded
+// task battery BuildGolden uses and pins its answers in the same
+// byte-stable corpus form. This is the replication convergence gate's
+// measuring stick: running it against a primary and a follower at the
+// same applied WAL sequence must produce bit-identical bytes — any
+// divergence in ranking, scoring or join choice shows up in the
+// encoding. The obscurity argument labels the corpus (and selects which
+// committed file the task selection is checked against); the system
+// answers at whatever operating point it was built with.
+func ReplayGolden(ds *datasets.Dataset, sys *templar.System, ob fragment.Obscurity, opts GoldenOptions) (*GoldenCorpus, error) {
+	opts = opts.withDefaults()
+	bags := make([][]string, len(ds.Tasks))
+	for i, task := range ds.Tasks {
+		q, err := sqlparse.Parse(task.Gold)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", task.ID, err)
+		}
+		bags[i] = q.Relations()
+	}
 
 	corpus := &GoldenCorpus{
 		Dataset:    ds.Name,

@@ -1,0 +1,285 @@
+// Package gateway is the consistent-hash routing tier in front of a
+// Templar primary and its follower replicas (see internal/repl).
+//
+// The fleet is static: the first backend is the primary, the rest are
+// followers. Writes — log appends and everything under /admin — always
+// go to the primary; it is the only process that owns a WAL. Reads hash
+// the target dataset onto the ring, so one tenant's read traffic sticks
+// to one backend (warm caches, monotonic reads through a single
+// replica's applied sequence) and spreads tenants across the fleet.
+//
+// A health loop polls every backend's /healthz: an unreachable or
+// draining backend is ejected (its tenants move to the next live owner
+// clockwise — nobody else's move) and readmitted when it answers again.
+// The same poll records each follower's replication lag; a follower
+// whose lag for the requested dataset exceeds the staleness bound is
+// skipped exactly like an ejected backend, so reads fall toward the
+// primary (lag 0) rather than returning arbitrarily stale answers.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"templar/pkg/api"
+)
+
+// Options configure a Gateway.
+type Options struct {
+	// MaxLag is the read staleness bound: a follower whose replication
+	// lag for the requested dataset exceeds this many WAL sequences is
+	// skipped for that read. 0 means any positive lag disqualifies.
+	MaxLag int64
+	// HealthEvery is the health-poll period (default 2s).
+	HealthEvery time.Duration
+	// Client issues health probes (default: 5s-timeout http.Client).
+	Client *http.Client
+	// Logger receives eject/readmit transitions; nil silences them.
+	Logger *log.Logger
+}
+
+// backend is one fleet member plus the health state the poll maintains.
+type backend struct {
+	base  string
+	proxy *httputil.ReverseProxy
+
+	mu      sync.RWMutex
+	healthy bool
+	lag     map[string]int64 // lower-cased dataset -> follower lag
+}
+
+func (b *backend) setState(healthy bool, lag map[string]int64) (changed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	changed = b.healthy != healthy
+	b.healthy = healthy
+	b.lag = lag
+	return changed
+}
+
+func (b *backend) isHealthy() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.healthy
+}
+
+func (b *backend) lagFor(dataset string) int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.lag[dataset]
+}
+
+// Gateway routes client traffic across the fleet. It implements
+// http.Handler; Run starts the health loop.
+type Gateway struct {
+	backends []*backend
+	ring     *Ring
+	opts     Options
+	httpc    *http.Client
+}
+
+// New builds a gateway over the backend base URLs; the first is the
+// primary. Backends start healthy (optimistic: the first poll corrects
+// within one period, and a cold gateway that refused all traffic until
+// then would turn a deploy into an outage).
+func New(backends []string, opts Options) (*Gateway, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends")
+	}
+	if opts.HealthEvery <= 0 {
+		opts.HealthEvery = 2 * time.Second
+	}
+	g := &Gateway{opts: opts, httpc: opts.Client}
+	if g.httpc == nil {
+		g.httpc = &http.Client{Timeout: 5 * time.Second}
+	}
+	names := make([]string, 0, len(backends))
+	for _, raw := range backends {
+		base := strings.TrimRight(raw, "/")
+		u, err := url.Parse(base)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("gateway: backend %q is not an absolute URL", raw)
+		}
+		g.backends = append(g.backends, &backend{
+			base:    base,
+			proxy:   httputil.NewSingleHostReverseProxy(u),
+			healthy: true,
+		})
+		names = append(names, base)
+	}
+	g.ring = NewRing(names)
+	return g, nil
+}
+
+// Primary returns the primary's base URL.
+func (g *Gateway) Primary() string { return g.backends[0].base }
+
+// Run polls backend health every HealthEvery until ctx is done.
+func (g *Gateway) Run(ctx context.Context) {
+	t := time.NewTicker(g.opts.HealthEvery)
+	defer t.Stop()
+	for {
+		g.PollHealth(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// PollHealth probes every backend's /healthz once, ejecting the
+// unreachable and the draining, readmitting recovered ones, and
+// recording each follower's per-dataset replication lag.
+func (g *Gateway) PollHealth(ctx context.Context) {
+	for _, b := range g.backends {
+		healthy, lag := g.probe(ctx, b)
+		if b.setState(healthy, lag) && g.opts.Logger != nil {
+			verb := "readmitted"
+			if !healthy {
+				verb = "ejected"
+			}
+			g.opts.Logger.Printf("gateway: backend %s %s", b.base, verb)
+		}
+	}
+}
+
+func (g *Gateway) probe(ctx context.Context, b *backend) (bool, map[string]int64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return false, nil
+	}
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		return false, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	// A draining server answers 503 with status "draining": ejected like
+	// a dead one, so the balancer stops routing before the drain ends.
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false, nil
+	}
+	var hr api.HealthResponse
+	if err := json.Unmarshal(raw, &hr); err != nil || hr.Status != "ok" {
+		return false, nil
+	}
+	lag := make(map[string]int64)
+	for _, ds := range hr.Datasets {
+		if ds.Repl != nil {
+			lag[strings.ToLower(ds.Name)] = ds.Repl.Lag
+		}
+	}
+	if len(hr.Datasets) == 0 && hr.Repl != nil {
+		lag[strings.ToLower(hr.Dataset)] = hr.Repl.Lag
+	}
+	return true, lag
+}
+
+// readable reports whether backend i may serve a read of dataset: it
+// must be healthy and, when it is a follower of that dataset, within
+// the staleness bound. The primary carries no lag entry, so it is
+// always readable — a fully stale fleet degrades to primary-only.
+func (g *Gateway) readable(i int, dataset string) bool {
+	b := g.backends[i]
+	return b.isHealthy() && b.lagFor(dataset) <= g.opts.MaxLag
+}
+
+// datasetKey extracts the routing key from a request path: the
+// {dataset} segment of /v1/... and /v2/... routes, "" for the
+// unprefixed legacy routes that alias the default dataset (still a
+// consistent key — all default-dataset traffic lands together).
+func datasetKey(path string) string {
+	seg := strings.Split(strings.Trim(path, "/"), "/")
+	if len(seg) >= 3 && (seg[0] == "v1" || seg[0] == "v2") {
+		return strings.ToLower(seg[1])
+	}
+	return ""
+}
+
+// isWrite reports whether the request must reach the primary: log
+// appends (the only client-facing mutation) and the /admin plane. The
+// replication endpoints (/wal, /snapshot) are primary-only too — a
+// follower answers them 501.
+func isWrite(r *http.Request) bool {
+	path := strings.TrimRight(r.URL.Path, "/")
+	return strings.HasPrefix(path, "/admin") ||
+		strings.HasSuffix(path, "/log") ||
+		strings.HasSuffix(path, "/wal") ||
+		strings.HasSuffix(path, "/snapshot")
+}
+
+// ServeHTTP routes one request: /healthz answers from the gateway
+// itself (the fleet view), writes go to the primary, reads go to the
+// ring's pick among readable backends.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		g.writeHealth(w)
+		return
+	}
+	if isWrite(r) {
+		g.backends[0].proxy.ServeHTTP(w, r)
+		return
+	}
+	ds := datasetKey(r.URL.Path)
+	idx := g.ring.Pick(ds, func(i int) bool { return g.readable(i, ds) })
+	if idx < 0 {
+		e := api.NewError(http.StatusServiceUnavailable, api.CodeOverloaded, "gateway: no healthy backend")
+		w.Header().Set("Content-Type", api.ProblemContentType)
+		w.WriteHeader(e.Status)
+		json.NewEncoder(w).Encode(e)
+		return
+	}
+	g.backends[idx].proxy.ServeHTTP(w, r)
+}
+
+// BackendHealth is one fleet member's state in the gateway's own
+// /healthz body.
+type BackendHealth struct {
+	URL     string           `json:"url"`
+	Primary bool             `json:"primary,omitempty"`
+	Healthy bool             `json:"healthy"`
+	Lag     map[string]int64 `json:"lag,omitempty"`
+}
+
+// GatewayHealth is the gateway's own /healthz body: "ok" while at least
+// one backend is routable, "degraded" otherwise.
+type GatewayHealth struct {
+	Status   string          `json:"status"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+func (g *Gateway) writeHealth(w http.ResponseWriter) {
+	h := GatewayHealth{Status: "degraded"}
+	for i, b := range g.backends {
+		b.mu.RLock()
+		bh := BackendHealth{URL: b.base, Primary: i == 0, Healthy: b.healthy}
+		if len(b.lag) > 0 {
+			bh.Lag = make(map[string]int64, len(b.lag))
+			for k, v := range b.lag {
+				bh.Lag[k] = v
+			}
+		}
+		b.mu.RUnlock()
+		if bh.Healthy {
+			h.Status = "ok"
+		}
+		h.Backends = append(h.Backends, bh)
+	}
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(h)
+}

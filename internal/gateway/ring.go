@@ -1,0 +1,79 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerBackend is how many virtual nodes each backend contributes to
+// the ring. More vnodes smooth the key distribution across a small
+// static fleet; the count is fixed so a ring built twice from the same
+// backend list is identical.
+const vnodesPerBackend = 64
+
+type vnode struct {
+	hash    uint64
+	backend int
+}
+
+// Ring is a consistent-hash ring over a static backend fleet. Every
+// backend's vnodes are precomputed at construction and never removed:
+// ejecting a backend does not rebuild the ring, lookups merely walk past
+// its vnodes. That is the stability property the gateway leans on — when
+// a backend is ejected, only the keys it owned move (each to the next
+// live owner clockwise), and when it is readmitted exactly those keys
+// move back; every other key's mapping is untouched.
+type Ring struct {
+	vnodes []vnode
+	n      int
+}
+
+// NewRing builds the ring for the named backends. Names are hashed, so
+// the mapping is a pure function of the backend list — every gateway
+// configured with the same fleet routes identically.
+func NewRing(names []string) *Ring {
+	r := &Ring{n: len(names)}
+	r.vnodes = make([]vnode, 0, len(names)*vnodesPerBackend)
+	for i, name := range names {
+		for v := 0; v < vnodesPerBackend; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(name + "#" + strconv.Itoa(v)), backend: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool { return r.vnodes[a].hash < r.vnodes[b].hash })
+	return r
+}
+
+// Pick returns the backend that owns key: the owner of the first vnode
+// clockwise from the key's hash whose backend alive accepts. A nil alive
+// accepts everyone. Pick returns -1 only when every backend is rejected.
+func (r *Ring) Pick(key string, alive func(int) bool) int {
+	if len(r.vnodes) == 0 {
+		return -1
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.vnodes), func(j int) bool { return r.vnodes[j].hash >= h })
+	for probe := 0; probe < len(r.vnodes); probe++ {
+		vn := r.vnodes[(start+probe)%len(r.vnodes)]
+		if alive == nil || alive(vn.backend) {
+			return vn.backend
+		}
+	}
+	return -1
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV-1a of short, near-identical strings (vnode labels, tenant
+	// names) clusters in the high bits the ring orders by; a
+	// splitmix64-style finalizer restores the uniform spread consistent
+	// hashing needs.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

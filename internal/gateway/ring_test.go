@@ -1,0 +1,101 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fleet(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://backend-%d:8080", i)
+	}
+	return names
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	return out
+}
+
+// TestRingDeterministicAndBalanced: the mapping is a pure function of
+// the backend list, and vnodes spread keys across the whole fleet.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	names := fleet(4)
+	a, b := NewRing(names), NewRing(names)
+	counts := make([]int, len(names))
+	for _, k := range keys(400) {
+		i := a.Pick(k, nil)
+		if j := b.Pick(k, nil); j != i {
+			t.Fatalf("two rings over the same fleet disagree on %q: %d vs %d", k, i, j)
+		}
+		if i < 0 || i >= len(names) {
+			t.Fatalf("Pick(%q) = %d", k, i)
+		}
+		counts[i]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("backend %d owns no keys: distribution %v", i, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderEjectReadmit is the consistent-hashing gate:
+// ejecting one backend moves exactly the keys it owned (each to some
+// live backend) and nobody else's; readmitting restores the original
+// mapping bit-for-bit.
+func TestRingStabilityUnderEjectReadmit(t *testing.T) {
+	names := fleet(5)
+	r := NewRing(names)
+	ks := keys(500)
+
+	before := make(map[string]int, len(ks))
+	for _, k := range ks {
+		before[k] = r.Pick(k, nil)
+	}
+
+	const ejected = 2
+	alive := func(i int) bool { return i != ejected }
+	moved := 0
+	for _, k := range ks {
+		got := r.Pick(k, alive)
+		switch {
+		case before[k] == ejected:
+			moved++
+			if got == ejected {
+				t.Fatalf("key %q still routed to the ejected backend", k)
+			}
+		case got != before[k]:
+			t.Fatalf("key %q moved from healthy backend %d to %d when backend %d was ejected",
+				k, before[k], got, ejected)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("ejected backend owned no keys; the test proved nothing")
+	}
+
+	// Readmission restores the exact original mapping.
+	for _, k := range ks {
+		if got := r.Pick(k, nil); got != before[k] {
+			t.Fatalf("key %q settled on %d after readmission, originally %d", k, got, before[k])
+		}
+	}
+}
+
+// TestRingExhaustion: all backends rejected -> -1; a single survivor
+// takes everything.
+func TestRingExhaustion(t *testing.T) {
+	r := NewRing(fleet(3))
+	if got := r.Pick("anything", func(int) bool { return false }); got != -1 {
+		t.Fatalf("Pick with no live backends = %d, want -1", got)
+	}
+	for _, k := range keys(50) {
+		if got := r.Pick(k, func(i int) bool { return i == 1 }); got != 1 {
+			t.Fatalf("sole survivor not picked for %q: %d", k, got)
+		}
+	}
+}

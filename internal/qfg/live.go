@@ -84,6 +84,21 @@ func (l *Live) AddSession(queries []*sqlparse.Query, count int, decay float64) e
 	return nil
 }
 
+// Reset replaces the live state in place with the given snapshot, exactly
+// as NewLiveFromSnapshot would build it: the builder is rehydrated from the
+// snapshot and the snapshot's interning table (with its pinned fragment
+// IDs) becomes the live one. Readers holding the Live see the new state on
+// their next CurrentSnapshot load — the re-bootstrap path a replication
+// follower takes when its applied position has been compacted away on the
+// primary.
+func (l *Live) Reset(s *Snapshot) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.builder = RehydrateGraph(s)
+	l.interner = s.interner
+	l.snap.Store(s)
+}
+
 // ReplayOp is one logged append operation for Replay: a query batch
 // (Counts[i] is Queries[i]'s multiplicity, nil = all 1) or, with Session
 // set, an ordered session with the given multiplicity and decay.

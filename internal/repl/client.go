@@ -1,0 +1,161 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"templar/internal/store"
+	"templar/internal/wal"
+	"templar/pkg/api"
+)
+
+// Client fetches the replication stream from a primary. It speaks the two
+// repl endpoints only; regular query traffic goes through pkg/client.
+type Client struct {
+	base  string
+	httpc *http.Client
+}
+
+// NewClient targets a primary's base URL ("http://host:port"). A nil
+// httpc uses http.DefaultClient.
+func NewClient(base string, httpc *http.Client) (*Client, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("repl: invalid primary URL %q", base)
+	}
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), httpc: httpc}, nil
+}
+
+// Base returns the primary base URL the client targets.
+func (c *Client) Base() string { return c.base }
+
+// TailBatch is one validated tail response: records from+1…from+n in
+// order, plus the primary's last assigned sequence at response time.
+type TailBatch struct {
+	Records    []*wal.Record
+	PrimarySeq uint64
+}
+
+// Tail fetches the records after sequence `from`. The whole batch is
+// validated — framing, per-record CRC, sequence continuity from `from`+1 —
+// before it is returned, so a caller either gets a batch it can apply
+// atomically or a typed error and no records at all: wal.ErrGap when the
+// range was compacted away on the primary (re-bootstrap), wal.ErrAhead
+// when `from` is past the primary's log (diverged lineage, also a
+// re-bootstrap), wal.ErrChecksum/ErrCorrupt/ErrTruncated when the stream
+// arrived damaged (re-fetch).
+func (c *Client) Tail(ctx context.Context, dataset string, from uint64) (*TailBatch, error) {
+	target := fmt.Sprintf("%s/v2/%s/wal?from=%d", c.base, url.PathEscape(dataset), from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, tailError(resp)
+	}
+	batch := &TailBatch{}
+	if v := resp.Header.Get(HeaderLastSeq); v != "" {
+		seq, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("repl: bad %s header %q", HeaderLastSeq, v)
+		}
+		batch.PrimarySeq = seq
+	}
+	rr := wal.NewRecordReader(resp.Body)
+	want := from + 1
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Seq != want {
+			return nil, fmt.Errorf("%w: stream sequence %d, want %d", wal.ErrCorrupt, rec.Seq, want)
+		}
+		want++
+		batch.Records = append(batch.Records, rec)
+	}
+	if n := len(batch.Records); n > 0 && batch.PrimarySeq < from+uint64(n) {
+		// The header is advisory for lag; never let it claim less than what
+		// was just shipped.
+		batch.PrimarySeq = from + uint64(n)
+	}
+	return batch, nil
+}
+
+// Snapshot fetches the primary's current packed snapshot archive: the
+// bootstrap watermark (Archive.WalSeq) plus the engine state covering
+// exactly the records up to it.
+func (c *Client) Snapshot(ctx context.Context, dataset string) (*store.Archive, error) {
+	target := fmt.Sprintf("%s/v2/%s/snapshot", c.base, url.PathEscape(dataset))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("repl: snapshot %s: %w", dataset, problemError(resp))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	ar, err := store.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("repl: snapshot %s: %w", dataset, err)
+	}
+	if !strings.EqualFold(ar.Dataset, dataset) {
+		return nil, fmt.Errorf("repl: snapshot for dataset %q, want %q", ar.Dataset, dataset)
+	}
+	return ar, nil
+}
+
+// tailError maps a tail refusal onto the stream's typed sentinels.
+func tailError(resp *http.Response) error {
+	perr := problemError(resp)
+	var apiErr *api.Error
+	if errors.As(perr, &apiErr) {
+		switch apiErr.Code {
+		case api.CodeWALGap:
+			return fmt.Errorf("%w: %s", wal.ErrGap, apiErr.Detail)
+		case api.CodeConflict:
+			return fmt.Errorf("%w: %s", wal.ErrAhead, apiErr.Detail)
+		}
+	}
+	return fmt.Errorf("repl: tail: %w", perr)
+}
+
+// problemError decodes an RFC-7807 body into *api.Error, falling back to
+// a plain status error for foreign responses.
+func problemError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	apiErr := &api.Error{}
+	if err := json.Unmarshal(body, apiErr); err == nil && apiErr.Code != "" {
+		if apiErr.Status == 0 {
+			apiErr.Status = resp.StatusCode
+		}
+		return apiErr
+	}
+	return fmt.Errorf("HTTP %d: %.200s", resp.StatusCode, body)
+}

@@ -1,0 +1,66 @@
+// Package repl turns the per-tenant write-ahead log into a replication
+// stream. A primary serves its segment records verbatim over
+// GET /v2/{dataset}/wal?from=seq — the on-disk framing is the wire framing,
+// so the stream inherits the WAL codec's typed corruption errors — and
+// GET /v2/{dataset}/snapshot hands out a packed .qfg archive stamped with
+// the WAL sequence it covers (the bootstrap watermark). A Follower
+// bootstraps an engine from that archive, tails the stream, and folds each
+// validated batch through qfg.Live.Replay, which keeps the replica's
+// snapshot byte-identical to a primary that applied the same records.
+//
+// The consistency model is sequence-anchored: a follower whose applied
+// sequence is N serves exactly the state the primary served at its
+// sequence N. Replicas are read-only for client traffic (appends are
+// redirected to the primary by the serving layer), so the only writer of
+// the stream is the primary's append path and convergence needs no
+// conflict resolution — only continuity, which the follower enforces on
+// every batch before applying any of it.
+package repl
+
+import (
+	"templar/internal/qfg"
+	"templar/internal/sqlparse"
+	"templar/internal/wal"
+)
+
+// Wire constants of the replication stream.
+const (
+	// TailContentType is the media type of a tail response body: framed WAL
+	// records exactly as they sit in the segment.
+	TailContentType = "application/x-templar-wal"
+	// SnapshotContentType is the media type of a bootstrap snapshot
+	// response body: a packed .qfg archive (store codec).
+	SnapshotContentType = "application/x-templar-qfg"
+	// HeaderLastSeq carries the primary's last assigned WAL sequence on
+	// every tail response, so a follower can report lag even when the
+	// batch itself is empty.
+	HeaderLastSeq = "X-Templar-WAL-Last-Seq"
+)
+
+// ToReplayOp converts a durably logged record back into the engine
+// operation it acknowledged. Records were parsed, resolved and normalized
+// before they were written, so failure here means the record (not the
+// original request) is damaged. Boot-time WAL recovery and follower tail
+// application share this exact conversion — that identity is what makes a
+// replica's engine byte-identical to a recovered primary's.
+func ToReplayOp(r *wal.Record) (qfg.ReplayOp, error) {
+	op := qfg.ReplayOp{Session: r.Session, Count: r.Count, Decay: r.Decay}
+	op.Queries = make([]*sqlparse.Query, len(r.Entries))
+	if !r.Session {
+		op.Counts = make([]int, len(r.Entries))
+	}
+	for i, e := range r.Entries {
+		q, err := sqlparse.Parse(e.SQL)
+		if err == nil {
+			err = q.Resolve(nil)
+		}
+		if err != nil {
+			return qfg.ReplayOp{}, err
+		}
+		op.Queries[i] = q
+		if !r.Session {
+			op.Counts[i] = e.Count
+		}
+	}
+	return op, nil
+}

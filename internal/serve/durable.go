@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"templar/internal/qfg"
-	"templar/internal/sqlparse"
+	"templar/internal/repl"
 	"templar/internal/store"
 	"templar/internal/wal"
 )
@@ -100,27 +100,9 @@ func AttachWAL(t *Tenant, dir string, opts wal.Options) (*wal.Recovery, error) {
 }
 
 // replayOp converts a durably logged record back into the engine operation
-// it acknowledged. Records were parsed, resolved and normalized before
-// they were written, so failure here means the log (not the request) is
-// damaged.
+// it acknowledged. The conversion lives in internal/repl (ToReplayOp)
+// because replication followers must apply records exactly the way boot
+// recovery does; this wrapper keeps the serve-layer call sites unchanged.
 func replayOp(r *wal.Record) (qfg.ReplayOp, error) {
-	op := qfg.ReplayOp{Session: r.Session, Count: r.Count, Decay: r.Decay}
-	op.Queries = make([]*sqlparse.Query, len(r.Entries))
-	if !r.Session {
-		op.Counts = make([]int, len(r.Entries))
-	}
-	for i, e := range r.Entries {
-		q, err := sqlparse.Parse(e.SQL)
-		if err == nil {
-			err = q.Resolve(nil)
-		}
-		if err != nil {
-			return qfg.ReplayOp{}, err
-		}
-		op.Queries[i] = q
-		if !r.Session {
-			op.Counts[i] = e.Count
-		}
-	}
-	return op, nil
+	return repl.ToReplayOp(r)
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"templar/internal/repl"
 	"templar/internal/templar"
 	"templar/internal/wal"
 )
@@ -42,6 +43,15 @@ type Tenant struct {
 	// SnapshotSeq is the WAL sequence the tenant's boot snapshot covered
 	// (store.Archive.WalSeq). Set once at load time, never mutated.
 	SnapshotSeq uint64
+	// Follower, when non-nil, marks this tenant as a read-only replica
+	// tailing a primary's WAL stream: reads serve normally at the
+	// follower's applied sequence, appends are redirected to the primary,
+	// and the replication endpoints refuse to serve (no chained
+	// replication). Set once at load time, never mutated.
+	Follower *repl.Follower
+	// Primary is the primary's base URL, the redirect target for appends
+	// reaching a follower tenant. Set with Follower.
+	Primary string
 
 	// appendMu serializes the WAL-write → engine-apply pair of a log
 	// append, and compaction's rotate → engine-capture pair, so WAL order,

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"templar/internal/repl"
+	"templar/internal/store"
+	"templar/internal/wal"
+	"templar/pkg/api"
+)
+
+// maxTailRecords caps one tail response: a far-behind follower catches up
+// over several round trips instead of one unbounded body, and each batch
+// is validated and applied atomically on its side.
+const maxTailRecords = 512
+
+// replSource guards the two replication endpoints: only a primary — a
+// live engine with a WAL attached, not itself a follower — can be tailed
+// or snapshotted.
+func (s *Server) replSource(w http.ResponseWriter, r *http.Request, t *Tenant) bool {
+	switch {
+	case t.Follower != nil:
+		s.writeProblem(w, r, api.Errorf(http.StatusNotImplemented, api.CodeNotConfigured,
+			"serve: dataset %q is a follower replica; replicate from the primary at %s", t.Name, t.Primary))
+	case t.WAL == nil || t.Sys.Live() == nil:
+		s.writeProblem(w, r, api.Errorf(http.StatusNotImplemented, api.CodeNotConfigured,
+			"serve: dataset %q has no write-ahead log attached; start the primary with -wal to replicate it", t.Name))
+	default:
+		return true
+	}
+	return false
+}
+
+// handleV2WALTail serves GET /v2/{dataset}/wal?from={seq}: the WAL records
+// after `from`, framed exactly as they sit in the segment (the wire format
+// IS the disk format), newest-sequence header included so a caught-up
+// follower still learns its lag from an empty batch. Refusals are typed:
+// 410 wal_gap when `from` was compacted away (the follower must
+// re-bootstrap from a snapshot), 409 conflict when `from` is ahead of the
+// log (diverged lineage).
+func (s *Server) handleV2WALTail(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	if !s.replSource(w, r, t) {
+		return
+	}
+	var from uint64
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeProblem(w, r, api.Errorf(http.StatusUnprocessableEntity, api.CodeValidation,
+				"serve: bad from sequence %q", raw))
+			return
+		}
+		from = v
+	}
+	recs, last, err := t.WAL.TailSince(from, maxTailRecords)
+	switch {
+	case errors.Is(err, wal.ErrGap):
+		s.writeProblem(w, r, api.Errorf(http.StatusGone, api.CodeWALGap,
+			"serve: dataset %q: %v; bootstrap from GET /v2/%s/snapshot", t.Name, err, strings.ToLower(t.Name)))
+		return
+	case errors.Is(err, wal.ErrAhead):
+		s.writeProblem(w, r, api.Errorf(http.StatusConflict, api.CodeConflict,
+			"serve: dataset %q: %v", t.Name, err))
+		return
+	case err != nil:
+		s.writeProblem(w, r, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+			"serve: dataset %q: tail: %v", t.Name, err))
+		return
+	}
+	w.Header().Set("Content-Type", repl.TailContentType)
+	w.Header().Set(repl.HeaderLastSeq, strconv.FormatUint(last, 10))
+	w.WriteHeader(http.StatusOK)
+	var buf []byte
+	for _, rec := range recs {
+		buf = wal.EncodeRecord(buf[:0], rec)
+		if _, err := w.Write(buf); err != nil {
+			return // client gone mid-stream; it will re-fetch from its last applied seq
+		}
+	}
+}
+
+// handleV2Snapshot serves GET /v2/{dataset}/snapshot: the primary's
+// current engine state as a packed .qfg archive stamped with the WAL
+// sequence it covers — the watermark a follower bootstraps at and tails
+// from. The (snapshot, sequence) pair is captured under the tenant's
+// append lock so it is exact: the archive covers precisely the records up
+// to its WalSeq, never one more or less.
+func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	if !s.replSource(w, r, t) {
+		return
+	}
+	live := t.Sys.Live()
+	var data []byte
+	// Encoding the archive is CPU-heavy (it walks the full graph), so it
+	// claims a pool worker like any other expensive request; only the
+	// pointer capture holds the append lock.
+	if s.pool.RunCtx(r.Context(), func() {
+		t.appendMu.Lock()
+		seq := t.WAL.LastSeq()
+		snap := live.CurrentSnapshot()
+		t.appendMu.Unlock()
+		data = store.EncodeAt(t.Name, snap, seq)
+	}) != nil {
+		return // client gone before a worker freed up
+	}
+	w.Header().Set("Content-Type", repl.SnapshotContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// redirectToPrimary answers an append that reached a follower replica:
+// 307 Temporary Redirect with the primary's address in Location, so SDK
+// clients replay the request there transparently (nothing was applied
+// here), plus a problem body naming the not_primary code for clients that
+// do not follow redirects.
+func (s *Server) redirectToPrimary(w http.ResponseWriter, r *http.Request, t *Tenant, v2 bool) {
+	target := strings.TrimRight(t.Primary, "/") + r.URL.RequestURI()
+	e := api.Errorf(http.StatusTemporaryRedirect, api.CodeNotPrimary,
+		"serve: dataset %q is a read-only follower; append to the primary at %s", t.Name, target)
+	e.Dataset = t.Name
+	w.Header().Set("Location", target)
+	if v2 {
+		s.writeProblem(w, r, e)
+	} else {
+		writeJSON(w, http.StatusTemporaryRedirect, V1Error{Error: e.Detail})
+	}
+}

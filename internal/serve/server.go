@@ -180,6 +180,10 @@ func (s *Server) Routes() []Route {
 		)
 	}
 	return append(routes,
+		// Replication: the WAL tail stream and its bootstrap snapshot
+		// (internal/repl speaks these; regular clients never need them).
+		Route{Method: http.MethodGet, Pattern: "/v2/{dataset}/wal", handler: s.withTenant(s.handleV2WALTail, true)},
+		Route{Method: http.MethodGet, Pattern: "/v2/{dataset}/snapshot", handler: s.withTenant(s.handleV2Snapshot, true)},
 		Route{Method: http.MethodGet, Pattern: "/admin/datasets", handler: s.handleAdminList},
 		Route{Method: http.MethodPost, Pattern: "/admin/datasets", handler: s.handleAdminLoad},
 		Route{Method: http.MethodDelete, Pattern: "/admin/datasets/{name}", handler: s.handleAdminRemove},
@@ -483,6 +487,12 @@ func (s *Server) handleV2Translate(w http.ResponseWriter, r *http.Request, t *Te
 }
 
 func (s *Server) handleV2Log(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	if t.Follower != nil {
+		// A follower never applies writes; the append belongs on the
+		// primary, whose WAL is the one replication stream.
+		s.redirectToPrimary(w, r, t, true)
+		return
+	}
 	var req api.LogAppendRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		s.writeProblem(w, r, apiErr)
@@ -545,6 +555,11 @@ func (s *Server) tenantStatus(t *Tenant) api.DatasetStatus {
 	if t.WAL != nil {
 		ds.WAL = walStatus(t.WAL.Stats())
 	}
+	if t.Follower != nil {
+		ds.Repl = t.Follower.Status()
+		// Appends are redirected to the primary, not applied here.
+		ds.LiveLog = false
+	}
 	ds.Load = s.tenantLoadStatus(t)
 	return ds
 }
@@ -597,6 +612,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			resp.LogFragments = st.LogFragments
 			resp.LogEdges = st.LogEdges
 			resp.WAL = st.WAL
+			resp.Repl = st.Repl
 		}
 	}
 	writeJSON(w, status, resp)

@@ -153,6 +153,10 @@ func (s *Server) handleV1Translate(w http.ResponseWriter, r *http.Request, t *Te
 }
 
 func (s *Server) handleV1Log(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	if t.Follower != nil {
+		s.redirectToPrimary(w, r, t, false)
+		return
+	}
 	var req api.LogAppendRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
 		writeLegacyError(w, apiErr)

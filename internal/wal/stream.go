@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// This file is the replication face of the WAL: the on-disk record framing
+// doubles as the wire framing of the primary→follower stream
+// (GET /v2/{dataset}/wal?from=seq). A tail response body is a plain
+// concatenation of records exactly as they sit in the segment — 4-byte LE
+// payload length, payload, CRC-32C — so the primary can serve bytes
+// straight off disk and a follower reuses the same typed corruption errors
+// (ErrTruncated, ErrChecksum, ErrCorrupt) the crash-recovery path uses.
+
+// Typed refusals of TailSince, surfaced over HTTP by the serving layer and
+// dispatched on by the follower.
+var (
+	// ErrGap means the requested sequence has been compacted away: the
+	// records between it and the oldest segment on disk no longer exist, so
+	// tailing cannot resume there. The follower's recovery is a snapshot
+	// re-bootstrap, never a silent skip.
+	ErrGap = errors.New("wal: requested sequence has been compacted away")
+	// ErrAhead means the requested sequence is past the log's last assigned
+	// sequence — the follower claims to have applied records the primary
+	// never wrote (a diverged or reseeded primary).
+	ErrAhead = errors.New("wal: requested sequence is ahead of the log")
+)
+
+// EncodeRecord appends rec's wire framing to buf and returns the extended
+// slice. rec.Seq is encoded as-is: replication ships records with the
+// sequence numbers the primary assigned.
+func EncodeRecord(buf []byte, rec *Record) []byte {
+	return appendRecord(buf, rec)
+}
+
+// RecordReader decodes a stream of framed records — a tail response body —
+// with the same verification the segment scanner applies: framing bounds,
+// CRC-32C per record, structural payload validation. Sequence continuity
+// is the caller's to enforce (the reader has no base to anchor it).
+type RecordReader struct {
+	r   io.Reader
+	buf []byte
+	err error
+}
+
+// NewRecordReader wraps r, which yields zero or more framed records ending
+// at a clean record boundary.
+func NewRecordReader(r io.Reader) *RecordReader {
+	return &RecordReader{r: r}
+}
+
+// Next returns the next record. It returns io.EOF at a clean end of
+// stream, ErrTruncated when the stream ends inside a record, ErrChecksum
+// on a CRC mismatch, and ErrCorrupt (possibly wrapped) on an invalid
+// payload. Any error is sticky.
+func (rr *RecordReader) Next() (*Record, error) {
+	if rr.err != nil {
+		return nil, rr.err
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			rr.err = io.EOF
+		} else if errors.Is(err, io.ErrUnexpectedEOF) {
+			rr.err = ErrTruncated
+		} else {
+			rr.err = err
+		}
+		return nil, rr.err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n == 0 || n > maxRecordBytes {
+		rr.err = fmt.Errorf("%w: record length %d", ErrCorrupt, n)
+		return nil, rr.err
+	}
+	if cap(rr.buf) < n+crcSize {
+		rr.buf = make([]byte, n+crcSize)
+	}
+	body := rr.buf[:n+crcSize]
+	if _, err := io.ReadFull(rr.r, body); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			rr.err = ErrTruncated
+		} else {
+			rr.err = err
+		}
+		return nil, rr.err
+	}
+	payload := body[:n]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(body[n:]) {
+		rr.err = ErrChecksum
+		return nil, rr.err
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		rr.err = err
+		return nil, rr.err
+	}
+	return rec, nil
+}
+
+// TailSince returns every intact record on disk with sequence > from, in
+// order, capped at max records (max ≤ 0 means no cap), along with the
+// log's last assigned sequence. It reads under the append lock, so the
+// returned batch is a consistent prefix of the log — no torn tail can be
+// observed. During an in-flight compaction the rotated-out segment is
+// still consulted, so a follower behind the rotation point can catch up
+// until FinishCompaction removes it; after that, from-values before the
+// live segment's base fail with ErrGap. from past the last assigned
+// sequence fails with ErrAhead.
+func (l *Log) TailSince(from uint64, max int) ([]*Record, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil, 0, errors.New("wal: log is closed")
+	}
+	last := l.seq
+	if from > last {
+		return nil, last, fmt.Errorf("%w: from %d, last %d", ErrAhead, from, last)
+	}
+	if from == last {
+		return nil, last, nil
+	}
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return nil, last, err
+	}
+	live, err := Scan(data)
+	if err != nil {
+		return nil, last, fmt.Errorf("wal: %s: %w", l.path, err)
+	}
+	var recs []*Record
+	if live.BaseSeq > from {
+		old, err := l.scanOldLocked()
+		if err != nil {
+			return nil, last, err
+		}
+		if old == nil || old.BaseSeq > from {
+			return nil, last, fmt.Errorf("%w: from %d, oldest on disk %d", ErrGap, from, live.BaseSeq)
+		}
+		for _, r := range old.Records {
+			if r.Seq > from {
+				recs = append(recs, r)
+			}
+		}
+	}
+	for _, r := range live.Records {
+		if r.Seq > from {
+			recs = append(recs, r)
+		}
+	}
+	if max > 0 && len(recs) > max {
+		recs = recs[:max]
+	}
+	return recs, last, nil
+}
+
+// scanOldLocked reads the rotated-out segment of an in-flight compaction,
+// returning nil when none exists.
+func (l *Log) scanOldLocked() (*ScanResult, error) {
+	data, err := os.ReadFile(l.path + ".old")
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := Scan(data)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s.old: %w", l.path, err)
+	}
+	return res, nil
+}

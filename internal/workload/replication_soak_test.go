@@ -1,0 +1,404 @@
+package workload
+
+// The replica-convergence phase of the soak suite — the acceptance gate
+// for WAL shipping. All three datasets are served durably by a primary
+// while follower replicas bootstrap from the snapshot watermark and tail
+// the WAL stream under racing append and read traffic. At every quiesce
+// point the followers must be *bit-identical* to the primary, measured
+// two ways: the PR 5 probe battery answered over HTTP, and the nine
+// golden corpora (3 datasets x 3 obscurity levels) replayed through both
+// engines with eval.ReplayGolden and compared byte-for-byte. The gate is
+// then repeated after a follower kill-and-restart mid-stream (a fresh
+// bootstrap at a later watermark) and after a torn tail is injected at
+// the primary and recovered from.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"templar/internal/datasets"
+	"templar/internal/embedding"
+	"templar/internal/eval"
+	"templar/internal/fragment"
+	"templar/internal/repl"
+	"templar/internal/serve"
+	"templar/internal/templar"
+	"templar/internal/wal"
+	"templar/pkg/client"
+)
+
+// goldenLevels are the obscurity levels with committed corpora; together
+// with the three datasets they span the nine golden files the
+// convergence gate replays.
+var goldenLevels = []fragment.Obscurity{fragment.Full, fragment.NoConst, fragment.NoConstOp}
+
+// replicaSet is a full follower fleet: one bootstrapped, tailing replica
+// per dataset, mounted behind a read-only registry server.
+type replicaSet struct {
+	ts   *httptest.Server
+	fol  map[string]*repl.Follower
+	sys  map[string]*templar.System
+	stop func()
+}
+
+// startReplicaSet bootstraps one follower per dataset from the primary's
+// snapshot endpoint and starts its tail loop. Safe to call while append
+// traffic is in flight — that is exactly the mid-stream restart case.
+func startReplicaSet(t testing.TB, names []string, primaryURL string) *replicaSet {
+	t.Helper()
+	reg := serve.NewRegistry()
+	rs := &replicaSet{fol: map[string]*repl.Follower{}, sys: map[string]*templar.System{}}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for _, name := range names {
+		ds, ok := datasets.ByName(name)
+		if !ok {
+			t.Fatalf("unknown dataset %q", name)
+		}
+		rc, err := repl.NewClient(primaryURL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live, seq, err := repl.Bootstrap(context.Background(), rc, ds.Name)
+		if err != nil {
+			t.Fatalf("bootstrap %s: %v", name, err)
+		}
+		sys := templar.NewLive(ds.DB, embedding.New(), live, templar.Options{LogJoin: true})
+		f := repl.NewFollower(rc, ds.Name, live, seq, repl.FollowerOptions{
+			PollInterval: 2 * time.Millisecond,
+			Backoff:      4 * time.Millisecond,
+			MaxBackoff:   50 * time.Millisecond,
+		})
+		tn := &serve.Tenant{Name: ds.Name, Sys: sys, Source: "replica", Follower: f, Primary: primaryURL}
+		if err := reg.Add(tn); err != nil {
+			t.Fatal(err)
+		}
+		rs.fol[name] = f
+		rs.sys[name] = sys
+		wg.Add(1)
+		go func() { defer wg.Done(); f.Run(ctx) }()
+	}
+	rs.ts = httptest.NewServer(serve.NewRegistryServer(reg, names[0], 8, nil).Handler())
+	var once sync.Once
+	rs.stop = func() {
+		once.Do(func() {
+			cancel()
+			wg.Wait()
+			rs.ts.Close()
+		})
+	}
+	t.Cleanup(rs.stop)
+	return rs
+}
+
+// waitConverged blocks until every follower's applied sequence equals
+// its primary's WAL head.
+func waitConverged(t testing.TB, names []string, prim map[string]*serve.Tenant, rs *replicaSet) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, name := range names {
+		want := prim[name].WAL.LastSeq()
+		for rs.fol[name].AppliedSeq() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: follower stuck at seq %d, primary at %d",
+					name, rs.fol[name].AppliedSeq(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// assertBatteryConvergence answers the deterministic probe battery over
+// HTTP on both servers and requires bit-identical bodies.
+func assertBatteryConvergence(t testing.TB, names []string, pts, fts *httptest.Server) {
+	t.Helper()
+	for _, name := range names {
+		battery := batteryFor(t, name, 15)
+		want, got := answers(t, pts, battery), answers(t, fts, battery)
+		for i := range want {
+			if !bytes.Equal(want[i], got[i]) {
+				t.Fatalf("%s probe %d (%s): follower diverged from primary\nprimary:  %s\nfollower: %s",
+					name, i, battery[i].path, want[i], got[i])
+			}
+		}
+	}
+}
+
+// assertGoldenConvergence replays the nine golden corpora through the
+// primary and follower engines and requires the encoded bytes to match
+// exactly; the task selection must also match the committed corpora, so
+// the gate provably exercises the same battery golden-check pins.
+func assertGoldenConvergence(t testing.TB, names []string, primSys, folSys map[string]*templar.System) {
+	t.Helper()
+	for _, name := range names {
+		ds, ok := datasets.ByName(name)
+		if !ok {
+			t.Fatalf("unknown dataset %q", name)
+		}
+		for _, ob := range goldenLevels {
+			want, err := eval.ReplayGolden(ds, primSys[name], ob, eval.DefaultGoldenOptions())
+			if err != nil {
+				t.Fatalf("%s/%s: primary replay: %v", name, ob, err)
+			}
+			got, err := eval.ReplayGolden(ds, folSys[name], ob, eval.DefaultGoldenOptions())
+			if err != nil {
+				t.Fatalf("%s/%s: follower replay: %v", name, ob, err)
+			}
+			if !bytes.Equal(eval.EncodeGolden(want), eval.EncodeGolden(got)) {
+				diffs := eval.DiffGolden(want, got)
+				if len(diffs) > 5 {
+					diffs = diffs[:5]
+				}
+				t.Fatalf("%s/%s: follower golden replay diverges from primary:\n%v", name, ob, diffs)
+			}
+			raw, err := os.ReadFile(filepath.Join("..", "eval", "testdata", "golden", eval.GoldenFilename(name, ob)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed, err := eval.DecodeGolden(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(committed.Tasks) != len(got.Tasks) {
+				t.Fatalf("%s/%s: replay pinned %d tasks, committed corpus has %d",
+					name, ob, len(got.Tasks), len(committed.Tasks))
+			}
+			for i := range committed.Tasks {
+				if committed.Tasks[i].ID != got.Tasks[i].ID {
+					t.Fatalf("%s/%s: replay task %d is %s, committed corpus pins %s",
+						name, ob, i, got.Tasks[i].ID, committed.Tasks[i].ID)
+				}
+			}
+		}
+	}
+}
+
+// TestSoakReplicaConvergence is the replication acceptance gate: under a
+// seeded append mix at the primary with readers racing on both sides,
+// followers at the primary's applied sequence answer the probe battery
+// and replay all nine golden corpora byte-for-byte identically — also
+// after a mid-stream follower kill-and-restart, and after a torn WAL
+// tail is injected at the primary and recovered from.
+func TestSoakReplicaConvergence(t *testing.T) {
+	names := []string{"MAS", "Yelp", "IMDB"}
+	storeDir, walDir := t.TempDir(), t.TempDir()
+
+	reg := serve.NewRegistry()
+	prim := map[string]*serve.Tenant{}
+	primSys := map[string]*templar.System{}
+	for _, name := range names {
+		ds, _ := datasets.ByName(name)
+		tn, _ := durableTenant(t, ds, storeDir, walDir)
+		if err := reg.Add(tn); err != nil {
+			t.Fatal(err)
+		}
+		prim[name] = tn
+		primSys[name] = tn.Sys
+	}
+	pts := httptest.NewServer(serve.NewRegistryServer(reg, names[0], 8, nil).Handler())
+	t.Cleanup(pts.Close)
+	pc, err := client.New(pts.URL, client.WithHTTPClient(pts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acked := map[string]*int64{}
+	for _, name := range names {
+		acked[name] = new(int64)
+	}
+
+	// traffic runs the seeded append mix against the primary (one
+	// appender per dataset, acks must stay sequential) with read workers
+	// racing on the given servers; during, if set, runs in the middle of
+	// the storm — that is where followers get killed and restarted.
+	traffic := func(dur time.Duration, seedBase uint64, readers []*httptest.Server, during func(dur time.Duration)) {
+		deadline := time.Now().Add(dur)
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var failures []string
+		fail := func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			if len(failures) < 20 {
+				failures = append(failures, fmt.Sprintf(format, args...))
+			}
+		}
+		for i, name := range names {
+			i, name := i, name
+			last := acked[name]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				profiles, err := MineProfiles([]string{name})
+				if err != nil {
+					fail("appender %s: %v", name, err)
+					return
+				}
+				g, err := NewGenerator(profiles, Mix{LogAppend: 1, SessionFraction: 0.3}, seedBase+uint64(i))
+				if err != nil {
+					fail("appender %s: %v", name, err)
+					return
+				}
+				for time.Now().Before(deadline) {
+					resp, err := pc.AppendLog(ctx, name, *g.Next().LogAppend)
+					if err != nil {
+						fail("appender %s: %v", name, err)
+						return
+					}
+					if resp.WALSeq != *last+1 {
+						fail("appender %s: ack wal_seq %d after %d (not sequential)", name, resp.WALSeq, *last)
+						return
+					}
+					*last = resp.WALSeq
+				}
+			}()
+		}
+		for w, ts := range readers {
+			w := w
+			rc, err := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				profiles, err := MineProfiles(names)
+				if err != nil {
+					fail("reader %d: %v", w, err)
+					return
+				}
+				g, err := NewGenerator(profiles, Mix{MapKeywords: 5, InferJoins: 3, Translate: 2}, seedBase+uint64(100+w))
+				if err != nil {
+					fail("reader %d: %v", w, err)
+					return
+				}
+				for time.Now().Before(deadline) {
+					if err := execute(ctx, rc, g.Next()); err != nil {
+						fail("reader %d: %v", w, err)
+						return
+					}
+				}
+			}()
+		}
+		if during != nil {
+			during(dur)
+		}
+		wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(failures) > 0 {
+			t.Fatalf("soak failures:\n%s", failures[0])
+		}
+	}
+
+	// Phase 1: followers tail from the start; converge and gate.
+	rs1 := startReplicaSet(t, names, pts.URL)
+	traffic(soakDuration(t), 7000, []*httptest.Server{pts, rs1.ts}, nil)
+	waitConverged(t, names, prim, rs1)
+	assertBatteryConvergence(t, names, pts, rs1.ts)
+	assertGoldenConvergence(t, names, primSys, rs1.sys)
+
+	// Phase 2: kill the fleet mid-stream, then boot a fresh one — a
+	// later-watermark bootstrap racing live appends — and gate again.
+	var rs2 *replicaSet
+	traffic(soakDuration(t), 8000, []*httptest.Server{pts}, func(dur time.Duration) {
+		time.Sleep(dur / 3)
+		rs1.stop()
+		time.Sleep(dur / 3)
+		rs2 = startReplicaSet(t, names, pts.URL)
+	})
+	waitConverged(t, names, prim, rs2)
+	assertBatteryConvergence(t, names, pts, rs2.ts)
+	assertGoldenConvergence(t, names, primSys, rs2.sys)
+
+	total := int64(0)
+	for _, name := range names {
+		total += *acked[name]
+	}
+	if total == 0 {
+		t.Fatal("soak made no appends; replica convergence was vacuous (raise TEMPLAR_SOAK_MS?)")
+	}
+
+	// Phase 3: image the primary's disk, tear every WAL tail, and boot a
+	// recovered primary plus a fresh fleet from it. Recovery must keep
+	// every acknowledged record (typed truncation of the torn frame),
+	// and followers bootstrapped from the recovered primary must still
+	// tail past the watermark and hold the same byte-identity gates.
+	tornStore, tornWal := t.TempDir(), t.TempDir()
+	copyDirFiles(t, storeDir, tornStore)
+	copyDirFiles(t, walDir, tornWal)
+	torn := binary.LittleEndian.AppendUint32(nil, 64)
+	torn = append(torn, "the-rest-never-made-it"...)
+	for _, name := range names {
+		f, err := os.OpenFile(filepath.Join(tornWal, wal.Filename(name)), os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(torn); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg3 := serve.NewRegistry()
+	prim3 := map[string]*serve.Tenant{}
+	prim3Sys := map[string]*templar.System{}
+	for _, name := range names {
+		ds, _ := datasets.ByName(name)
+		tn3, rec3 := durableTenant(t, ds, tornStore, tornWal)
+		if got, want := tn3.WAL.LastSeq(), uint64(*acked[name]); got != want {
+			t.Fatalf("%s: recovered WAL at seq %d, last acknowledged append was %d", name, got, want)
+		}
+		if rec3.DroppedBytes != int64(len(torn)) {
+			t.Fatalf("%s: torn tail dropped %d bytes, want %d", name, rec3.DroppedBytes, len(torn))
+		}
+		if !errors.Is(rec3.Cause, wal.ErrTruncated) {
+			t.Fatalf("%s: torn tail cause = %v, want %v", name, rec3.Cause, wal.ErrTruncated)
+		}
+		if err := reg3.Add(tn3); err != nil {
+			t.Fatal(err)
+		}
+		prim3[name] = tn3
+		prim3Sys[name] = tn3.Sys
+	}
+	pts3 := httptest.NewServer(serve.NewRegistryServer(reg3, names[0], 8, nil).Handler())
+	t.Cleanup(pts3.Close)
+	pc3, err := client.New(pts3.URL, client.WithHTTPClient(pts3.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bootstrap the fleet first, then append, so the new records arrive
+	// over the tail stream rather than inside the snapshot.
+	rs3 := startReplicaSet(t, names, pts3.URL)
+	for i, name := range names {
+		profiles, err := MineProfiles([]string{name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(profiles, Mix{LogAppend: 1}, uint64(9000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 3; n++ {
+			if _, err := pc3.AppendLog(context.Background(), name, *g.Next().LogAppend); err != nil {
+				t.Fatalf("post-recovery append %s: %v", name, err)
+			}
+		}
+	}
+	waitConverged(t, names, prim3, rs3)
+	assertBatteryConvergence(t, names, pts3, rs3.ts)
+	assertGoldenConvergence(t, names, prim3Sys, rs3.sys)
+}

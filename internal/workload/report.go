@@ -43,13 +43,19 @@ type Report struct {
 	Requests int    `json:"requests"`
 	// Rate is the open-loop arrival rate the run was paced at (0 for a
 	// closed loop).
-	Rate         float64         `json:"rate,omitempty"`
-	Errors       int64           `json:"errors"`
-	Shed         int64           `json:"shed,omitempty"`
-	ServerErrors int64           `json:"server_errors,omitempty"`
-	WallSeconds  float64         `json:"wall_seconds"`
-	RPS          float64         `json:"rps"`
-	Endpoints    []EndpointStats `json:"endpoints"`
+	Rate         float64 `json:"rate,omitempty"`
+	Errors       int64   `json:"errors"`
+	Shed         int64   `json:"shed,omitempty"`
+	ServerErrors int64   `json:"server_errors,omitempty"`
+	// Redirects is how many redirect hops the SDK transport followed
+	// during the run — appends a gateway or follower replica bounced to
+	// the primary with 307 not_primary. A redirected-then-successful call
+	// is a success (its latency sample includes the extra hop), so this
+	// rides apart from Errors.
+	Redirects   int64           `json:"redirects,omitempty"`
+	WallSeconds float64         `json:"wall_seconds"`
+	RPS         float64         `json:"rps"`
+	Endpoints   []EndpointStats `json:"endpoints"`
 }
 
 // buildReport aggregates merged per-endpoint state into a Report, with
@@ -170,6 +176,9 @@ func (r *Report) Summary() string {
 		r.Seed, r.Workers, r.Requests, r.Errors, r.Shed, r.WallSeconds, r.RPS)
 	if r.Rate > 0 {
 		fmt.Fprintf(&b, " rate=%.1f", r.Rate)
+	}
+	if r.Redirects > 0 {
+		fmt.Fprintf(&b, " redirects=%d", r.Redirects)
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-8s %-14s %8s %6s %6s %9s %9s %9s %9s\n",

@@ -112,6 +112,7 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 	var next atomic.Int64
 	stats := make([]*workerStats, workers)
 	var wg sync.WaitGroup
+	redirectBase := cfg.Client.Redirects()
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		w := w
@@ -190,7 +191,12 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 			serverErrs[k] += n
 		}
 	}
-	return buildReport(cfg, wall, workers, merged, errs, sheds, serverErrs), ctx.Err()
+	rep := buildReport(cfg, wall, workers, merged, errs, sheds, serverErrs)
+	// The SDK counts redirect hops across the client's lifetime; the delta
+	// over this run is how many calls a replica or gateway bounced to the
+	// primary — successes, not failures, but worth surfacing.
+	rep.Redirects = cfg.Client.Redirects() - redirectBase
+	return rep, ctx.Err()
 }
 
 // execute performs one request through the SDK. The response body is

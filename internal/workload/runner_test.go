@@ -11,6 +11,7 @@ import (
 
 	"templar/internal/datasets"
 	"templar/internal/serve"
+	"templar/pkg/api"
 	"templar/pkg/client"
 )
 
@@ -152,6 +153,59 @@ func TestRunnerFullMixAgainstLiveServer(t *testing.T) {
 		if b.Runs <= 0 || b.Metrics["p50-ms"] <= 0 {
 			t.Fatalf("empty bench entry %+v", b)
 		}
+	}
+}
+
+// TestRunnerClassifiesRedirectedAppends pins the replica/gateway
+// accounting contract: appends a follower bounces to the primary with
+// 307 not_primary are replayed there by the SDK and must land in the
+// report as successes with the hop counted under Redirects — the old
+// behavior (an unfollowed 307 half-decoded as a bogus success, a
+// followed one invisible) made gateway load runs unauditable.
+func TestRunnerClassifiesRedirectedAppends(t *testing.T) {
+	ds := datasets.MAS()
+	primary, _ := tenantServer(t, 2, &serve.Tenant{Name: ds.Name, Sys: liveSystem(t, ds), Source: "built"})
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", primary.URL+r.URL.RequestURI())
+		w.Header().Set("Content-Type", api.ProblemContentType)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		json.NewEncoder(w).Encode(api.NewError(http.StatusTemporaryRedirect, api.CodeNotPrimary, "read-only follower"))
+	}))
+	t.Cleanup(follower.Close)
+	c, err := client.New(follower.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	profiles, err := MineProfiles([]string{ds.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := Mix{LogAppend: 1} // every request is an append, every append bounces
+	g, err := NewGenerator(profiles, mix, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := g.Generate(24)
+	rep, err := Run(context.Background(), RunConfig{Client: c, Workers: 3, Requests: reqs, Seed: 9, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("redirected appends counted as failures:\n%s", rep.Summary())
+	}
+	if rep.Redirects != int64(len(reqs)) {
+		t.Fatalf("redirects = %d, want %d", rep.Redirects, len(reqs))
+	}
+	var samples int64
+	for _, ep := range rep.Endpoints {
+		samples += ep.Count
+	}
+	if samples != int64(len(reqs)) {
+		t.Fatalf("samples = %d, want %d (every redirected append is one success)", samples, len(reqs))
+	}
+	if !strings.Contains(rep.Summary(), "redirects=24") {
+		t.Fatalf("summary does not surface redirects:\n%s", rep.Summary())
 	}
 }
 

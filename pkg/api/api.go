@@ -199,6 +199,37 @@ type WALStatus struct {
 	DroppedBytes int64 `json:"dropped_bytes,omitempty"`
 }
 
+// ReplicationStatus is a follower replica's position relative to its
+// primary, reported on /healthz and the dataset listings for tenants
+// running in follow mode (absent on primaries and standalone servers).
+type ReplicationStatus struct {
+	// Role is "follower" for a replica tenant.
+	Role string `json:"role"`
+	// Primary is the base URL of the primary this follower tails.
+	Primary string `json:"primary,omitempty"`
+	// LastAppliedSeq is the last WAL sequence folded into the serving
+	// engine: the follower answers reads at exactly this position.
+	LastAppliedSeq int64 `json:"last_applied_seq"`
+	// PrimarySeq is the primary's last assigned sequence as of the most
+	// recent successful tail poll.
+	PrimarySeq int64 `json:"primary_seq"`
+	// Lag is PrimarySeq − LastAppliedSeq at the last poll: how many
+	// acknowledged appends the replica has not applied yet.
+	Lag int64 `json:"lag"`
+	// Bootstraps counts snapshot bootstraps, the initial one included; a
+	// value above 1 means the follower fell behind a compaction and
+	// re-bootstrapped.
+	Bootstraps int64 `json:"bootstraps,omitempty"`
+	// RejectedBatches counts tail batches refused before applying anything
+	// (checksum mismatch, broken sequence continuity); each was re-fetched.
+	RejectedBatches int64 `json:"rejected_batches,omitempty"`
+	// LastPollUnixMS is when the follower last heard from the primary.
+	LastPollUnixMS int64 `json:"last_poll_unix_ms,omitempty"`
+	// LastError is the most recent tail/bootstrap failure, cleared on the
+	// next successful poll.
+	LastError string `json:"last_error,omitempty"`
+}
+
 // TenantLimits bounds one dataset's admitted traffic: a token-bucket
 // request rate plus an in-flight concurrency quota. The zero value of a
 // field means "unlimited" for that dimension. Set server-wide defaults
@@ -278,6 +309,9 @@ type DatasetStatus struct {
 	// Load reports the dataset's admission-control counters and effective
 	// per-tenant limits.
 	Load *TenantLoad `json:"load,omitempty"`
+	// Repl reports the tenant's replication position when it is a follower
+	// replica; absent on primaries.
+	Repl *ReplicationStatus `json:"repl,omitempty"`
 }
 
 // DatasetsResponse is the body of GET /v2/datasets and GET
@@ -322,6 +356,9 @@ type HealthResponse struct {
 	// WAL reports the default dataset's write-ahead-log counters when one
 	// is attached, mirroring DatasetStatus.WAL.
 	WAL *WALStatus `json:"wal,omitempty"`
+	// Repl mirrors the default dataset's replication position when this
+	// server is a follower replica, like DatasetStatus.Repl.
+	Repl *ReplicationStatus `json:"repl,omitempty"`
 	// Datasets lists every hosted dataset (multi-tenant view).
 	Datasets []DatasetStatus `json:"datasets,omitempty"`
 	// Metrics is the middleware request telemetry.

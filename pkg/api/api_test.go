@@ -29,6 +29,7 @@ var wireTypes = []any{
 	LogAppendRequest{},
 	LogAppendResponse{},
 	WALStatus{},
+	ReplicationStatus{},
 	TenantLimits{},
 	TenantLoad{},
 	OverloadStatus{},

@@ -52,6 +52,15 @@ const (
 	// CodeDraining: the server is shutting down gracefully and admits no
 	// new work; retry against another replica (503).
 	CodeDraining = "draining"
+	// CodeNotPrimary: the request mutates state but this server is a
+	// read-only follower replica; it is served as a 307 redirect whose
+	// Location is the same path on the primary, so SDK clients follow it
+	// transparently (the append was never applied here).
+	CodeNotPrimary = "not_primary"
+	// CodeWALGap: a replication tail asked to resume at a sequence the
+	// primary has compacted away — the follower must re-bootstrap from a
+	// fresh snapshot instead of tailing (410).
+	CodeWALGap = "wal_gap"
 	// CodeInternal: an unexpected server-side failure (500).
 	CodeInternal = "internal"
 )
@@ -108,6 +117,8 @@ var titles = map[string]string{
 	CodeOverloaded:     "server overloaded, request shed",
 	CodeRateLimited:    "per-tenant quota exhausted",
 	CodeDraining:       "server draining for shutdown",
+	CodeNotPrimary:     "read-only follower, write to the primary",
+	CodeWALGap:         "requested WAL range compacted away",
 	CodeInternal:       "internal server error",
 }
 

@@ -31,6 +31,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"templar/pkg/api"
@@ -45,6 +46,9 @@ type Client struct {
 	maxWait time.Duration
 	jitter  func(d time.Duration) time.Duration
 	sleep   func(ctx context.Context, d time.Duration) error
+	// redirects counts redirects the transport followed — e.g. appends a
+	// follower replica bounced to its primary with 307 not_primary.
+	redirects atomic.Int64
 }
 
 // Option configures a Client.
@@ -109,8 +113,32 @@ func New(base string, opts ...Option) (*Client, error) {
 	if c.jitter == nil {
 		c.jitter = equalJitter
 	}
+	// Count the redirects the transport follows without disturbing the
+	// caller's redirect policy. The http.Client is shallow-copied first so
+	// a shared client (httptest's, an instrumented one) is never mutated.
+	hc := *c.httpc
+	prev := hc.CheckRedirect
+	hc.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+		c.redirects.Add(1)
+		if prev != nil {
+			return prev(req, via)
+		}
+		if len(via) >= 10 {
+			return fmt.Errorf("client: stopped after 10 redirects")
+		}
+		return nil
+	}
+	c.httpc = &hc
 	return c, nil
 }
+
+// Redirects reports how many HTTP redirects the client's transport has
+// followed since creation. A gateway or follower replica answers appends
+// with 307 not_primary + Location, which the transport replays against
+// the primary transparently (request bodies are replayable buffers);
+// this counter is how load reports tell a redirected-then-successful
+// call from a plain one instead of misclassifying it as a failure.
+func (c *Client) Redirects() int64 { return c.redirects.Load() }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
@@ -291,6 +319,13 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		return true, 0, fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode >= 300 && resp.StatusCode < 400 {
+		// A redirect the transport did not follow (missing Location, policy
+		// refusal, too many hops) must surface as the structured error its
+		// body carries — decoding a problem document as the success payload
+		// would fabricate an all-zero response.
+		return false, 0, decodeError(resp, raw)
 	}
 	if resp.StatusCode >= 400 {
 		// A 429 is the server shedding load, not the request being wrong:

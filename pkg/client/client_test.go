@@ -326,6 +326,118 @@ func TestContextCancelStopsRetrying(t *testing.T) {
 	}
 }
 
+// TestAppendFollowsRedirectToPrimary pins the follower-replica contract:
+// an append answered with 307 not_primary + Location is replayed against
+// the primary transparently (the request body is a replayable buffer),
+// the call is a success, and Redirects() counts the hop so load reports
+// can classify it instead of calling it a failure.
+func TestAppendFollowsRedirectToPrimary(t *testing.T) {
+	var primaryHits atomic.Int32
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		primaryHits.Add(1)
+		if r.Method != http.MethodPost {
+			t.Errorf("primary saw method %s", r.Method)
+		}
+		var req api.LogAppendRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Queries) != 1 {
+			t.Errorf("redirected body not replayed: err=%v req=%+v", err, req)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.LogAppendResponse{Appended: 1})
+	}))
+	t.Cleanup(primary.Close)
+
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		e := api.NewError(http.StatusTemporaryRedirect, api.CodeNotPrimary, "read-only follower")
+		w.Header().Set("Location", primary.URL+r.URL.RequestURI())
+		w.Header().Set("Content-Type", api.ProblemContentType)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		json.NewEncoder(w).Encode(e)
+	}))
+	t.Cleanup(follower.Close)
+
+	c, err := New(follower.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.AppendLog(context.Background(), "mas",
+		api.LogAppendRequest{Queries: []api.LogEntry{{SQL: "SELECT 1"}}})
+	if err != nil {
+		t.Fatalf("redirected append failed: %v", err)
+	}
+	if resp.Appended != 1 || primaryHits.Load() != 1 {
+		t.Fatalf("resp=%+v primaryHits=%d", resp, primaryHits.Load())
+	}
+	if got := c.Redirects(); got != 1 {
+		t.Fatalf("Redirects() = %d, want 1", got)
+	}
+}
+
+// TestUnfollowedRedirectIsAnError pins the classification fix: a 307
+// whose Location the transport cannot follow (absent here) must surface
+// as the structured not_primary error its body carries — previously the
+// problem document was silently decoded into the success struct.
+func TestUnfollowedRedirectIsAnError(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", api.ProblemContentType)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		json.NewEncoder(w).Encode(api.NewError(http.StatusTemporaryRedirect, api.CodeNotPrimary, "read-only follower"))
+	})
+	c, delays := newTestClient(t, h, WithRetries(3))
+
+	_, err := c.AppendLog(context.Background(), "mas",
+		api.LogAppendRequest{Queries: []api.LogEntry{{SQL: "SELECT 1"}}})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotPrimary || apiErr.Status != http.StatusTemporaryRedirect {
+		t.Fatalf("err = %v, want structured not_primary", err)
+	}
+	if len(*delays) != 0 {
+		t.Fatalf("redirect response retried: %v", *delays)
+	}
+	if got := c.Redirects(); got != 0 {
+		t.Fatalf("Redirects() = %d for an unfollowed redirect, want 0", got)
+	}
+}
+
+// TestSharedHTTPClientNotMutated proves the redirect counter is installed
+// on a private shallow copy: two Clients sharing one http.Client count
+// independently and the caller's CheckRedirect policy still runs.
+func TestSharedHTTPClientNotMutated(t *testing.T) {
+	shared := &http.Client{}
+	var policyHits atomic.Int32
+	shared.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+		policyHits.Add(1)
+		return nil
+	}
+	target := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok"})
+	}))
+	t.Cleanup(target.Close)
+	hop := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, target.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	}))
+	t.Cleanup(hop.Close)
+
+	a, err := New(hop.URL, WithHTTPClient(shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(hop.URL, WithHTTPClient(shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if shared.CheckRedirect == nil || a.Redirects() != 1 || b.Redirects() != 0 {
+		t.Fatalf("shared client mutated or counts bled: a=%d b=%d", a.Redirects(), b.Redirects())
+	}
+	if policyHits.Load() != 1 {
+		t.Fatalf("caller's CheckRedirect ran %d times, want 1", policyHits.Load())
+	}
+}
+
 func TestNewValidatesBaseURL(t *testing.T) {
 	for _, bad := range []string{"", "not a url", "localhost:8080", "://x"} {
 		if _, err := New(bad); err == nil {
