@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check wal-check repl-check serve soak golden golden-check load-smoke overload-smoke
+.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check wal-check repl-check serve soak golden golden-check counterfactual-check load-smoke overload-smoke
 
 all: build vet test
 
@@ -97,6 +97,16 @@ golden:
 # fails on any semantic drift (byte-for-byte).
 golden-check:
 	$(GO) test ./internal/eval -run 'TestGolden' -count=1
+
+# counterfactual-check guards the learning loop: the seeded feedback
+# replay must strictly improve obscured golden hit-rates on every
+# dataset while Full-visibility pinned answers never regress and the
+# committed Full corpora stay byte-identical (see docs/LEARNING.md).
+# The deterministic counterfactual.json report is uploaded as a CI
+# artifact.
+counterfactual-check:
+	$(GO) test ./internal/eval -run 'TestCounterfactual' -count=1
+	$(GO) run ./cmd/templar-eval -counterfactual counterfactual.json
 
 # load-smoke runs a short deterministic load against an in-process
 # server and writes the bench2json-compatible latency report.

@@ -14,12 +14,22 @@
 //	templar-eval -ablation obscurity
 //	templar-eval -all             # everything
 //	templar-eval -golden internal/eval/testdata/golden   # regenerate golden corpora
+//	templar-eval -counterfactual counterfactual.json     # feedback-learning gate
 //
 // Flags -kappa, -lambda, -obscurity and -dataset adjust the operating point
 // and restrict the benchmark set.
+//
+// -counterfactual runs the feedback-loop replay (see internal/eval's
+// counterfactual harness and docs/LEARNING.md): train on a seeded
+// partial log, replay the golden battery against the pinned oracle
+// answers, ingest the held-out gold SQL as accept/correct feedback,
+// replay again, and gate on strict obscured improvement with zero
+// Full-visibility regressions. The deterministic report is written to
+// the given file and the command exits non-zero on any gate violation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +54,11 @@ func main() {
 		breakdown = flag.String("breakdown", "", "per-template breakdown for one system (Pipeline, Pipeline+, NaLIR, NaLIR+)")
 		headline  = flag.Bool("headline", false, "print the abstract's 'up to N%' improvement claim")
 		golden    = flag.String("golden", "", "regenerate the golden end-to-end corpora into this directory (all datasets × all obscurity levels)")
+		counterf  = flag.String("counterfactual", "", "run the feedback-learning counterfactual gate and write its JSON report to this file")
+		goldenDir = flag.String("golden-dir", filepath.Join("internal", "eval", "testdata", "golden"), "committed golden corpora the counterfactual gate checks byte-identity against (empty = skip the check)")
+		cfHoldout = flag.Float64("cf-holdout", 0, "counterfactual holdout fraction (0 = default 0.5)")
+		cfWeight  = flag.Int("cf-weight", 0, "counterfactual correction weight (0 = default 1, the exact-convergence point)")
+		cfSeed    = flag.Uint64("cf-seed", 0, "counterfactual split/ingestion seed (0 = default 1)")
 	)
 	flag.Parse()
 
@@ -155,6 +170,34 @@ func main() {
 		gopts.K, gopts.Lambda = *kappa, *lambda
 		if err := writeGolden(*golden, sets, gopts); err != nil {
 			fatal(err)
+		}
+		ran = true
+	}
+	if *counterf != "" {
+		names := make([]string, len(sets))
+		for i, ds := range sets {
+			names[i] = ds.Name
+		}
+		rep, err := eval.RunCounterfactual(names, eval.CounterfactualOptions{
+			HoldoutFraction: *cfHoldout,
+			Weight:          *cfWeight,
+			Seed:            *cfSeed,
+			GoldenDir:       *goldenDir,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*counterf, append(raw, '\n'), 0o666); err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Summary())
+		fmt.Printf("wrote %s\n", *counterf)
+		if len(rep.Violations) > 0 {
+			fatal(fmt.Errorf("counterfactual gate failed with %d violations", len(rep.Violations)))
 		}
 		ran = true
 	}

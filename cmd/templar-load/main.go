@@ -1,7 +1,9 @@
 // Command templar-load is the deterministic load generator for Templar's
 // v2 serving layer: it synthesizes a seeded, weighted request mix mined
 // from the benchmark datasets' gold-SQL logs (keyword mapping, join
-// inference, batched translation, live log appends with sessions) and
+// inference, batched translation, live log appends with sessions, and
+// feedback pairs — a tagged translate followed by an accept/reject/
+// correct verdict at seeded ratios, "feedback=N" in the mix) and
 // drives a server with N concurrent workers through the public Go SDK,
 // reporting throughput and p50/p95/p99 latency per dataset and endpoint.
 //
@@ -61,7 +63,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "stream seed: same (datasets, mix, seed) = same request stream")
 		requests  = flag.Int("requests", 1000, "how many requests to synthesize")
 		workers   = flag.Int("workers", 8, "concurrent client workers")
-		mixSpec   = flag.String("mix", "", `operation weights, e.g. "map=45,infer=25,translate=20,log=10" (empty = default mix)`)
+		mixSpec   = flag.String("mix", "", `operation weights, e.g. "map=45,infer=25,translate=20,log=10,feedback=5" (empty = default mix)`)
 		sessions  = flag.Float64("session-frac", -1, "fraction of log appends folded as sessions (-1 = mix default)")
 		out       = flag.String("o", "", "write the JSON report here (bench2json-compatible document)")
 		print     = flag.Bool("print", false, "print the synthesized stream as JSON lines plus its fingerprint, then exit")

@@ -1,0 +1,19 @@
+// Package feedback closes the serving loop: it remembers what the server
+// recently answered so that user verdicts on those answers can be turned
+// into query-log appends.
+//
+// The paper's central claim is that SQL query logs bridge the semantic
+// gap between keyword queries and schema structure. A served translation
+// that a user accepts (or corrects) is exactly the kind of log evidence
+// the QFG mines — this package is the bookkeeping that lets the serving
+// layer harvest it safely.
+//
+// The only type is Ledger, a bounded concurrency-safe ring of recently
+// served translations keyed by request ID. The v2 translate handler
+// records every successful response; POST /v2/{dataset}/feedback looks
+// the request ID back up and — via the Claim/Commit/Release protocol —
+// guarantees at most one verdict per served translation ever reaches the
+// write-ahead log, no matter how many concurrent or repeated submissions
+// race. See docs/LEARNING.md for the full verdict lifecycle and the
+// poisoning guardrails layered on top.
+package feedback

@@ -1,0 +1,211 @@
+package feedback
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// DefaultCapacity is the ledger ring size used when the tenant does not
+// configure one. Sized so a burst of served traffic between a user seeing
+// a translation and judging it does not evict the entry: at 1k served
+// translations/s a verdict may arrive up to ~4s late.
+const DefaultCapacity = 4096
+
+// Sentinel errors returned by Claim. The serving layer maps these onto
+// the wire codes unknown_request_id and feedback_conflict.
+var (
+	// ErrUnknown means the request ID was never recorded or has been
+	// evicted from the ring.
+	ErrUnknown = errors.New("feedback: unknown request id")
+	// ErrConflict means a verdict for the request ID has already been
+	// applied, or another submission is in flight right now.
+	ErrConflict = errors.New("feedback: verdict already submitted")
+)
+
+// Verdict is a user's judgement of a served translation. The values
+// mirror the wire constants in pkg/api.
+type Verdict string
+
+const (
+	Accepted  Verdict = "accepted"
+	Rejected  Verdict = "rejected"
+	Corrected Verdict = "corrected"
+)
+
+// Served is one successfully translated batch item as it was emitted to
+// the client: the canonical SQL, the winning configuration's full-form
+// fragments, and the joint score it won with.
+type Served struct {
+	Query     string   // the natural-language/keyword input text
+	SQL       string   // canonical SQL emitted to the client
+	Fragments []string // winning configuration fragments (full form)
+	Score     float64
+}
+
+// Entry is one ledger record: everything the server needs to turn a
+// later verdict into a log append without re-running the translation.
+type Entry struct {
+	RequestID  string
+	Dataset    string
+	Obscurity  string // obscurity level of the log that served it
+	Served     []Served
+	RecordedAt time.Time
+}
+
+// Stats is a point-in-time counter snapshot, surfaced on /healthz and
+// dataset status as api.FeedbackStatus.
+type Stats struct {
+	Size     int // entries currently in the ring
+	Capacity int
+
+	Recorded   int64 // translations recorded
+	Evicted    int64 // entries displaced by ring wrap before any verdict
+	Duplicates int64 // Record calls dropped because the ID was already present
+
+	Accepted  int64
+	Rejected  int64
+	Corrected int64
+
+	Conflicts int64 // Claim failures: verdict already submitted / in flight
+	Unknown   int64 // Claim failures: ID never recorded or evicted
+}
+
+// entryState is the verdict lifecycle of a ledger entry.
+type entryState int
+
+const (
+	stateOpen    entryState = iota // recorded, no verdict yet
+	statePending                   // a verdict submission holds the claim
+	stateDone                      // a verdict has been applied
+)
+
+type slot struct {
+	e     Entry
+	state entryState
+}
+
+// Ledger is a bounded, concurrency-safe ring of recently served
+// translations keyed by request ID.
+//
+// The verdict lifecycle is a three-step claim protocol so that exactly
+// one submission per request ID can ever mutate the log:
+//
+//	Claim   -- open -> pending; returns the entry. Concurrent or repeat
+//	           claims fail with ErrConflict, unrecorded IDs with ErrUnknown.
+//	Commit  -- pending -> done; the verdict was applied (or recorded, for
+//	           rejections). The entry can never be claimed again.
+//	Release -- pending -> open; the apply failed (e.g. frozen log, lost
+//	           client); the verdict may be retried later.
+//
+// When the ring is full, recording a new translation evicts the oldest
+// entry regardless of its state — a verdict arriving after eviction gets
+// ErrUnknown, which clients treat as "too late".
+type Ledger struct {
+	mu    sync.Mutex
+	ring  []string // request IDs in arrival order; "" while warming up
+	next  int      // ring index the next Record overwrites
+	byID  map[string]*slot
+	stats Stats
+}
+
+// New returns a ledger holding at most capacity entries. Capacity must
+// be positive.
+func New(capacity int) *Ledger {
+	if capacity <= 0 {
+		panic("feedback: capacity must be positive")
+	}
+	return &Ledger{
+		ring: make([]string, capacity),
+		byID: make(map[string]*slot, capacity),
+	}
+}
+
+// Record stores a served translation under its request ID, evicting the
+// oldest entry if the ring is full. A duplicate ID is dropped (the first
+// recording wins) so a verdict can never be re-armed by replaying the
+// translation; Record reports whether the entry was stored.
+func (l *Ledger) Record(e Entry) bool {
+	if e.RequestID == "" || len(e.Served) == 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.byID[e.RequestID]; ok {
+		l.stats.Duplicates++
+		return false
+	}
+	if old := l.ring[l.next]; old != "" {
+		if s, ok := l.byID[old]; ok {
+			if s.state != stateDone {
+				l.stats.Evicted++
+			}
+			delete(l.byID, old)
+		}
+	}
+	l.ring[l.next] = e.RequestID
+	l.next = (l.next + 1) % len(l.ring)
+	l.byID[e.RequestID] = &slot{e: e}
+	l.stats.Recorded++
+	return true
+}
+
+// Claim moves an open entry to pending and returns a copy of it. It
+// fails with ErrUnknown for IDs never recorded (or already evicted) and
+// with ErrConflict when a verdict was already applied or another
+// submission currently holds the claim.
+func (l *Ledger) Claim(id string) (Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.byID[id]
+	if !ok {
+		l.stats.Unknown++
+		return Entry{}, ErrUnknown
+	}
+	if s.state != stateOpen {
+		l.stats.Conflicts++
+		return Entry{}, ErrConflict
+	}
+	s.state = statePending
+	return s.e, nil
+}
+
+// Commit finalizes a claimed entry: the verdict counter is bumped and
+// the entry is permanently closed to further submissions.
+func (l *Ledger) Commit(id string, v Verdict) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.byID[id]
+	if !ok || s.state != statePending {
+		return
+	}
+	s.state = stateDone
+	switch v {
+	case Accepted:
+		l.stats.Accepted++
+	case Rejected:
+		l.stats.Rejected++
+	case Corrected:
+		l.stats.Corrected++
+	}
+}
+
+// Release returns a claimed entry to the open state after a failed
+// apply, so the client may retry the verdict.
+func (l *Ledger) Release(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.byID[id]; ok && s.state == statePending {
+		s.state = stateOpen
+	}
+}
+
+// Stats returns a point-in-time snapshot of the ledger counters.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.Size = len(l.byID)
+	st.Capacity = len(l.ring)
+	return st
+}

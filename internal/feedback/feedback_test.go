@@ -1,0 +1,167 @@
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func entry(id string) Entry {
+	return Entry{
+		RequestID: id,
+		Dataset:   "mas",
+		Served:    []Served{{Query: "papers:select", SQL: "SELECT ...", Score: 1}},
+	}
+}
+
+func TestRecordAndClaim(t *testing.T) {
+	l := New(4)
+	if !l.Record(entry("a")) {
+		t.Fatal("Record = false")
+	}
+	got, err := l.Claim("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RequestID != "a" || len(got.Served) != 1 {
+		t.Fatalf("claimed %+v", got)
+	}
+}
+
+func TestRecordRejectsEmptyAndDuplicates(t *testing.T) {
+	l := New(4)
+	if l.Record(Entry{RequestID: "", Served: []Served{{SQL: "x"}}}) {
+		t.Fatal("recorded entry without id")
+	}
+	if l.Record(Entry{RequestID: "a"}) {
+		t.Fatal("recorded entry without served items")
+	}
+	if !l.Record(entry("a")) || l.Record(entry("a")) {
+		t.Fatal("duplicate id not dropped")
+	}
+	if st := l.Stats(); st.Duplicates != 1 || st.Recorded != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestClaimLifecycle(t *testing.T) {
+	l := New(4)
+	l.Record(entry("a"))
+
+	if _, err := l.Claim("missing"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown claim err = %v", err)
+	}
+	if _, err := l.Claim("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent second submission while the first is pending.
+	if _, err := l.Claim("a"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("pending claim err = %v", err)
+	}
+	// A failed apply releases; the verdict can be retried.
+	l.Release("a")
+	if _, err := l.Claim("a"); err != nil {
+		t.Fatalf("claim after release: %v", err)
+	}
+	// A committed verdict is final.
+	l.Commit("a", Accepted)
+	if _, err := l.Claim("a"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("claim after commit err = %v", err)
+	}
+
+	st := l.Stats()
+	if st.Accepted != 1 || st.Conflicts != 2 || st.Unknown != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCommitRequiresPending(t *testing.T) {
+	l := New(4)
+	l.Record(entry("a"))
+	l.Commit("a", Accepted) // not claimed: ignored
+	l.Commit("b", Accepted) // unknown: ignored
+	l.Release("a")          // not pending: ignored
+	if st := l.Stats(); st.Accepted != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, err := l.Claim("a"); err != nil {
+		t.Fatalf("entry should still be open: %v", err)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := New(2)
+	l.Record(entry("a"))
+	l.Record(entry("b"))
+	l.Record(entry("c")) // evicts a
+	if _, err := l.Claim("a"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("evicted claim err = %v", err)
+	}
+	if _, err := l.Claim("b"); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Size != 2 || st.Capacity != 2 || st.Evicted != 1 || st.Recorded != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEvictionOfResolvedEntryNotCounted(t *testing.T) {
+	l := New(1)
+	l.Record(entry("a"))
+	if _, err := l.Claim("a"); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit("a", Rejected)
+	l.Record(entry("b")) // displaces the already-resolved a
+	if st := l.Stats(); st.Evicted != 0 {
+		t.Fatalf("resolved displacement counted as eviction: %+v", st)
+	}
+}
+
+// TestConcurrentClaimExactlyOnce races many submitters per entry and
+// asserts exactly one wins each claim.
+func TestConcurrentClaimExactlyOnce(t *testing.T) {
+	l := New(64)
+	const entries, racers = 32, 8
+	for i := 0; i < entries; i++ {
+		l.Record(entry(fmt.Sprintf("r%d", i)))
+	}
+	var wg sync.WaitGroup
+	wins := make([]int32, entries)
+	var winsMu sync.Mutex
+	for i := 0; i < entries; i++ {
+		for j := 0; j < racers; j++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := l.Claim(fmt.Sprintf("r%d", i)); err == nil {
+					winsMu.Lock()
+					wins[i]++
+					winsMu.Unlock()
+					l.Commit(fmt.Sprintf("r%d", i), Accepted)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	for i, w := range wins {
+		if w != 1 {
+			t.Fatalf("entry %d claimed %d times", i, w)
+		}
+	}
+	st := l.Stats()
+	if st.Accepted != entries || st.Conflicts != entries*(racers-1) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNewPanicsOnNonPositiveCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}

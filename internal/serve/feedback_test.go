@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/keyword"
+	"templar/internal/repl"
+	"templar/pkg/api"
+)
+
+// postJSONWithID is postRaw with a caller-chosen X-Request-ID, the way a
+// feedback-capable client tags its translate calls.
+func postJSONWithID(t testing.TB, url, id string, body any) (int, http.Header, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw.Bytes()
+}
+
+// translateAs serves one translate tagged with the given request ID and
+// asserts it succeeded (entering it into the tenant's ledger).
+func translateAs(t testing.TB, ts *httptest.Server, dataset, id, spec string) api.TranslateResponse {
+	t.Helper()
+	status, hdr, raw := postJSONWithID(t, ts.URL+"/v2/"+dataset+"/translate", id,
+		api.TranslateRequest{Queries: []api.KeywordsInput{{Spec: spec}}})
+	if status != http.StatusOK {
+		t.Fatalf("translate status = %d (body %s)", status, raw)
+	}
+	if got := hdr.Get("X-Request-ID"); got != id {
+		t.Fatalf("echoed request id = %q, want %q", got, id)
+	}
+	var resp api.TranslateResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 || resp.Results[0].Error != nil || resp.Results[0].SQL == "" {
+		t.Fatalf("translate did not serve SQL: %+v", resp.Results)
+	}
+	return resp
+}
+
+// feedbackServer hosts a live (appendable) MAS engine.
+func feedbackServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	ds := datasets.MAS()
+	srv := NewServer(buildLiveSystem(t, ds, keyword.Options{}), ds.Name, 2)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func submitFeedback(t testing.TB, ts *httptest.Server, dataset string, req api.FeedbackRequest) (int, http.Header, []byte) {
+	t.Helper()
+	return postRaw(t, ts.URL+"/v2/"+dataset+"/feedback", req)
+}
+
+func TestFeedbackAccepted(t *testing.T) {
+	ts := feedbackServer(t)
+	tr := translateAs(t, ts, "mas", "fb-accept-1", "papers:select;Databases:where")
+
+	var before api.HealthResponse
+	getHealth(t, ts, &before)
+
+	status, _, raw := submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-accept-1", Verdict: api.VerdictAccepted, Weight: 3,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("feedback status = %d (body %s)", status, raw)
+	}
+	var resp api.FeedbackResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.RequestID != "fb-accept-1" || resp.Verdict != api.VerdictAccepted || resp.Applied != 1 {
+		t.Fatalf("unexpected response %+v", resp)
+	}
+	// The accepted SQL entered the live log: query count grew by the
+	// confidence weight.
+	if want := before.LogQueries + 3; resp.LogQueries != want {
+		t.Fatalf("log_queries = %d, want %d (accepted weight 3)", resp.LogQueries, want)
+	}
+	_ = tr
+
+	// Verdict counters surfaced on health and the dataset listing.
+	var after api.HealthResponse
+	getHealth(t, ts, &after)
+	if after.Feedback == nil || after.Feedback.Accepted != 1 || after.Feedback.Recorded != 1 {
+		t.Fatalf("health feedback status = %+v", after.Feedback)
+	}
+}
+
+func TestFeedbackCorrected(t *testing.T) {
+	ts := feedbackServer(t)
+	translateAs(t, ts, "mas", "fb-corr-1", "papers:select;Databases:where")
+
+	var before api.HealthResponse
+	getHealth(t, ts, &before)
+
+	status, _, raw := submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-corr-1", Verdict: api.VerdictCorrected,
+		CorrectedSQL: "SELECT title FROM publication WHERE publication.title = 'Databases'",
+		Weight:       2,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("feedback status = %d (body %s)", status, raw)
+	}
+	var resp api.FeedbackResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != api.VerdictCorrected || resp.Applied != 1 {
+		t.Fatalf("unexpected response %+v", resp)
+	}
+	// The correction (not the served SQL) entered the log with its weight.
+	if want := before.LogQueries + 2; resp.LogQueries != want {
+		t.Fatalf("log_queries = %d, want %d (corrected weight 2)", resp.LogQueries, want)
+	}
+}
+
+func TestFeedbackRejectedNeverAppends(t *testing.T) {
+	ts := feedbackServer(t)
+	translateAs(t, ts, "mas", "fb-rej-1", "papers:select;Databases:where")
+
+	var before api.HealthResponse
+	getHealth(t, ts, &before)
+
+	status, _, raw := submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-rej-1", Verdict: api.VerdictRejected,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("feedback status = %d (body %s)", status, raw)
+	}
+	var resp api.FeedbackResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied != 0 || resp.WALSeq != 0 {
+		t.Fatalf("rejection applied something: %+v", resp)
+	}
+	if resp.LogQueries != before.LogQueries {
+		t.Fatalf("log grew on rejection: %d -> %d", before.LogQueries, resp.LogQueries)
+	}
+	// A rejection still consumes the verdict slot.
+	status, hdr, raw := submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-rej-1", Verdict: api.VerdictAccepted,
+	})
+	wantProblem(t, status, hdr, raw, http.StatusConflict, api.CodeFeedbackConflict)
+}
+
+func getHealth(t testing.TB, ts *httptest.Server, out *api.HealthResponse) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeedbackErrorCodes(t *testing.T) {
+	ts := feedbackServer(t)
+	translateAs(t, ts, "mas", "fb-err-1", "papers:select;Databases:where")
+
+	cases := []struct {
+		name       string
+		req        api.FeedbackRequest
+		wantStatus int
+		wantCode   string
+	}{
+		{"unknown id", api.FeedbackRequest{RequestID: "never-served", Verdict: api.VerdictAccepted},
+			http.StatusNotFound, api.CodeUnknownRequestID},
+		{"missing id", api.FeedbackRequest{Verdict: api.VerdictAccepted},
+			http.StatusUnprocessableEntity, api.CodeValidation},
+		{"bad verdict", api.FeedbackRequest{RequestID: "fb-err-1", Verdict: "maybe"},
+			http.StatusUnprocessableEntity, api.CodeValidation},
+		{"unparseable correction", api.FeedbackRequest{RequestID: "fb-err-1", Verdict: api.VerdictCorrected, CorrectedSQL: "DROP TABLE papers"},
+			http.StatusUnprocessableEntity, api.CodeInvalidSQL},
+		{"correction without sql", api.FeedbackRequest{RequestID: "fb-err-1", Verdict: api.VerdictCorrected},
+			http.StatusUnprocessableEntity, api.CodeValidation},
+		{"stray corrected_sql", api.FeedbackRequest{RequestID: "fb-err-1", Verdict: api.VerdictAccepted, CorrectedSQL: "SELECT title FROM publication"},
+			http.StatusUnprocessableEntity, api.CodeValidation},
+		{"weight over cap", api.FeedbackRequest{RequestID: "fb-err-1", Verdict: api.VerdictAccepted, Weight: MaxFeedbackWeight + 1},
+			http.StatusUnprocessableEntity, api.CodeValidation},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, hdr, raw := submitFeedback(t, ts, "mas", tc.req)
+			wantProblem(t, status, hdr, raw, tc.wantStatus, tc.wantCode)
+		})
+	}
+
+	// None of the failures consumed the verdict slot: a valid correction
+	// still lands.
+	status, _, raw := submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-err-1", Verdict: api.VerdictCorrected,
+		CorrectedSQL: "SELECT title FROM publication WHERE publication.title = 'x'",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("correction after failed submissions: status %d (body %s)", status, raw)
+	}
+	var resp api.FeedbackResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied != 1 {
+		t.Fatalf("correction applied = %d, want 1", resp.Applied)
+	}
+	// ... and now the slot is consumed.
+	status, hdr, raw := submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-err-1", Verdict: api.VerdictAccepted,
+	})
+	wantProblem(t, status, hdr, raw, http.StatusConflict, api.CodeFeedbackConflict)
+}
+
+func TestFeedbackFrozenLogReleasesClaim(t *testing.T) {
+	// A frozen-log engine records served translations (the counters still
+	// work) but cannot apply verdicts; the failed apply must not burn the
+	// entry's one verdict slot.
+	ds := datasets.MAS()
+	srv := NewServer(buildSystem(t, ds, keyword.Options{}), ds.Name, 2)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	translateAs(t, ts, "mas", "fb-frozen-1", "papers:select;Databases:where")
+	status, hdr, raw := submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-frozen-1", Verdict: api.VerdictAccepted,
+	})
+	wantProblem(t, status, hdr, raw, http.StatusConflict, api.CodeLogFrozen)
+
+	// The claim was released: the same verdict is retryable (and fails
+	// the same way, not with feedback_conflict).
+	status, hdr, raw = submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-frozen-1", Verdict: api.VerdictAccepted,
+	})
+	wantProblem(t, status, hdr, raw, http.StatusConflict, api.CodeLogFrozen)
+
+	// Rejections don't append, so they work even on a frozen log.
+	status, _, raw = submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-frozen-1", Verdict: api.VerdictRejected,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("rejection on frozen log: status %d (body %s)", status, raw)
+	}
+}
+
+func TestFeedbackFollowerRedirectsToPrimary(t *testing.T) {
+	ds := datasets.MAS()
+	reg := NewRegistry()
+	tn := &Tenant{
+		Name:     ds.Name,
+		Sys:      buildLiveSystem(t, ds, keyword.Options{}),
+		Source:   "preloaded",
+		Follower: &repl.Follower{},
+		Primary:  "http://primary.example:8080",
+	}
+	if err := reg.Add(tn); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewRegistryServer(reg, ds.Name, 2, nil).Handler())
+	t.Cleanup(ts.Close)
+
+	buf, _ := json.Marshal(api.FeedbackRequest{RequestID: "x", Verdict: api.VerdictAccepted})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v2/mas/feedback", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("status = %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "http://primary.example:8080/v2/mas/feedback" {
+		t.Fatalf("Location = %q", loc)
+	}
+}
+
+// TestFeedbackDurableAndRecovered proves an acked feedback append is a
+// first-class WAL record: it survives a crash (boot from the same disk
+// state) exactly like an explicit log append.
+func TestFeedbackDurableAndRecovered(t *testing.T) {
+	ds := datasets.MAS()
+	storeDir, walDir := t.TempDir(), t.TempDir()
+	tn, _ := durableTenant(t, ds, storeDir, walDir)
+	ts, _ := durableServer(t, tn)
+
+	translateAs(t, ts, "mas", "fb-dur-1", "papers:select;Databases:where")
+	translateAs(t, ts, "mas", "fb-dur-2", "authors:select;Data Mining:where")
+
+	status, _, raw := submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-dur-1", Verdict: api.VerdictAccepted, Weight: 2,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("accept status = %d (body %s)", status, raw)
+	}
+	var ack1 api.FeedbackResponse
+	if err := json.Unmarshal(raw, &ack1); err != nil {
+		t.Fatal(err)
+	}
+	if ack1.WALSeq == 0 {
+		t.Fatal("accepted feedback carried no durability receipt")
+	}
+	status, _, raw = submitFeedback(t, ts, "mas", api.FeedbackRequest{
+		RequestID: "fb-dur-2", Verdict: api.VerdictCorrected,
+		CorrectedSQL: "SELECT name FROM author WHERE author.name = 'x'",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("correct status = %d (body %s)", status, raw)
+	}
+	var ack2 api.FeedbackResponse
+	if err := json.Unmarshal(raw, &ack2); err != nil {
+		t.Fatal(err)
+	}
+	if ack2.WALSeq != ack1.WALSeq+1 {
+		t.Fatalf("wal_seq = %d, want %d", ack2.WALSeq, ack1.WALSeq+1)
+	}
+
+	probe := api.TranslateRequest{Queries: []api.KeywordsInput{{Spec: "papers:select;Databases:where"}}}
+	var want api.TranslateResponse
+	if s := postJSON(t, ts.URL+"/v2/mas/translate", probe, &want); s != http.StatusOK {
+		t.Fatalf("probe status = %d", s)
+	}
+
+	// "Crash": boot a second tenant from the same store + WAL directories
+	// without closing the first (per-append fsync already persisted the
+	// acks).
+	tn2, rec := durableTenant(t, ds, storeDir, walDir)
+	if got := tn2.WAL.LastSeq(); got != uint64(ack2.WALSeq) {
+		t.Fatalf("recovered LastSeq = %d, want %d", got, ack2.WALSeq)
+	}
+	if len(rec.Records) == 0 {
+		t.Fatal("recovery replayed no records")
+	}
+	ts2, _ := durableServer(t, tn2)
+	var got api.TranslateResponse
+	if s := postJSON(t, ts2.URL+"/v2/mas/translate", probe, &got); s != http.StatusOK {
+		t.Fatalf("recovered probe status = %d", s)
+	}
+	assertSameJSON(t, want, got)
+}

@@ -90,7 +90,10 @@ func classify(path string) shedClass {
 		return classExempt
 	case strings.HasSuffix(path, "/translate"):
 		return classTranslate
-	case strings.HasSuffix(path, "/log"):
+	case strings.HasSuffix(path, "/log"),
+		// Feedback is a write like a log append: shed it at the same
+		// pressure tier so learning yields to read traffic under load.
+		strings.HasSuffix(path, "/feedback"):
 		return classLog
 	default:
 		return classQuery

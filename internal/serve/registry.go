@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"templar/internal/feedback"
 	"templar/internal/repl"
 	"templar/internal/templar"
 	"templar/internal/wal"
@@ -52,6 +53,14 @@ type Tenant struct {
 	// Primary is the primary's base URL, the redirect target for appends
 	// reaching a follower tenant. Set with Follower.
 	Primary string
+	// FeedbackCapacity overrides the translation ledger's ring size (0 =
+	// feedback.DefaultCapacity). Set before the tenant serves traffic.
+	FeedbackCapacity int
+
+	// fb is the tenant's translation ledger, created lazily by
+	// FeedbackLedger the first time a translation is recorded or a verdict
+	// arrives (see feedback.go).
+	fb atomic.Pointer[feedback.Ledger]
 
 	// appendMu serializes the WAL-write → engine-apply pair of a log
 	// append, and compaction's rotate → engine-capture pair, so WAL order,

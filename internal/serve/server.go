@@ -180,6 +180,10 @@ func (s *Server) Routes() []Route {
 		)
 	}
 	return append(routes,
+		// Feedback is v2-only: it depends on X-Request-ID plumbing and the
+		// RFC-7807 claim-conflict vocabulary, neither of which the frozen
+		// v1 contract has.
+		Route{Method: http.MethodPost, Pattern: "/v2/{dataset}/feedback", handler: s.withTenant(s.handleV2Feedback, true)},
 		// Replication: the WAL tail stream and its bootstrap snapshot
 		// (internal/repl speaks these; regular clients never need them).
 		Route{Method: http.MethodGet, Pattern: "/v2/{dataset}/wal", handler: s.withTenant(s.handleV2WALTail, true)},
@@ -483,6 +487,11 @@ func (s *Server) handleV2Translate(w http.ResponseWriter, r *http.Request, t *Te
 		return
 	}
 	resp, apiErr := s.coreTranslate(r.Context(), t.Sys, req)
+	if apiErr == nil && resp != nil {
+		// Remember what was served so POST /v2/{dataset}/feedback can turn
+		// a verdict on this request ID into a log append (feedback.go).
+		recordTranslation(t, RequestIDFrom(r.Context()), req, resp)
+	}
 	writeV2(s, w, r, resp, apiErr)
 }
 
@@ -561,6 +570,7 @@ func (s *Server) tenantStatus(t *Tenant) api.DatasetStatus {
 		ds.LiveLog = false
 	}
 	ds.Load = s.tenantLoadStatus(t)
+	ds.Feedback = t.feedbackStatus()
 	return ds
 }
 
@@ -613,6 +623,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			resp.LogEdges = st.LogEdges
 			resp.WAL = st.WAL
 			resp.Repl = st.Repl
+			resp.Feedback = st.Feedback
 		}
 	}
 	writeJSON(w, status, resp)

@@ -217,6 +217,39 @@ func execute(ctx context.Context, c *client.Client, req Request) error {
 	case OpLogAppend:
 		_, err := c.AppendLog(ctx, req.Dataset, *req.LogAppend)
 		return err
+	case OpFeedback:
+		fb := req.Feedback
+		tr, err := c.Translate(client.WithRequestID(ctx, fb.RequestID), req.Dataset, *fb.Translate)
+		if err != nil {
+			return err
+		}
+		served := false
+		for _, r := range tr.Results {
+			if r.Error == nil && r.SQL != "" {
+				served = true
+				break
+			}
+		}
+		if !served {
+			return nil // nothing entered the ledger; no verdict to submit
+		}
+		_, err = c.Feedback(ctx, req.Dataset, api.FeedbackRequest{
+			RequestID:    fb.RequestID,
+			Verdict:      fb.Verdict,
+			CorrectedSQL: fb.CorrectedSQL,
+			Weight:       fb.Weight,
+		})
+		if err != nil {
+			var e *api.Error
+			// Under sustained load the bounded ledger may evict the entry
+			// before the verdict lands — the designed too-late outcome, not
+			// a failure.
+			if errors.As(err, &e) && e.Code == api.CodeUnknownRequestID {
+				return nil
+			}
+			return err
+		}
+		return nil
 	default:
 		return fmt.Errorf("workload: unknown op %q", req.Op)
 	}

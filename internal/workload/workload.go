@@ -19,16 +19,19 @@ import (
 // Op is one request kind in the synthesized mix, named after its v2 route.
 type Op string
 
-// The four operation kinds a workload interleaves.
+// The five operation kinds a workload interleaves.
 const (
 	OpMapKeywords Op = "map-keywords"
 	OpInferJoins  Op = "infer-joins"
 	OpTranslate   Op = "translate"
 	OpLogAppend   Op = "log"
+	// OpFeedback is a translate tagged with a deterministic request ID
+	// followed by a verdict on what it served — the learning loop.
+	OpFeedback Op = "feedback"
 )
 
 // Ops lists the operation kinds in mix order.
-func Ops() []Op { return []Op{OpMapKeywords, OpInferJoins, OpTranslate, OpLogAppend} }
+func Ops() []Op { return []Op{OpMapKeywords, OpInferJoins, OpTranslate, OpFeedback, OpLogAppend} }
 
 // Mix weights the operation kinds of a synthesized stream. Weights are
 // relative integers (a zero weight drops the operation entirely); the
@@ -40,6 +43,10 @@ type Mix struct {
 	InferJoins  int `json:"infer_joins"`
 	Translate   int `json:"translate"`
 	LogAppend   int `json:"log_append"`
+	// Feedback is the relative frequency of translate-then-verdict pairs
+	// (accept/reject/correct at seeded ratios); 0 in the default mix, so
+	// feedback traffic is always an explicit opt-in.
+	Feedback int `json:"feedback,omitempty"`
 	// SessionFraction is the fraction of log appends folded as ordered
 	// user sessions instead of independent entries, in [0, 1].
 	SessionFraction float64 `json:"session_fraction"`
@@ -69,7 +76,7 @@ func DefaultMix() Mix {
 
 // withDefaults fills the shape knobs a zero-ish Mix leaves unset.
 func (m Mix) withDefaults() Mix {
-	if m.MapKeywords <= 0 && m.InferJoins <= 0 && m.Translate <= 0 && m.LogAppend <= 0 {
+	if m.MapKeywords <= 0 && m.InferJoins <= 0 && m.Translate <= 0 && m.LogAppend <= 0 && m.Feedback <= 0 {
 		d := DefaultMix()
 		m.MapKeywords, m.InferJoins, m.Translate, m.LogAppend = d.MapKeywords, d.InferJoins, d.Translate, d.LogAppend
 	}
@@ -83,7 +90,9 @@ func (m Mix) withDefaults() Mix {
 }
 
 // total returns the summed operation weights.
-func (m Mix) total() int { return m.MapKeywords + m.InferJoins + m.Translate + m.LogAppend }
+func (m Mix) total() int {
+	return m.MapKeywords + m.InferJoins + m.Translate + m.Feedback + m.LogAppend
+}
 
 // ParseMix parses the CLI mix syntax "map=45,infer=25,translate=20,log=10"
 // into the default mix with the named weights overridden. Unknown keys and
@@ -111,8 +120,10 @@ func ParseMix(s string) (Mix, error) {
 			m.Translate = w
 		case "log", "log-append":
 			m.LogAppend = w
+		case "feedback":
+			m.Feedback = w
 		default:
-			return Mix{}, fmt.Errorf("workload: unknown mix key %q (want map, infer, translate or log)", kv[0])
+			return Mix{}, fmt.Errorf("workload: unknown mix key %q (want map, infer, translate, feedback or log)", kv[0])
 		}
 	}
 	if m.total() == 0 {
@@ -134,6 +145,24 @@ type Request struct {
 	InferJoins  *api.InferJoinsRequest  `json:"infer_joins,omitempty"`
 	Translate   *api.TranslateRequest   `json:"translate,omitempty"`
 	LogAppend   *api.LogAppendRequest   `json:"log_append,omitempty"`
+	Feedback    *FeedbackCall           `json:"feedback,omitempty"`
+}
+
+// FeedbackCall is one synthesized learning-loop interaction: a translate
+// tagged with a deterministic request ID, then a verdict on what it
+// served. The verdict fields are baked into the stream at generation
+// time, so the fingerprint pins the whole interaction.
+type FeedbackCall struct {
+	// RequestID tags the translate (via the SDK's WithRequestID) and
+	// references it in the verdict; "wl-<seed>-<seq>" keeps IDs unique per
+	// stream and reproducible across runs.
+	RequestID string                `json:"request_id"`
+	Translate *api.TranslateRequest `json:"translate"`
+	// Verdict is one of the api.Verdict* constants; CorrectedSQL is drawn
+	// from the profile's gold log for corrections.
+	Verdict      string `json:"verdict"`
+	CorrectedSQL string `json:"corrected_sql,omitempty"`
+	Weight       int    `json:"weight,omitempty"`
 }
 
 // Profile is the request material mined from one dataset: everything a
@@ -281,6 +310,29 @@ func (g *Generator) Next() Request {
 			tr.Queries[i] = p.Keywords[g.rng.Intn(len(p.Keywords))]
 		}
 		req.Translate = tr
+	case w < g.mix.MapKeywords+g.mix.InferJoins+g.mix.Translate+g.mix.Feedback:
+		req.Op = OpFeedback
+		fc := &FeedbackCall{
+			RequestID: fmt.Sprintf("wl-%d-%d", g.seed, req.Seq),
+			Translate: &api.TranslateRequest{
+				Queries: []api.KeywordsInput{p.Keywords[g.rng.Intn(len(p.Keywords))]},
+			},
+		}
+		// Seeded verdict ratios: half accepted, a sixth rejected, a third
+		// corrected with gold SQL — enough of each to exercise every
+		// ledger transition under concurrency.
+		switch v := g.rng.Intn(6); {
+		case v < 3:
+			fc.Verdict = api.VerdictAccepted
+			fc.Weight = 1 + g.rng.Intn(3)
+		case v < 4:
+			fc.Verdict = api.VerdictRejected
+		default:
+			fc.Verdict = api.VerdictCorrected
+			fc.CorrectedSQL = p.SQL[g.rng.Intn(len(p.SQL))]
+			fc.Weight = 1 + g.rng.Intn(2)
+		}
+		req.Feedback = fc
 	default:
 		req.Op = OpLogAppend
 		session := g.rng.Float01() < g.mix.SessionFraction && len(p.SQL) >= 2

@@ -128,6 +128,62 @@ func TestStreamShape(t *testing.T) {
 	}
 }
 
+// TestFeedbackStream asserts the feedback mix component synthesizes
+// well-formed, bit-reproducible translate-then-verdict pairs at the
+// seeded verdict ratios.
+func TestFeedbackStream(t *testing.T) {
+	profiles := mineAll(t)
+	mix := DefaultMix()
+	mix.Feedback = 20
+	gen := func(seed uint64) []Request {
+		g, err := NewGenerator(profiles, mix, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Generate(2000)
+	}
+	a := gen(11)
+	if Fingerprint(a) != Fingerprint(gen(11)) {
+		t.Fatal("feedback stream is not bit-reproducible")
+	}
+	ids := map[string]bool{}
+	verdicts := map[string]int{}
+	for _, req := range a {
+		if req.Op != OpFeedback {
+			continue
+		}
+		fb := req.Feedback
+		if fb == nil || fb.Translate == nil || len(fb.Translate.Queries) == 0 {
+			t.Fatalf("malformed feedback request %+v", req)
+		}
+		if fb.RequestID == "" || ids[fb.RequestID] {
+			t.Fatalf("request id %q empty or reused", fb.RequestID)
+		}
+		ids[fb.RequestID] = true
+		verdicts[fb.Verdict]++
+		switch fb.Verdict {
+		case api.VerdictAccepted, api.VerdictRejected:
+			if fb.CorrectedSQL != "" {
+				t.Fatalf("%s verdict carries corrected_sql", fb.Verdict)
+			}
+		case api.VerdictCorrected:
+			if fb.CorrectedSQL == "" {
+				t.Fatal("corrected verdict without corrected_sql")
+			}
+		default:
+			t.Fatalf("unknown verdict %q", fb.Verdict)
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatal("no feedback requests synthesized")
+	}
+	for _, v := range []string{api.VerdictAccepted, api.VerdictRejected, api.VerdictCorrected} {
+		if verdicts[v] == 0 {
+			t.Fatalf("verdict %q never drawn (got %v)", v, verdicts)
+		}
+	}
+}
+
 // TestZeroWeightDropsOp proves a zero weight removes an operation from
 // the stream entirely (soak phases rely on read-only mixes).
 func TestZeroWeightDropsOp(t *testing.T) {

@@ -175,6 +175,85 @@ type LogAppendResponse struct {
 	WALSeq int64 `json:"wal_seq,omitempty"`
 }
 
+// Feedback verdicts: a client's judgement of a served translation,
+// submitted on POST /v2/{dataset}/feedback.
+const (
+	// VerdictAccepted: the served SQL was right; its queries are folded
+	// into the live log with the submission's confidence weight.
+	VerdictAccepted = "accepted"
+	// VerdictRejected: the served SQL was wrong and no correction is
+	// available; recorded for counters only, never appended.
+	VerdictRejected = "rejected"
+	// VerdictCorrected: the served SQL was wrong and CorrectedSQL is what
+	// the user actually wanted; the correction is appended instead.
+	VerdictCorrected = "corrected"
+)
+
+// FeedbackRequest is the body of POST /v2/{dataset}/feedback: a verdict
+// on a translation the server recently served. RequestID must be the
+// X-Request-ID the translate response carried (clients may also supply
+// their own ID on the translate call; the middleware honors incoming IDs
+// up to 64 characters).
+type FeedbackRequest struct {
+	RequestID string `json:"request_id"`
+	// Verdict is one of the Verdict* constants.
+	Verdict string `json:"verdict"`
+	// CorrectedSQL is the SQL the user actually wanted; required for (and
+	// only meaningful with) VerdictCorrected. It must parse as a supported
+	// SELECT query or the submission fails with invalid_sql.
+	CorrectedSQL string `json:"corrected_sql,omitempty"`
+	// Weight is the confidence multiplicity the applied queries are
+	// appended with (how strongly this verdict should outrank mined
+	// history); values < 1 default to 1, capped server-side.
+	Weight int `json:"weight,omitempty"`
+	// Session folds an accepted multi-query translation batch as one
+	// ordered session (decayed cross-query evidence) instead of
+	// independent entries. Ignored for corrections.
+	Session bool `json:"session,omitempty"`
+	// Decay is the per-step session decay in (0, 1]; 0 defaults to 0.5.
+	// Only meaningful with Session.
+	Decay float64 `json:"decay,omitempty"`
+}
+
+// FeedbackResponse reports what a feedback submission did. Applied is 0
+// for rejections (recorded, never appended); for accepted/corrected
+// verdicts the log fields mirror LogAppendResponse, and a non-zero
+// WALSeq is the same durability receipt a direct log append gets.
+type FeedbackResponse struct {
+	RequestID string `json:"request_id"`
+	Verdict   string `json:"verdict"`
+	// Applied is how many queries the verdict appended to the live log.
+	Applied      int `json:"applied"`
+	LogQueries   int `json:"log_queries"`
+	LogFragments int `json:"log_fragments"`
+	LogEdges     int `json:"log_edges"`
+	// WALSeq is the write-ahead-log sequence the applied append was made
+	// durable at (0 for rejections or WAL-less tenants).
+	WALSeq int64 `json:"wal_seq,omitempty"`
+}
+
+// FeedbackStatus is one dataset's translation-ledger and verdict
+// counters, reported on /healthz and the dataset listings once the
+// tenant has served feedback-eligible traffic.
+type FeedbackStatus struct {
+	// LedgerSize/LedgerCapacity describe the ring of served translations
+	// still eligible for a verdict.
+	LedgerSize     int `json:"ledger_size"`
+	LedgerCapacity int `json:"ledger_capacity"`
+	// Recorded counts translations entered into the ledger; Evicted counts
+	// entries displaced by ring wrap before any verdict arrived.
+	Recorded int64 `json:"recorded"`
+	Evicted  int64 `json:"evicted,omitempty"`
+	// Accepted/Rejected/Corrected count applied verdicts by kind.
+	Accepted  int64 `json:"accepted,omitempty"`
+	Rejected  int64 `json:"rejected,omitempty"`
+	Corrected int64 `json:"corrected,omitempty"`
+	// Conflicts counts double-submissions refused with feedback_conflict;
+	// Unknown counts submissions for unrecorded or evicted request IDs.
+	Conflicts int64 `json:"conflicts,omitempty"`
+	Unknown   int64 `json:"unknown,omitempty"`
+}
+
 // WALStatus is one dataset's write-ahead-log counters, reported on
 // /healthz and the dataset listings when a WAL is attached.
 type WALStatus struct {
@@ -312,6 +391,9 @@ type DatasetStatus struct {
 	// Repl reports the tenant's replication position when it is a follower
 	// replica; absent on primaries.
 	Repl *ReplicationStatus `json:"repl,omitempty"`
+	// Feedback reports the dataset's translation-ledger and verdict
+	// counters once feedback-eligible traffic has been served.
+	Feedback *FeedbackStatus `json:"feedback,omitempty"`
 }
 
 // DatasetsResponse is the body of GET /v2/datasets and GET
@@ -359,6 +441,9 @@ type HealthResponse struct {
 	// Repl mirrors the default dataset's replication position when this
 	// server is a follower replica, like DatasetStatus.Repl.
 	Repl *ReplicationStatus `json:"repl,omitempty"`
+	// Feedback mirrors the default dataset's translation-ledger counters,
+	// like DatasetStatus.Feedback.
+	Feedback *FeedbackStatus `json:"feedback,omitempty"`
 	// Datasets lists every hosted dataset (multi-tenant view).
 	Datasets []DatasetStatus `json:"datasets,omitempty"`
 	// Metrics is the middleware request telemetry.

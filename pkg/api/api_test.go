@@ -28,6 +28,9 @@ var wireTypes = []any{
 	LogEntry{},
 	LogAppendRequest{},
 	LogAppendResponse{},
+	FeedbackRequest{},
+	FeedbackResponse{},
+	FeedbackStatus{},
 	WALStatus{},
 	ReplicationStatus{},
 	TenantLimits{},

@@ -61,6 +61,18 @@ const (
 	// primary has compacted away — the follower must re-bootstrap from a
 	// fresh snapshot instead of tailing (410).
 	CodeWALGap = "wal_gap"
+	// CodeUnknownRequestID: feedback referenced a request ID the dataset's
+	// translation ledger never recorded, or that has already been evicted
+	// by newer traffic — the verdict arrived too late to apply (404).
+	CodeUnknownRequestID = "unknown_request_id"
+	// CodeFeedbackConflict: a verdict for this request ID was already
+	// applied, or a concurrent submission holds it right now — each served
+	// translation accepts exactly one verdict (409).
+	CodeFeedbackConflict = "feedback_conflict"
+	// CodeInvalidSQL: the corrected_sql of a feedback submission does not
+	// parse as a supported SELECT query, so no fragments could be mined
+	// from it (422).
+	CodeInvalidSQL = "invalid_sql"
 	// CodeInternal: an unexpected server-side failure (500).
 	CodeInternal = "internal"
 )
@@ -104,22 +116,25 @@ type ItemError struct {
 
 // titles maps codes to their stable RFC-7807 titles.
 var titles = map[string]string{
-	CodeBadRequest:     "malformed request body",
-	CodeValidation:     "request validation failed",
-	CodeUnprocessable:  "engine could not answer the request",
-	CodeBodyTooLarge:   "request body too large",
-	CodeBatchTooLarge:  "batch exceeds the per-request cap",
-	CodeUnknownDataset: "unknown dataset",
-	CodeLogFrozen:      "log appends disabled",
-	CodeConflict:       "conflicting state",
-	CodeUnauthorized:   "authorization required",
-	CodeNotConfigured:  "capability not configured",
-	CodeOverloaded:     "server overloaded, request shed",
-	CodeRateLimited:    "per-tenant quota exhausted",
-	CodeDraining:       "server draining for shutdown",
-	CodeNotPrimary:     "read-only follower, write to the primary",
-	CodeWALGap:         "requested WAL range compacted away",
-	CodeInternal:       "internal server error",
+	CodeBadRequest:       "malformed request body",
+	CodeValidation:       "request validation failed",
+	CodeUnprocessable:    "engine could not answer the request",
+	CodeBodyTooLarge:     "request body too large",
+	CodeBatchTooLarge:    "batch exceeds the per-request cap",
+	CodeUnknownDataset:   "unknown dataset",
+	CodeLogFrozen:        "log appends disabled",
+	CodeConflict:         "conflicting state",
+	CodeUnauthorized:     "authorization required",
+	CodeNotConfigured:    "capability not configured",
+	CodeOverloaded:       "server overloaded, request shed",
+	CodeRateLimited:      "per-tenant quota exhausted",
+	CodeDraining:         "server draining for shutdown",
+	CodeNotPrimary:       "read-only follower, write to the primary",
+	CodeWALGap:           "requested WAL range compacted away",
+	CodeInternal:         "internal server error",
+	CodeUnknownRequestID: "request id not in the translation ledger",
+	CodeFeedbackConflict: "verdict already submitted for this request id",
+	CodeInvalidSQL:       "corrected SQL does not parse",
 }
 
 // NewError builds a problem document for a code, filling Type and Title

@@ -228,8 +228,35 @@ func (c *Client) AppendLog(ctx context.Context, dataset string, req api.LogAppen
 	return &out, nil
 }
 
+// Feedback submits a verdict on a recently served translation: the
+// request ID must be one the client tagged a Translate call with (see
+// WithRequestID) or read off a translate response's X-Request-ID header.
+// Like log appends, feedback is not idempotent — an accepted or
+// corrected verdict mutates the log — so it is never retried; a retry
+// after an ambiguous failure is safe anyway, because the server answers
+// a duplicate with 409 feedback_conflict rather than double-counting.
+func (c *Client) Feedback(ctx context.Context, dataset string, req api.FeedbackRequest) (*api.FeedbackResponse, error) {
+	var out api.FeedbackResponse
+	if err := c.do(ctx, http.MethodPost, c.scoped(dataset, "feedback"), req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 func (c *Client) scoped(dataset, endpoint string) string {
 	return "/v2/" + url.PathEscape(dataset) + "/" + endpoint
+}
+
+// requestIDKey carries a caller-chosen X-Request-ID through a context.
+type requestIDKey struct{}
+
+// WithRequestID returns a context that makes calls carry the given
+// X-Request-ID (64 characters max, per the server's middleware; longer
+// IDs are replaced server-side). Tagging a Translate call with a known
+// ID is how a client later references the served translation in
+// Feedback without parsing response headers.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
 }
 
 // do executes one call with marshal-once/replay-per-attempt bodies,
@@ -310,6 +337,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if id, ok := ctx.Value(requestIDKey{}).(string); ok && id != "" {
+		req.Header.Set("X-Request-ID", id)
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {

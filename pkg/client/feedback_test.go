@@ -1,0 +1,163 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"templar/pkg/api"
+)
+
+// TestFeedbackRoundTrip drives the full verdict lifecycle through the
+// SDK against a real serving stack: tag a translate with a known
+// request ID, accept it, and watch the log grow by the weight.
+func TestFeedbackRoundTrip(t *testing.T) {
+	c := liveServer(t)
+	ctx := context.Background()
+
+	before, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := c.Translate(WithRequestID(ctx, "sdk-fb-1"), "mas", api.TranslateRequest{
+		Queries: []api.KeywordsInput{{Spec: "papers:select;Databases:where"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Results) != 1 || tr.Results[0].SQL == "" {
+		t.Fatalf("translate results = %+v", tr.Results)
+	}
+
+	fb, err := c.Feedback(ctx, "mas", api.FeedbackRequest{
+		RequestID: "sdk-fb-1", Verdict: api.VerdictAccepted, Weight: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Verdict != api.VerdictAccepted || fb.Applied != 1 {
+		t.Fatalf("feedback = %+v", fb)
+	}
+	if want := before.LogQueries + 2; fb.LogQueries != want {
+		t.Fatalf("log_queries = %d, want %d", fb.LogQueries, want)
+	}
+
+	// The dataset status now carries the ledger counters.
+	dss, err := c.Datasets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dss[0].Feedback == nil || dss[0].Feedback.Accepted != 1 {
+		t.Fatalf("dataset feedback status = %+v", dss[0].Feedback)
+	}
+}
+
+// TestFeedbackErrorCodesDecoded asserts each feedback failure surfaces
+// as the structured *api.Error the server spoke.
+func TestFeedbackErrorCodesDecoded(t *testing.T) {
+	c := liveServer(t)
+	ctx := context.Background()
+
+	if _, err := c.Translate(WithRequestID(ctx, "sdk-fb-err"), "mas", api.TranslateRequest{
+		Queries: []api.KeywordsInput{{Spec: "papers:select;Databases:where"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		req        api.FeedbackRequest
+		wantStatus int
+		wantCode   string
+	}{
+		{"unknown_request_id", api.FeedbackRequest{RequestID: "never-served", Verdict: api.VerdictAccepted},
+			http.StatusNotFound, api.CodeUnknownRequestID},
+		{"invalid_sql", api.FeedbackRequest{RequestID: "sdk-fb-err", Verdict: api.VerdictCorrected, CorrectedSQL: "DELETE FROM x"},
+			http.StatusUnprocessableEntity, api.CodeInvalidSQL},
+		{"validation_failed", api.FeedbackRequest{RequestID: "sdk-fb-err", Verdict: "shrug"},
+			http.StatusUnprocessableEntity, api.CodeValidation},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Feedback(ctx, "mas", tc.req)
+			var apiErr *api.Error
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("err = %v, want *api.Error", err)
+			}
+			if apiErr.Code != tc.wantCode || apiErr.Status != tc.wantStatus {
+				t.Fatalf("got %s/%d, want %s/%d", apiErr.Code, apiErr.Status, tc.wantCode, tc.wantStatus)
+			}
+		})
+	}
+
+	// Double-submit: the first verdict wins, the second is a conflict.
+	if _, err := c.Feedback(ctx, "mas", api.FeedbackRequest{
+		RequestID: "sdk-fb-err", Verdict: api.VerdictRejected,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Feedback(ctx, "mas", api.FeedbackRequest{
+		RequestID: "sdk-fb-err", Verdict: api.VerdictAccepted,
+	})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeFeedbackConflict || apiErr.Status != http.StatusConflict {
+		t.Fatalf("double-submit err = %v, want feedback_conflict/409", err)
+	}
+}
+
+// TestFeedbackNeverRetries pins the non-idempotence contract: a 5xx on
+// feedback is surfaced after exactly one attempt, like AppendLog.
+func TestFeedbackNeverRetries(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithRetries(5), WithBackoff(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Feedback(context.Background(), "mas", api.FeedbackRequest{
+		RequestID: "x", Verdict: api.VerdictAccepted,
+	}); err == nil {
+		t.Fatal("expected error")
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want 1", n)
+	}
+}
+
+// TestWithRequestIDHeader asserts the context value reaches the wire on
+// every call type.
+func TestWithRequestIDHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Request-ID"))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{}"))
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithRequestID(context.Background(), "tagged-42")
+	if _, err := c.Translate(ctx, "mas", api.TranslateRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "tagged-42" {
+		t.Fatalf("X-Request-ID = %q, want tagged-42", got.Load())
+	}
+	// An untagged context sends no header.
+	if _, err := c.Translate(context.Background(), "mas", api.TranslateRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "" {
+		t.Fatalf("X-Request-ID = %q, want empty", got.Load())
+	}
+}
