@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt vet docs-check api-check wal-check repl-check serve soak golden golden-check counterfactual-check load-smoke overload-smoke
+.PHONY: all build test race bench bench-json alloc-check fuzz fmt vet docs-check api-check wal-check repl-check serve soak golden golden-check counterfactual-check load-smoke overload-smoke
 
 all: build vet test
 
@@ -26,6 +26,20 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > bench.txt
 	$(GO) run ./cmd/bench2json < bench.txt > BENCH_latest.json
 	@echo "wrote bench.txt and BENCH_latest.json"
+
+# alloc-check gates the serving hot path against the committed baseline:
+# the AllocsPerRun ceilings (alloc_test.go), then a steady-state re-measure
+# of the end-to-end benchmarks diffed by cmd/benchdiff. Allocation growth
+# past 25% fails; wall-clock gets a loose 100% band since baselines travel
+# between machines.
+ALLOC_BASELINE ?= BENCH_2026-08-07.json
+alloc-check:
+	$(GO) test . -run 'AllocCeiling' -count=1 -v
+	$(GO) test . ./internal/serve ./internal/joinpath -run '^$$' \
+		-bench 'MapKeywordsIndexed|TranslateSnapshotQFG|TranslateEndToEnd|BenchmarkInfer' \
+		-benchtime 100x -benchmem > bench_alloc.txt
+	$(GO) run ./cmd/bench2json < bench_alloc.txt > BENCH_alloc.json
+	$(GO) run ./cmd/benchdiff $(ALLOC_BASELINE) BENCH_alloc.json
 
 fuzz:
 	$(GO) test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s

@@ -1,0 +1,114 @@
+// Command benchdiff compares two bench2json documents and fails when the
+// new run regresses past a tolerance, so `make alloc-check` can gate the
+// serving hot path against a committed baseline (BENCH_*.json).
+//
+//	benchdiff [-allocs-tolerance 0.25] [-ns-tolerance 1.0] old.json new.json
+//
+// Only benchmarks present in BOTH documents are compared (the committed
+// baseline spans the whole repo; a gating run usually re-measures just the
+// hot path). Allocation counts are near-deterministic, so their tolerance
+// is tight by default; wall-clock tolerance is loose because baselines
+// travel between machines. Exit status 1 on any regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchmark struct {
+	Package string             `json:"package"`
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func load(path string) (map[string]map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]map[string]float64, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		out[b.Package+"."+b.Name] = b.Metrics
+	}
+	return out, nil
+}
+
+func main() {
+	allocsTol := flag.Float64("allocs-tolerance", 0.25, "max fractional allocs/op growth before failing")
+	nsTol := flag.Float64("ns-tolerance", 1.0, "max fractional ns/op growth before failing")
+	allocsSlack := flag.Float64("allocs-slack", 16, "absolute allocs/op growth always tolerated (keeps tiny-count benchmarks from failing on cold-start amortization)")
+	nsSlack := flag.Float64("ns-slack", 2000, "absolute ns/op growth always tolerated (timer granularity on nanosecond-scale benchmarks)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var keys []string
+	for k := range cur {
+		if _, ok := old[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping benchmarks between the two documents")
+		os.Exit(2)
+	}
+
+	check := func(key, metric string, tol, slack float64) (string, bool) {
+		was, okOld := old[key][metric]
+		now, okNew := cur[key][metric]
+		if !okOld || !okNew || was == 0 {
+			return "", true
+		}
+		growth := now/was - 1
+		line := fmt.Sprintf("%-60s %-10s %12.1f -> %12.1f  (%+.1f%%, tolerance %+.0f%%)",
+			key, metric, was, now, growth*100, tol*100)
+		return line, growth <= tol || now-was <= slack
+	}
+
+	failed := false
+	for _, k := range keys {
+		for _, m := range []struct {
+			name       string
+			tol, slack float64
+		}{{"allocs/op", *allocsTol, *allocsSlack}, {"ns/op", *nsTol, *nsSlack}} {
+			line, ok := check(k, m.name, m.tol, m.slack)
+			if line == "" {
+				continue
+			}
+			if !ok {
+				failed = true
+				fmt.Printf("REGRESSION %s\n", line)
+			} else {
+				fmt.Printf("ok         %s\n", line)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

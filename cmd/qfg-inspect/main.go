@@ -161,6 +161,26 @@ func runInfo(args []string) {
 	fmt.Printf("  fragments: %d interned (%d in snapshot)\n", snap.Interner().Len(), snap.Vertices())
 	fmt.Printf("  edges:     %d\n", snap.Edges())
 	fmt.Printf("  wal seq:   %d\n", ar.WalSeq)
+
+	// v3 archives carry a fixed-layout section table: print it so an
+	// operator can see exactly which byte ranges are served zero-copy from
+	// the mapping. Older varint archives have no sections.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	secs, err := store.Sections(data)
+	if err != nil {
+		fatal(err)
+	}
+	if secs == nil {
+		fmt.Printf("  layout:    varint (pre-v3, decoded by copy)\n")
+		return
+	}
+	fmt.Printf("  layout:    fixed v3, %d sections (8-byte aligned, zero-copy mappable)\n", len(secs))
+	for _, s := range secs {
+		fmt.Printf("    %-10s off=%-8d len=%d\n", s.Name, s.Off, s.Len)
+	}
 }
 
 // runWal verifies a write-ahead log segment offline and reports exactly

@@ -183,8 +183,8 @@ func main() {
 			defaultName = tenant.Name
 		}
 		snap := tenant.Sys.Snapshot()
-		log.Printf("templar-serve: dataset=%s source=%s log=%d queries (%d fragments, %d edges) ready in %s",
-			tenant.Name, tenant.Source, snap.Queries(), snap.Vertices(), snap.Edges(),
+		log.Printf("templar-serve: dataset=%s source=%s mmap=%t log=%d queries (%d fragments, %d edges) ready in %s",
+			tenant.Name, tenant.Source, tenant.Mapping != nil, snap.Queries(), snap.Vertices(), snap.Edges(),
 			tenant.LoadTime.Round(time.Millisecond))
 	}
 	if defaultName == "" {
@@ -295,6 +295,15 @@ func main() {
 		}
 		walSynced++
 	}
+	// Release snapshot mappings last: the drain and the compaction sweep
+	// above were the final readers of any snapshot aliasing the boot file.
+	for _, t := range reg.Tenants() {
+		if t.Mapping != nil {
+			if err := t.Mapping.Close(); err != nil {
+				log.Printf("templar-serve: dataset=%s snapshot unmap: %v", t.Name, err)
+			}
+		}
+	}
 
 	ov := srv.Overload()
 	clean := shutdownErr == nil && drainErr == nil
@@ -331,13 +340,22 @@ func loadTenant(ctx context.Context, name, storeDir, walDir string, walSync time
 	source := "built"
 	path := ""
 	var snapshotSeq uint64
+	var mapped *store.Mapped
 	if storeDir != "" {
 		path = filepath.Join(storeDir, store.Filename(ds.Name))
-		switch ar, err := store.ReadFile(path); {
+		// Open, not ReadFile: a v3 archive is served straight out of the
+		// page cache (interner strings and CSR arrays alias the mapping),
+		// so cold start does no per-fragment allocation and co-located
+		// processes share one physical copy. Pre-v3 archives fall back to
+		// the copying decode inside Open.
+		switch m, err := store.Open(path); {
 		case err == nil:
-			live = qfg.NewLiveFromSnapshot(ar.Snapshot)
+			live = qfg.NewLiveFromSnapshot(m.Snapshot)
 			source = "store"
-			snapshotSeq = ar.WalSeq
+			snapshotSeq = m.WalSeq
+			if m.Mmapped() {
+				mapped = m
+			}
 		case errors.Is(err, fs.ErrNotExist):
 			// First boot for this dataset: fall through to the build.
 		default:
@@ -369,6 +387,11 @@ func loadTenant(ctx context.Context, name, storeDir, walDir string, walSync time
 		Source:      source,
 		StorePath:   path,
 		SnapshotSeq: snapshotSeq,
+	}
+	if mapped != nil {
+		// Guarded assignment: a nil *store.Mapped stored directly in the
+		// io.Closer field would make Mapping != nil.
+		tenant.Mapping = mapped
 	}
 	if walDir != "" {
 		if err := os.MkdirAll(walDir, 0o777); err != nil {

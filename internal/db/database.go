@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"templar/internal/schema"
 	"templar/internal/stem"
@@ -12,6 +13,13 @@ import (
 type Database struct {
 	graph  *schema.Graph
 	tables map[string]*Table
+
+	// keyCols memoizes keyColumns: the set depends only on the schema
+	// graph, which is fixed at construction, and IsKeyColumn sits on the
+	// keyword-mapping hot path where rebuilding the map per call dominated
+	// the allocation profile.
+	keyOnce sync.Once
+	keyCols map[string]bool
 }
 
 // New creates an empty database over a schema graph, with one table per
@@ -161,22 +169,25 @@ func (d *Database) IsKeyColumn(rel, attr string) bool {
 }
 
 // keyColumns returns the set of "rel.attr" participating in primary keys or
-// FK-PK edges.
+// FK-PK edges. Computed once; callers must not mutate the returned map.
 func (d *Database) keyColumns() map[string]bool {
-	keys := make(map[string]bool)
-	for _, rn := range d.graph.Relations() {
-		rel, _ := d.graph.Relation(rn)
-		for _, a := range rel.Attributes {
-			if a.PrimaryKey {
-				keys[rn+"."+a.Name] = true
+	d.keyOnce.Do(func() {
+		keys := make(map[string]bool)
+		for _, rn := range d.graph.Relations() {
+			rel, _ := d.graph.Relation(rn)
+			for _, a := range rel.Attributes {
+				if a.PrimaryKey {
+					keys[rn+"."+a.Name] = true
+				}
 			}
 		}
-	}
-	for _, fk := range d.graph.ForeignKeys() {
-		keys[fk.FromRel+"."+fk.FromAttr] = true
-		keys[fk.ToRel+"."+fk.ToAttr] = true
-	}
-	return keys
+		for _, fk := range d.graph.ForeignKeys() {
+			keys[fk.FromRel+"."+fk.FromAttr] = true
+			keys[fk.ToRel+"."+fk.ToAttr] = true
+		}
+		d.keyCols = keys
+	})
+	return d.keyCols
 }
 
 func (d *Database) relationNames() []string {

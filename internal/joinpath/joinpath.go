@@ -126,6 +126,10 @@ type Generator struct {
 	// base is the precomputed relation-instance graph; Infer clones it
 	// instead of re-deriving relations, FK edges and weights per call.
 	base *relGraph
+	// cache memoizes per-bag inference outcomes (see inferCache): the
+	// graph and weights never change after construction, so the ranked
+	// path list for a bag is a pure function of the bag.
+	cache inferCache
 }
 
 // NewGenerator builds a Generator. A nil weight function means uniform.
@@ -149,6 +153,13 @@ func (gen *Generator) Infer(bag []string, topK int) ([]Path, error) {
 // ctx is checked before every Dijkstra sweep of the Steiner approximation
 // and between alternative-path retries, so a canceled request abandons the
 // path search mid-flight; the wrapped ctx error is returned.
+//
+// Outcomes are memoized per bag (the Generator's graph and weights are
+// immutable, so inference is deterministic): repeat bags — the common case
+// when translation tries several configurations naming the same relations —
+// skip the Steiner search entirely. The returned paths of a cache hit share
+// their Relations/Edges backing with the cache; callers must treat them as
+// read-only, which every caller in this module already does.
 func (gen *Generator) InferCtx(ctx context.Context, bag []string, topK int) ([]Path, error) {
 	if len(bag) == 0 {
 		return nil, fmt.Errorf("joinpath: empty relation bag")
@@ -162,6 +173,49 @@ func (gen *Generator) InferCtx(ctx context.Context, bag []string, topK int) ([]P
 		}
 	}
 
+	// Poll before the cache: a canceled request must not be handed a
+	// cached answer it can no longer use — the contract is "canceled
+	// requests abort", cache hit or not.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("joinpath: inference canceled: %w", err)
+	}
+
+	buf := keyScratchPool.Get().(*[]string)
+	key, kb := inferKey(bag, *buf)
+	*buf = kb
+	keyScratchPool.Put(buf)
+
+	if e, ok := gen.cache.get(key); ok {
+		if e.err != nil {
+			return nil, e.err
+		}
+		return trimPaths(e.paths, topK), nil
+	}
+	paths, err := gen.inferUncached(ctx, bag)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err // transient: says nothing about the bag
+		}
+		gen.cache.put(key, inferEntry{err: err})
+		return nil, err
+	}
+	gen.cache.put(key, inferEntry{paths: paths})
+	return trimPaths(paths, topK), nil
+}
+
+// trimPaths returns the best topK paths as a fresh top-level slice, so a
+// caller appending to its result can never clobber the cached tail. The
+// Path values themselves (and their Relations/Edges backing) stay shared.
+func trimPaths(paths []Path, topK int) []Path {
+	if len(paths) > topK {
+		paths = paths[:topK]
+	}
+	return append([]Path(nil), paths...)
+}
+
+// inferUncached runs the actual Steiner search and returns the full ranked
+// path list, untrimmed so one cache entry serves every topK.
+func (gen *Generator) inferUncached(ctx context.Context, bag []string) ([]Path, error) {
 	// Self-join forking is the only mutation of the relation graph, so the
 	// shared precomputed base serves duplicate-free bags (the common case)
 	// directly; only bags with duplicates pay for a private clone.
@@ -214,9 +268,6 @@ func (gen *Generator) InferCtx(ctx context.Context, bag []string, topK int) ([]P
 		}
 		return paths[i].canonical() < paths[j].canonical()
 	})
-	if len(paths) > topK {
-		paths = paths[:topK]
-	}
 	return paths, nil
 }
 
@@ -408,24 +459,17 @@ func (rg *relGraph) fork(v int, d int) int {
 	return cloneOf[v]
 }
 
-// dijkstra computes shortest paths from src, honoring banned edges. It
-// returns dist and the predecessor half-edge per vertex.
-func (rg *relGraph) dijkstra(src int, banned map[edgeKey]bool) ([]float64, []struct {
-	prev int
-	he   halfEdge
-}) {
+// dijkstra computes shortest paths from src into the caller-provided
+// (pooled) buffers, honoring banned edges. Every cell of dist, prev and
+// visited is reinitialized before use, so reused buffers need no clearing.
+func (rg *relGraph) dijkstra(src int, banned map[edgeKey]bool, dist []float64, prev []predEdge, visited []bool) {
 	n := len(rg.names)
-	dist := make([]float64, n)
-	prev := make([]struct {
-		prev int
-		he   halfEdge
-	}, n)
-	for i := range dist {
+	for i := 0; i < n; i++ {
 		dist[i] = math.Inf(1)
-		prev[i].prev = -1
+		prev[i] = predEdge{prev: -1}
+		visited[i] = false
 	}
 	dist[src] = 0
-	visited := make([]bool, n)
 	for {
 		u, best := -1, math.Inf(1)
 		for i := 0; i < n; i++ {
@@ -443,34 +487,29 @@ func (rg *relGraph) dijkstra(src int, banned map[edgeKey]bool) ([]float64, []str
 			}
 			if nd := dist[u] + he.w; nd < dist[he.to] {
 				dist[he.to] = nd
-				prev[he.to] = struct {
-					prev int
-					he   halfEdge
-				}{u, he}
+				prev[he.to] = predEdge{prev: u, he: he}
 			}
 		}
 	}
-	return dist, prev
 }
 
 // steiner runs the KMB approximation over the terminals, polling ctx
 // before each Dijkstra sweep (the dominant cost on large schemas).
 func (rg *relGraph) steiner(ctx context.Context, terminals []int, banned map[edgeKey]bool) (*tree, error) {
-	// Step 1: metric closure between terminals.
+	// Step 1: metric closure between terminals, over pooled sweep state.
 	type closureEdge struct {
 		a, b int // indexes into terminals
 		d    float64
 	}
-	dists := make([][]float64, len(terminals))
-	prevs := make([][]struct {
-		prev int
-		he   halfEdge
-	}, len(terminals))
+	sc := steinerScratchPool.Get().(*steinerScratch)
+	defer steinerScratchPool.Put(sc)
+	sc.grab(len(terminals), len(rg.names))
+	dists, prevs := sc.dists, sc.prevs
 	for i, t := range terminals {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("joinpath: path search canceled: %w", err)
 		}
-		dists[i], prevs[i] = rg.dijkstra(t, banned)
+		rg.dijkstra(t, banned, dists[i], prevs[i], sc.visited)
 	}
 	var closure []closureEdge
 	for i := 0; i < len(terminals); i++ {

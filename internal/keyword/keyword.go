@@ -271,6 +271,12 @@ type CallOptions struct {
 	K int
 	// MaxConfigurations overrides the enumeration cap (0 = configured).
 	MaxConfigurations int
+	// TopK, when positive, bounds the returned configurations to the best
+	// TopK — exactly the prefix the fully-sorted list would have, ties
+	// resolved by enumeration order just as the stable sort resolves them.
+	// The enumeration then keeps a bounded selection instead of
+	// materializing and sorting the whole cartesian product (0 = all).
+	TopK int
 	// Obscurity asserts the fragment obscurity level the caller expects.
 	// The level is baked into the compiled QFG, so a mismatch is an
 	// ObscurityMismatchError rather than a silent rescoring; with no QFG
@@ -317,19 +323,23 @@ func (m *Mapper) MapKeywordsCtx(ctx context.Context, keywords []Keyword, co Call
 	if err != nil {
 		return nil, err
 	}
-	perKeyword := make([][]Mapping, len(keywords))
+	sc := mapScratchPool.Get().(*mapScratch)
+	defer sc.release()
+	sc.grab(len(keywords))
+	perKeyword := sc.perKeyword
 	for i, kw := range keywords {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("keyword: mapping canceled: %w", err)
 		}
-		cands := m.keywordCands(kw)
+		cands := m.keywordCands(kw, sc.cands[i][:0])
+		sc.cands[i] = cands // retain (possibly regrown) buffer for reuse
 		scored := m.scoreAndPrune(kw, cands, opts)
 		if len(scored) == 0 {
 			return nil, fmt.Errorf("keyword: no candidate mappings for %q", kw.Text)
 		}
 		perKeyword[i] = scored
 	}
-	return m.genAndScoreConfigs(ctx, perKeyword, opts)
+	return m.genAndScoreConfigs(ctx, perKeyword, opts, co.TopK, sc)
 }
 
 // requestOptions resolves one request's effective Options from the
@@ -355,11 +365,12 @@ func (m *Mapper) requestOptions(co CallOptions) (Options, error) {
 // ---------------------------------------------------------------------------
 // Algorithm 2: candidate retrieval.
 
-// keywordCands maps one keyword to its unscored candidates. Retrieval goes
+// keywordCands maps one keyword to its unscored candidates, appending into
+// buf (pass buf[:0] to reuse a pooled buffer across calls). Retrieval goes
 // through the precomputed index when one exists; the helpers below fall
 // back to the seed per-call database scans otherwise.
-func (m *Mapper) keywordCands(kw Keyword) []Mapping {
-	var out []Mapping
+func (m *Mapper) keywordCands(kw Keyword, buf []Mapping) []Mapping {
+	out := buf
 	if num, ok := extractNumber(kw.Text); ok {
 		op := kw.Meta.Op
 		if op == "" {
@@ -563,7 +574,9 @@ func (m *Mapper) prune(sorted []Mapping, opts Options) []Mapping {
 	}
 	eps := opts.Epsilon
 	if sorted[0].Sim >= 1-eps {
-		var exact []Mapping
+		// Forward in-place filter: kept elements only ever move left within
+		// the (scratch-owned) backing, so no extra allocation is needed.
+		exact := sorted[:0]
 		for _, c := range sorted {
 			if c.Sim >= 1-eps {
 				exact = append(exact, c)
@@ -588,8 +601,10 @@ func (m *Mapper) prune(sorted []Mapping, opts Options) []Mapping {
 }
 
 // trimZero drops zero-similarity candidates unless everything is zero.
+// The filter runs in place (candidates are sorted scratch, never aliased by
+// a caller), writing each kept element at or before its original position.
 func trimZero(ms []Mapping) []Mapping {
-	nz := ms[:0:0]
+	nz := ms[:0]
 	for _, c := range ms {
 		if c.Sim > 0 {
 			nz = append(nz, c)
@@ -612,7 +627,7 @@ type candID struct {
 	use bool
 }
 
-func (m *Mapper) genAndScoreConfigs(ctx context.Context, perKeyword [][]Mapping, opts Options) ([]Configuration, error) {
+func (m *Mapper) genAndScoreConfigs(ctx context.Context, perKeyword [][]Mapping, opts Options, topK int, sc *mapScratch) ([]Configuration, error) {
 	// Load the current snapshot once per request: every configuration of
 	// this call ranks against one consistent view, and candidate fragments
 	// are translated to interned IDs here — once per candidate, not once
@@ -624,11 +639,17 @@ func (m *Mapper) genAndScoreConfigs(ctx context.Context, perKeyword [][]Mapping,
 	var perIDs [][]candID
 	if snap != nil {
 		ob := snap.Obscurity()
-		perIDs = make([][]candID, len(perKeyword))
+		perIDs = sc.perIDs
 		for i, cands := range perKeyword {
-			ids := make([]candID, len(cands))
+			ids := sc.idRows[i]
+			if cap(ids) < len(cands) {
+				ids = make([]candID, len(cands))
+				sc.idRows[i] = ids
+			}
+			ids = ids[:len(cands)]
 			for j, mp := range cands {
 				if mp.Kind == KindRelation && !opts.IncludeFromInQFG {
+					ids[j] = candID{}
 					continue
 				}
 				ids[j] = candID{id: snap.Lookup(mp.Fragment(ob)), use: true}
@@ -645,14 +666,62 @@ func (m *Mapper) genAndScoreConfigs(ctx context.Context, perKeyword [][]Mapping,
 			break
 		}
 	}
+	current := sc.current
+	curIDs := sc.curIDs
+	scratch := sc.frags // reused by the map-backed score path
+	canceled := false
+	emitted := 0
+
+	if topK > 0 {
+		// Bounded selection: score each enumerated configuration into the
+		// pooled top-k selector instead of materializing the product. The
+		// result is provably the same prefix the sort-everything path below
+		// returns (see topkSel), but the working set is k configurations
+		// and the only allocations are the caller-owned result arrays.
+		k := topK
+		if k > total {
+			k = total
+		}
+		sel := &sc.sel
+		sel.reset(k, len(perKeyword))
+		var rec func(i int)
+		rec = func(i int) {
+			if canceled || emitted >= opts.MaxConfigurations {
+				return
+			}
+			if i == len(perKeyword) {
+				// Same cancellation cadence as the full path: poll every 64
+				// enumerated configurations.
+				if emitted&63 == 63 && ctx.Err() != nil {
+					canceled = true
+					return
+				}
+				cfg := Configuration{Mappings: current}
+				m.scoreConfig(&cfg, snap, curIDs, &scratch, opts)
+				sel.offer(cfg, emitted)
+				emitted++
+				return
+			}
+			for ci := range perKeyword[i] {
+				current[i] = perKeyword[i][ci]
+				if perIDs != nil {
+					curIDs[i] = perIDs[i][ci]
+				}
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		sc.frags = scratch
+		if canceled {
+			return nil, fmt.Errorf("keyword: configuration enumeration canceled after %d configurations: %w", emitted, ctx.Err())
+		}
+		return sel.take(), nil
+	}
+
 	configs := make([]Configuration, 0, total)
 	// One backing array serves every configuration's Mappings slice, sized
 	// so the appends below never regrow it mid-enumeration.
 	backing := make([]Mapping, 0, total*len(perKeyword))
-	current := make([]Mapping, len(perKeyword))
-	curIDs := make([]candID, len(perKeyword))
-	var scratch []fragment.Fragment // reused by the map-backed score path
-	canceled := false
 	var rec func(i int)
 	rec = func(i int) {
 		if canceled || len(configs) >= opts.MaxConfigurations {
@@ -682,6 +751,7 @@ func (m *Mapper) genAndScoreConfigs(ctx context.Context, perKeyword [][]Mapping,
 		}
 	}
 	rec(0)
+	sc.frags = scratch
 	if canceled {
 		return nil, fmt.Errorf("keyword: configuration enumeration canceled after %d configurations: %w", len(configs), ctx.Err())
 	}

@@ -95,7 +95,7 @@ func TestExtractNumber(t *testing.T) {
 
 func TestKeywordCandsNumeric(t *testing.T) {
 	m := newMapper(t, false, Options{})
-	cands := m.keywordCands(Keyword{Text: "after 2000", Meta: Metadata{Context: fragment.Where, Op: ">"}})
+	cands := m.keywordCands(Keyword{Text: "after 2000", Meta: Metadata{Context: fragment.Where, Op: ">"}}, nil)
 	if len(cands) != 1 {
 		t.Fatalf("cands = %v", cands)
 	}
@@ -107,7 +107,7 @@ func TestKeywordCandsNumeric(t *testing.T) {
 
 func TestKeywordCandsFromContext(t *testing.T) {
 	m := newMapper(t, false, Options{})
-	cands := m.keywordCands(Keyword{Text: "papers", Meta: Metadata{Context: fragment.From}})
+	cands := m.keywordCands(Keyword{Text: "papers", Meta: Metadata{Context: fragment.From}}, nil)
 	if len(cands) != 3 {
 		t.Fatalf("cands = %v", cands)
 	}
@@ -120,7 +120,7 @@ func TestKeywordCandsFromContext(t *testing.T) {
 
 func TestKeywordCandsSelectContext(t *testing.T) {
 	m := newMapper(t, false, Options{})
-	cands := m.keywordCands(Keyword{Text: "papers", Meta: Metadata{Context: fragment.Select, Aggs: []string{"COUNT"}}})
+	cands := m.keywordCands(Keyword{Text: "papers", Meta: Metadata{Context: fragment.Select, Aggs: []string{"COUNT"}}}, nil)
 	// All non-key attributes: journal.name, publication.title,
 	// publication.year, domain.name (ids are excluded).
 	if len(cands) != 4 {
@@ -135,7 +135,7 @@ func TestKeywordCandsSelectContext(t *testing.T) {
 
 func TestKeywordCandsTextPredicate(t *testing.T) {
 	m := newMapper(t, false, Options{})
-	cands := m.keywordCands(Keyword{Text: "Databases", Meta: Metadata{Context: fragment.Where}})
+	cands := m.keywordCands(Keyword{Text: "Databases", Meta: Metadata{Context: fragment.Where}}, nil)
 	found := false
 	for _, c := range cands {
 		if c.Kind == KindPred && c.Qualified() == "domain.name" && c.Value.S == "Databases" {
@@ -150,7 +150,7 @@ func TestKeywordCandsTextPredicate(t *testing.T) {
 func TestScoreAndPruneExactMatchExpelsOthers(t *testing.T) {
 	m := newMapper(t, false, Options{})
 	kw := Keyword{Text: "TKDE", Meta: Metadata{Context: fragment.Where}}
-	cands := m.keywordCands(kw)
+	cands := m.keywordCands(kw, nil)
 	pruned := m.scoreAndPrune(kw, cands, m.opts)
 	if len(pruned) != 1 {
 		t.Fatalf("pruned = %v", pruned)

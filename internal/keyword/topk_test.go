@@ -1,0 +1,169 @@
+package keyword
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"templar/internal/fragment"
+)
+
+// topkKeywordSets are the fixtures the parity tests sweep: mixed contexts,
+// ties (several candidates share scores on the mini schema), and a numeric
+// predicate, so the selection has to reproduce the stable sort's tie
+// handling, not just the score order.
+func topkKeywordSets() [][]Keyword {
+	return [][]Keyword{
+		{
+			{Text: "papers", Meta: Metadata{Context: fragment.Select}},
+			{Text: "after 2000", Meta: Metadata{Context: fragment.Where, Op: ">"}},
+		},
+		{
+			{Text: "journal", Meta: Metadata{Context: fragment.From}},
+			{Text: "name", Meta: Metadata{Context: fragment.Select}},
+			{Text: "Databases", Meta: Metadata{Context: fragment.Where}},
+		},
+		{
+			{Text: "title", Meta: Metadata{Context: fragment.Select}},
+			{Text: "TMC", Meta: Metadata{Context: fragment.Where}},
+			{Text: "after 1998", Meta: Metadata{Context: fragment.Where, Op: ">"}},
+		},
+		{
+			{Text: "publication", Meta: Metadata{Context: fragment.From}},
+		},
+	}
+}
+
+// TestTopKMatchesFullSort pins the bounded selector to the full path: for
+// every k, MapKeywordsCtx with TopK=k must return exactly the first k
+// entries (values, scores, order) of the unbounded sorted result.
+func TestTopKMatchesFullSort(t *testing.T) {
+	for _, withQFG := range []bool{false, true} {
+		m := newMapper(t, withQFG, Options{})
+		for si, kws := range topkKeywordSets() {
+			full, err := m.MapKeywordsCtx(context.Background(), kws, CallOptions{})
+			if err != nil {
+				t.Fatalf("set %d: full: %v", si, err)
+			}
+			for k := 1; k <= len(full)+2; k++ {
+				got, err := m.MapKeywordsCtx(context.Background(), kws, CallOptions{TopK: k})
+				if err != nil {
+					t.Fatalf("set %d k=%d: %v", si, k, err)
+				}
+				want := full
+				if k < len(want) {
+					want = want[:k]
+				}
+				if len(got) != len(want) {
+					t.Fatalf("set %d k=%d (qfg=%v): got %d configurations, want %d", si, k, withQFG, len(got), len(want))
+				}
+				for i := range want {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Fatalf("set %d k=%d rank %d (qfg=%v):\n got  %+v\n want %+v",
+							si, k, i, withQFG, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKUnderConfigurationCap crosses TopK with a tight MaxConfigurations
+// cap: both paths must enumerate (and therefore select from) the same
+// truncated prefix of the cartesian product.
+func TestTopKUnderConfigurationCap(t *testing.T) {
+	m := newMapper(t, true, Options{})
+	kws := topkKeywordSets()[1]
+	for _, cap := range []int{1, 2, 3, 5} {
+		full, err := m.MapKeywordsCtx(context.Background(), kws, CallOptions{MaxConfigurations: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.MapKeywordsCtx(context.Background(), kws, CallOptions{MaxConfigurations: cap, TopK: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full
+		if len(want) > 2 {
+			want = want[:2]
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cap %d: top-k and trimmed full path diverged:\n got  %+v\n want %+v", cap, got, want)
+		}
+	}
+}
+
+// TestTopKConcurrent hammers the pooled scratch path from many goroutines
+// (run under -race in tier-1) and verifies every result against a
+// sequentially-computed expectation — a reused buffer leaking across
+// requests would corrupt mappings and fail the comparison.
+func TestTopKConcurrent(t *testing.T) {
+	m := newMapper(t, true, Options{})
+	sets := topkKeywordSets()
+	want := make([][]Configuration, len(sets))
+	for i, kws := range sets {
+		full, err := m.MapKeywordsCtx(context.Background(), kws, CallOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full) > 3 {
+			full = full[:3]
+		}
+		want[i] = full
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 25; it++ {
+				i := (g + it) % len(sets)
+				got, err := m.MapKeywordsCtx(context.Background(), sets[i], CallOptions{TopK: 3})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("goroutine %d iter %d: set %d diverged under concurrency", g, it, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestTopKResultsOwnBacking proves retained results stay intact after the
+// scratch returns to the pool and is reused by later calls.
+func TestTopKResultsOwnBacking(t *testing.T) {
+	m := newMapper(t, true, Options{})
+	kws := topkKeywordSets()[0]
+	got, err := m.MapKeywordsCtx(context.Background(), kws, CallOptions{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([]Configuration, len(got))
+	for i, c := range got {
+		snapshot[i] = c
+		snapshot[i].Mappings = append([]Mapping(nil), c.Mappings...)
+	}
+	// Churn the pool with different keyword sets.
+	for i := 0; i < 10; i++ {
+		for _, other := range topkKeywordSets() {
+			if _, err := m.MapKeywordsCtx(context.Background(), other, CallOptions{TopK: 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Mappings, snapshot[i].Mappings) {
+			t.Fatalf("rank %d mappings mutated after pool reuse", i)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"templar/internal/joinpath"
 	"templar/internal/keyword"
 	"templar/internal/qfg"
+	"templar/internal/sqlparse"
 )
 
 // Translation is the output of one NLQ→SQL translation attempt.
@@ -210,10 +211,6 @@ func (s *System) TranslateCtx(ctx context.Context, nlq string, hazard bool, kws 
 	if s.noise != nil {
 		kws = s.noise.Corrupt(nlq, hazard, kws)
 	}
-	configs, err := s.mapper.MapKeywordsCtx(ctx, kws, co.Keyword)
-	if err != nil {
-		return nil, err
-	}
 	topConfigs := s.topConfigs
 	if co.TopConfigs > 0 {
 		topConfigs = co.TopConfigs
@@ -222,6 +219,18 @@ func (s *System) TranslateCtx(ctx context.Context, nlq string, hazard bool, kws 
 	if co.TopPaths > 0 {
 		topPaths = co.TopPaths
 	}
+	// Only the best topConfigs configurations are ever tried for SQL
+	// construction, so tell the mapper: it then runs a bounded top-k
+	// selection over the enumeration (identical results to sorting the
+	// whole product and slicing) instead of materializing all of it.
+	kco := co.Keyword
+	if kco.TopK <= 0 || kco.TopK > topConfigs {
+		kco.TopK = topConfigs
+	}
+	configs, err := s.mapper.MapKeywordsCtx(ctx, kws, kco)
+	if err != nil {
+		return nil, err
+	}
 	if len(configs) > topConfigs {
 		configs = configs[:topConfigs]
 	}
@@ -229,12 +238,18 @@ func (s *System) TranslateCtx(ctx context.Context, nlq string, hazard bool, kws 
 	// mapping configuration ranks first; among equally-likely
 	// configurations (and among the join paths of one configuration) the
 	// join-path goodness breaks ties. SQL construction never promotes a
-	// lower-ranked configuration over a higher one.
+	// lower-ranked configuration over a higher one — which also means
+	// ranking needs only the two scores. SQL is therefore built lazily:
+	// candidates are ranked score-first, and the expensive
+	// construct→render→canonicalize chain runs only for the winner (and,
+	// for tie detection, its exact rank peers) instead of every
+	// (configuration, path) pair.
 	type candidate struct {
-		tr       Translation
+		cfg      keyword.Configuration
+		path     joinpath.Path
 		cfgScore float64
 		goodness float64
-		canon    string
+		dead     bool // BuildSQL failed: path does not cover the bag
 	}
 	var cands []candidate
 	for _, cfg := range configs {
@@ -250,30 +265,8 @@ func (s *System) TranslateCtx(ctx context.Context, nlq string, hazard bool, kws 
 			continue // disconnected bag: this configuration is infeasible
 		}
 		for _, p := range paths {
-			q, err := BuildSQL(cfg, p)
-			if err != nil {
-				continue
-			}
-			canon, err := canonicalSQL(q)
-			if err != nil {
-				return nil, fmt.Errorf("nlidb: generated unparseable SQL: %w", err)
-			}
-			cands = append(cands, candidate{
-				tr: Translation{
-					SQL:      canon,
-					Rendered: q.String(),
-					Config:   cfg,
-					Path:     p,
-					Score:    cfg.Score * p.Goodness,
-				},
-				cfgScore: cfg.Score,
-				goodness: p.Goodness,
-				canon:    canon,
-			})
+			cands = append(cands, candidate{cfg: cfg, path: p, cfgScore: cfg.Score, goodness: p.Goodness})
 		}
-	}
-	if len(cands) == 0 {
-		return nil, fmt.Errorf("nlidb: no feasible configuration for keywords %v", kws)
 	}
 	better := func(a, b candidate) bool {
 		if math.Abs(a.cfgScore-b.cfgScore) > 1e-12 {
@@ -281,24 +274,69 @@ func (s *System) TranslateCtx(ctx context.Context, nlq string, hazard bool, kws 
 		}
 		return a.goodness > b.goodness+1e-12
 	}
-	best := 0
-	for i := 1; i < len(cands); i++ {
-		if better(cands[i], cands[best]) {
-			best = i
+	// Select the best buildable candidate: a candidate whose SQL cannot be
+	// assembled (the join path fails to cover a mapped relation) is
+	// discarded and selection re-runs, exactly as if it had been filtered
+	// out up front.
+	var (
+		best      int
+		bestQ     *sqlparse.Query
+		bestCanon string
+	)
+	for {
+		best = -1
+		for i := range cands {
+			if cands[i].dead {
+				continue
+			}
+			if best < 0 || better(cands[i], cands[best]) {
+				best = i
+			}
 		}
+		if best < 0 {
+			return nil, fmt.Errorf("nlidb: no feasible configuration for keywords %v", kws)
+		}
+		q, err := BuildSQL(cands[best].cfg, cands[best].path)
+		if err != nil {
+			cands[best].dead = true
+			continue
+		}
+		canon, err := canonicalSQL(q)
+		if err != nil {
+			return nil, fmt.Errorf("nlidb: generated unparseable SQL: %w", err)
+		}
+		bestQ, bestCanon = q, canon
+		break
 	}
-	tr := cands[best].tr
+	tr := Translation{
+		SQL:      bestCanon,
+		Rendered: bestQ.String(),
+		Config:   cands[best].cfg,
+		Path:     cands[best].path,
+		Score:    cands[best].cfgScore * cands[best].goodness,
+	}
 	// The winning configuration's Mappings slice is a view into the
 	// mapper's shared enumeration arena; copy it so a retained Translation
 	// doesn't pin every enumerated configuration in memory.
 	tr.Config.Mappings = append([]keyword.Mapping(nil), tr.Config.Mappings...)
 	for i := range cands {
-		if i == best {
+		if i == best || cands[i].dead {
 			continue
 		}
 		sameRank := math.Abs(cands[i].cfgScore-cands[best].cfgScore) <= 1e-12 &&
 			math.Abs(cands[i].goodness-cands[best].goodness) <= 1e-12
-		if sameRank && cands[i].canon != cands[best].canon {
+		if !sameRank {
+			continue
+		}
+		q, err := BuildSQL(cands[i].cfg, cands[i].path)
+		if err != nil {
+			continue // would have been filtered out of the eager list too
+		}
+		canon, err := canonicalSQL(q)
+		if err != nil {
+			return nil, fmt.Errorf("nlidb: generated unparseable SQL: %w", err)
+		}
+		if canon != bestCanon {
 			tr.Tie = true
 			break
 		}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"templar/internal/datasets"
+	"templar/internal/keyword"
+	"templar/pkg/api"
+)
+
+// failingBody marshals unsuccessfully, standing in for the "server bug in a
+// response struct" class of failure the buffered encode path exists for.
+type failingBody struct{}
+
+func (failingBody) MarshalJSON() ([]byte, error) {
+	return nil, errors.New("synthetic marshal failure")
+}
+
+// TestWriteJSONMarshalFailure pins the failure contract: nothing reaches
+// the wire before encoding succeeds, so a failing marshaler yields a clean
+// 500 problem document (not a half-written 200) and bumps the
+// encode-failure metric that /healthz reports.
+func TestWriteJSONMarshalFailure(t *testing.T) {
+	ds := datasets.MAS()
+	srv := NewServer(buildSystem(t, ds, keyword.Options{}), ds.Name, 2)
+	rec := httptest.NewRecorder()
+	srv.writeJSON(rec, http.StatusOK, failingBody{})
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != api.ProblemContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, api.ProblemContentType)
+	}
+	var prob struct {
+		Status int    `json:"status"`
+		Code   string `json:"code"`
+		Detail string `json:"detail"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &prob); err != nil {
+		t.Fatalf("fallback body is not valid JSON: %v (%q)", err, rec.Body.String())
+	}
+	if prob.Status != 500 || prob.Code != string(api.CodeInternal) || prob.Detail == "" {
+		t.Fatalf("fallback problem = %+v", prob)
+	}
+	if got := srv.metrics.encodeFailures.Load(); got != 1 {
+		t.Fatalf("encodeFailures = %d, want 1", got)
+	}
+	if got := srv.metrics.snapshot(0).EncodeFailures; got != 1 {
+		t.Fatalf("snapshot EncodeFailures = %d, want 1", got)
+	}
+
+	// A healthy write afterwards must be unaffected by the pooled buffer
+	// the failure path recycled.
+	rec2 := httptest.NewRecorder()
+	srv.writeJSON(rec2, http.StatusOK, map[string]int{"ok": 1})
+	if rec2.Code != http.StatusOK || strings.TrimSpace(rec2.Body.String()) != `{"ok":1}` {
+		t.Fatalf("follow-up write corrupted: %d %q", rec2.Code, rec2.Body.String())
+	}
+}
+
+// TestWriteJSONContentLength verifies every buffered response carries an
+// exact Content-Length and a body of exactly that many bytes, end to end
+// through a real handler.
+func TestWriteJSONContentLength(t *testing.T) {
+	ts := newTestServer(t)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	cl := resp.Header.Get("Content-Length")
+	if cl == "" {
+		t.Fatal("no Content-Length on a buffered JSON response")
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil {
+		t.Fatalf("Content-Length %q: %v", cl, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != n {
+		t.Fatalf("body is %d bytes, Content-Length says %d", len(body), n)
+	}
+	var health api.HealthResponse
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+}

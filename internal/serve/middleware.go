@@ -93,6 +93,10 @@ type metricsState struct {
 	clientErrors  atomic.Int64
 	serverErrors  atomic.Int64
 	latencyMicros atomic.Int64
+	// encodeFailures counts response bodies that failed to marshal (see
+	// Server.encodeFailure) — always a server bug, so the counter makes
+	// it observable instead of silently dropped on the socket.
+	encodeFailures atomic.Int64
 }
 
 func (m *metricsState) observe(status int, dur time.Duration) {
@@ -108,10 +112,11 @@ func (m *metricsState) observe(status int, dur time.Duration) {
 
 func (m *metricsState) snapshot(inFlight int64) *api.Metrics {
 	out := &api.Metrics{
-		Requests:     m.requests.Load(),
-		InFlight:     inFlight,
-		ClientErrors: m.clientErrors.Load(),
-		ServerErrors: m.serverErrors.Load(),
+		Requests:       m.requests.Load(),
+		InFlight:       inFlight,
+		ClientErrors:   m.clientErrors.Load(),
+		ServerErrors:   m.serverErrors.Load(),
+		EncodeFailures: m.encodeFailures.Load(),
 	}
 	if out.Requests > 0 {
 		out.AvgLatencyMillis = float64(m.latencyMicros.Load()) / 1e3 / float64(out.Requests)

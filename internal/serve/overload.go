@@ -251,7 +251,7 @@ func (s *Server) writeShed(w http.ResponseWriter, r *http.Request, e *api.Error,
 	}
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	if strings.HasPrefix(r.URL.Path, "/v1/") {
-		writeLegacyError(w, e)
+		s.writeLegacyError(w, e)
 		return
 	}
 	s.writeProblem(w, r, e)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -44,6 +45,12 @@ type Tenant struct {
 	// SnapshotSeq is the WAL sequence the tenant's boot snapshot covered
 	// (store.Archive.WalSeq). Set once at load time, never mutated.
 	SnapshotSeq uint64
+	// Mapping, when non-nil, owns the file mapping the boot snapshot
+	// aliases (store.Mapped). It must stay open as long as any snapshot
+	// descended from the boot snapshot may be referenced — in practice the
+	// whole process lifetime; the loader closes it only after the final
+	// drain and compaction sweep. Set once at load time, never mutated.
+	Mapping io.Closer
 	// Follower, when non-nil, marks this tenant as a read-only replica
 	// tailing a primary's WAL stream: reads serve normally at the
 	// follower's applied sequence, appends are redirected to the primary,

@@ -126,6 +126,6 @@ func (s *Server) redirectToPrimary(w http.ResponseWriter, r *http.Request, t *Te
 	if v2 {
 		s.writeProblem(w, r, e)
 	} else {
-		writeJSON(w, http.StatusTemporaryRedirect, V1Error{Error: e.Detail})
+		s.writeJSON(w, http.StatusTemporaryRedirect, V1Error{Error: e.Detail})
 	}
 }

@@ -1,13 +1,17 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -220,7 +224,7 @@ func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *Tenant),
 			if v2 {
 				s.writeProblem(w, r, e)
 			} else {
-				writeLegacyError(w, e)
+				s.writeLegacyError(w, e)
 			}
 			return
 		}
@@ -514,7 +518,7 @@ func (s *Server) handleV2Log(w http.ResponseWriter, r *http.Request, t *Tenant) 
 // handleV2Datasets lists the hosted datasets — the public (non-admin)
 // discovery endpoint SDK clients use to pick a dataset.
 func (s *Server) handleV2Datasets(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.datasetsResponse())
+	s.writeJSON(w, http.StatusOK, s.datasetsResponse())
 }
 
 // datasetsResponse renders every tenant's status, shared by the public
@@ -537,7 +541,7 @@ func writeV2[T any](s *Server, w http.ResponseWriter, r *http.Request, resp *T, 
 	case resp == nil:
 		// Client gone: write nothing, the middleware logs 499.
 	default:
-		writeJSON(w, http.StatusOK, resp)
+		s.writeJSON(w, http.StatusOK, resp)
 	}
 }
 
@@ -626,7 +630,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			resp.Feedback = st.Feedback
 		}
 	}
-	writeJSON(w, status, resp)
+	s.writeJSON(w, status, resp)
 }
 
 // adminAuthorized enforces the optional admin bearer token, writing the
@@ -649,7 +653,7 @@ func (s *Server) handleAdminList(w http.ResponseWriter, r *http.Request) {
 	if !s.adminAuthorized(w, r) {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.datasetsResponse())
+	s.writeJSON(w, http.StatusOK, s.datasetsResponse())
 }
 
 func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
@@ -698,7 +702,7 @@ func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
 		s.writeProblem(w, r, api.NewError(http.StatusConflict, api.CodeConflict, err.Error()))
 		return
 	}
-	writeJSON(w, http.StatusCreated, s.tenantStatus(tenant))
+	s.writeJSON(w, http.StatusCreated, s.tenantStatus(tenant))
 }
 
 func (s *Server) handleAdminRemove(w http.ResponseWriter, r *http.Request) {
@@ -716,7 +720,7 @@ func (s *Server) handleAdminRemove(w http.ResponseWriter, r *http.Request) {
 			"serve: unknown dataset %q", name))
 		return
 	}
-	writeJSON(w, http.StatusOK, api.AdminRemoveResponse{Removed: name})
+	s.writeJSON(w, http.StatusOK, api.AdminRemoveResponse{Removed: name})
 }
 
 // handleAdminLimits sets (or, with an all-zero body, clears) a tenant's
@@ -749,7 +753,7 @@ func (s *Server) handleAdminLimits(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t.SetLimits(TenantLimits{PerSecond: req.PerSecond, Burst: req.Burst, MaxInFlight: req.MaxInFlight})
-	writeJSON(w, http.StatusOK, s.tenantStatus(t))
+	s.writeJSON(w, http.StatusOK, s.tenantStatus(t))
 }
 
 // ---------------------------------------------------------------------------
@@ -777,17 +781,53 @@ func isCanceled(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json")
+// jsonBufPool recycles response encode buffers across requests: bodies are
+// marshaled fully in memory first, so every response goes out with an exact
+// Content-Length in a single Write, and a marshal failure surfaces as a
+// clean 500 instead of a half-written 200.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledEncodeBuf caps the buffers the pool retains, so one huge
+// response (a big dataset listing, say) doesn't pin its backing forever.
+const maxPooledEncodeBuf = 1 << 20
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	s.writeJSONAs(w, status, "application/json", body)
+}
+
+// writeJSONAs encodes body into a pooled buffer and writes status, headers
+// and the body in one shot. Nothing touches the ResponseWriter until the
+// encode has succeeded, which is what makes the failure path clean.
+func (s *Server) writeJSONAs(w http.ResponseWriter, status int, contentType string, body any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		jsonBufPool.Put(buf)
+		s.encodeFailure(w)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(body)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledEncodeBuf {
+		jsonBufPool.Put(buf)
+	}
+}
+
+// encodeFailure finishes a request whose response body failed to marshal:
+// the failure is counted for /healthz and the client gets a hand-built
+// problem document (the structured marshal path is what just failed).
+func (s *Server) encodeFailure(w http.ResponseWriter) {
+	s.metrics.encodeFailures.Add(1)
+	w.Header().Set("Content-Type", api.ProblemContentType)
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = fmt.Fprintf(w, `{"status":500,"code":%q,"detail":"serve: response body failed to encode"}`+"\n", api.CodeInternal)
 }
 
 // writeProblem writes a v2 error as an RFC-7807 problem document,
 // stamping the middleware's request ID into it.
 func (s *Server) writeProblem(w http.ResponseWriter, r *http.Request, e *api.Error) {
 	e.RequestID = RequestIDFrom(r.Context())
-	w.Header().Set("Content-Type", api.ProblemContentType)
-	w.WriteHeader(e.Status)
-	_ = json.NewEncoder(w).Encode(e)
+	s.writeJSONAs(w, e.Status, api.ProblemContentType, e)
 }

@@ -76,27 +76,27 @@ func legacyStatus(e *api.Error) int {
 }
 
 // writeLegacyError renders a structured error in the frozen v1 envelope.
-func writeLegacyError(w http.ResponseWriter, e *api.Error) {
-	writeJSON(w, legacyStatus(e), V1Error{Error: e.Detail})
+func (s *Server) writeLegacyError(w http.ResponseWriter, e *api.Error) {
+	s.writeJSON(w, legacyStatus(e), V1Error{Error: e.Detail})
 }
 
 // writeV1 finishes a v1 request from a core-op result (see writeV2 for
 // the tri-state contract).
-func writeV1[T any](w http.ResponseWriter, resp *T, apiErr *api.Error) {
+func writeV1[T any](s *Server, w http.ResponseWriter, resp *T, apiErr *api.Error) {
 	switch {
 	case apiErr != nil:
-		writeLegacyError(w, apiErr)
+		s.writeLegacyError(w, apiErr)
 	case resp == nil:
 		// Client gone: write nothing.
 	default:
-		writeJSON(w, http.StatusOK, resp)
+		s.writeJSON(w, http.StatusOK, resp)
 	}
 }
 
 func (s *Server) handleV1MapKeywords(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req V1MapKeywordsRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
-		writeLegacyError(w, apiErr)
+		s.writeLegacyError(w, apiErr)
 		return
 	}
 	top := req.Top
@@ -104,13 +104,13 @@ func (s *Server) handleV1MapKeywords(w http.ResponseWriter, r *http.Request, t *
 		top = req.TopK
 	}
 	resp, apiErr := s.coreMapKeywords(r.Context(), t.Sys, req.KeywordsInput, top, api.CallOptions{})
-	writeV1(w, resp, apiErr)
+	writeV1(s, w, resp, apiErr)
 }
 
 func (s *Server) handleV1InferJoins(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req V1InferJoinsRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
-		writeLegacyError(w, apiErr)
+		s.writeLegacyError(w, apiErr)
 		return
 	}
 	topK := req.TopK
@@ -118,20 +118,20 @@ func (s *Server) handleV1InferJoins(w http.ResponseWriter, r *http.Request, t *T
 		topK = req.Top
 	}
 	resp, apiErr := s.coreInferJoins(r.Context(), t.Sys, req.Relations, topK)
-	writeV1(w, resp, apiErr)
+	writeV1(s, w, resp, apiErr)
 }
 
 func (s *Server) handleV1Translate(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req api.TranslateRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
-		writeLegacyError(w, apiErr)
+		s.writeLegacyError(w, apiErr)
 		return
 	}
 	// v1 ignores the v2-only per-request options even if present.
 	req.TopConfigs, req.TopPaths, req.CallOptions = 0, 0, api.CallOptions{}
 	resp, apiErr := s.coreTranslate(r.Context(), t.Sys, req)
 	if apiErr != nil || resp == nil {
-		writeV1[api.TranslateResponse](w, nil, apiErr)
+		writeV1[api.TranslateResponse](s, w, nil, apiErr)
 		return
 	}
 	legacy := V1TranslateResponse{Results: make([]V1TranslateResult, len(resp.Results))}
@@ -149,7 +149,7 @@ func (s *Server) handleV1Translate(w http.ResponseWriter, r *http.Request, t *Te
 		}
 		legacy.Results[i] = lr
 	}
-	writeJSON(w, http.StatusOK, legacy)
+	s.writeJSON(w, http.StatusOK, legacy)
 }
 
 func (s *Server) handleV1Log(w http.ResponseWriter, r *http.Request, t *Tenant) {
@@ -159,9 +159,9 @@ func (s *Server) handleV1Log(w http.ResponseWriter, r *http.Request, t *Tenant) 
 	}
 	var req api.LogAppendRequest
 	if apiErr := s.readJSON(w, r, &req); apiErr != nil {
-		writeLegacyError(w, apiErr)
+		s.writeLegacyError(w, apiErr)
 		return
 	}
 	resp, apiErr := s.coreLogAppend(r.Context(), t, req)
-	writeV1(w, resp, apiErr)
+	writeV1(s, w, resp, apiErr)
 }

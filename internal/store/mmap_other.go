@@ -1,0 +1,19 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap reads the file into one heap
+// buffer instead. The v3 zero-copy decode still aliases that buffer (one
+// read, no per-array copies); releasing is the garbage collector's job.
+func mmapFile(f *os.File, size int) (data []byte, release func() error, err error) {
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"templar/internal/datasets"
+)
+
+// TestOpenZeroCopyParity is the acceptance gate for the mmap path: on every
+// bundled dataset, an Open'd (aliasing) archive must agree with the
+// copy-decoded one on the dataset name, WAL sequence, interner table, every
+// compiled array (weights bit for bit) and DiceID over every fragment pair.
+func TestOpenZeroCopyParity(t *testing.T) {
+	for _, ds := range datasets.All() {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			snap := buildSnapshot(t, ds)
+			path := filepath.Join(t.TempDir(), Filename(ds.Name))
+			if err := WriteFileAt(path, ds.Name, snap, 99); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if !m.Mmapped() {
+				t.Fatal("Open fell back to the copying path for a v3 archive")
+			}
+			if m.Dataset != decoded.Dataset || m.WalSeq != decoded.WalSeq {
+				t.Fatalf("mapped archive (%q, %d) != decoded (%q, %d)",
+					m.Dataset, m.WalSeq, decoded.Dataset, decoded.WalSeq)
+			}
+			if !reflect.DeepEqual(m.Snapshot.Interner().Fragments(), decoded.Snapshot.Interner().Fragments()) {
+				t.Fatal("interner tables diverged between mmap and decode")
+			}
+			if !partsEqual(m.Snapshot.Parts(), decoded.Snapshot.Parts()) {
+				t.Fatal("compiled arrays diverged between mmap and decode")
+			}
+			n := uint32(decoded.Snapshot.Vertices())
+			for a := uint32(0); a < n; a++ {
+				for b := a; b < n; b++ {
+					got, want := m.Snapshot.DiceID(a, b), decoded.Snapshot.DiceID(a, b)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("DiceID(%d, %d) = %v mapped, %v decoded", a, b, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOpenLegacyFallsBack proves Open still reads varint archives — through
+// the copying path, with the mapping released.
+func TestOpenLegacyFallsBack(t *testing.T) {
+	snap := smallSnapshot(t)
+	path := filepath.Join(t.TempDir(), "legacy.qfg")
+	if err := os.WriteFile(path, encodeLegacyAt("tiny", snap, 7, 2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mmapped() {
+		t.Fatal("legacy archive reported as mapped")
+	}
+	if m.Dataset != "tiny" || m.WalSeq != 7 || !partsEqual(m.Snapshot.Parts(), snap.Parts()) {
+		t.Fatal("legacy archive diverged through Open")
+	}
+}
+
+// TestOpenCorruption drives the mmap path through the same typed-error
+// contract as Decode: bit flips anywhere in a v3 file surface as ErrChecksum
+// (or a structural ErrCorrupt after a repaired CRC), truncation at every
+// length as ErrTruncated — never a panic, never a silently wrong snapshot.
+func TestOpenCorruption(t *testing.T) {
+	enc := Encode("tiny", smallSnapshot(t))
+	dir := t.TempDir()
+	write := func(b []byte) string {
+		p := filepath.Join(dir, "x.qfg")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	t.Run("bitflips", func(t *testing.T) {
+		// Sampling every 7th offset keeps the file-backed sweep fast while
+		// still crossing every section; the exhaustive in-memory sweep is
+		// TestDecodeMutatedPayload.
+		for off := len(magic); off < len(enc)-4; off += 7 {
+			bad := append([]byte(nil), enc...)
+			bad[off] ^= 0x10
+			// Payload flips surface as ErrChecksum; flips inside the generic
+			// header trip the version/size checks that run before the CRC.
+			_, err := Open(write(bad))
+			var ve *UnsupportedVersionError
+			if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) &&
+				!errors.Is(err, ErrCorrupt) && !errors.As(err, &ve) {
+				t.Fatalf("offset %d: err = %v, want a typed store error", off, err)
+			}
+		}
+	})
+	t.Run("bitflips-rechecksummed", func(t *testing.T) {
+		for off := len(magic); off < len(enc)-4; off += 7 {
+			bad := append([]byte(nil), enc...)
+			bad[off] ^= 0x10
+			rechecksum(bad)
+			m, err := Open(write(bad))
+			if err == nil {
+				if m.Snapshot == nil {
+					t.Fatalf("offset %d: nil snapshot without error", off)
+				}
+				m.Close()
+				continue
+			}
+			var ve *UnsupportedVersionError
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) &&
+				!errors.Is(err, ErrChecksum) && !errors.As(err, &ve) {
+				t.Fatalf("offset %d: untyped error %v", off, err)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for n := 0; n < len(enc); n += 5 {
+			_, err := Open(write(enc[:n]))
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) {
+				t.Fatalf("%d of %d bytes: err = %v, want ErrTruncated/ErrBadMagic", n, len(enc), err)
+			}
+		}
+	})
+	t.Run("missing", func(t *testing.T) {
+		if _, err := Open(filepath.Join(dir, "absent.qfg")); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("err = %v, want fs.ErrNotExist", err)
+		}
+	})
+}
+
+// TestMappedClose proves Close is idempotent and a no-op on fallback opens.
+func TestMappedClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.qfg")
+	if err := WriteFile(path, "tiny", smallSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.Mmapped() {
+		t.Fatal("closed archive still reports a mapping")
+	}
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so co-located
+// processes serving the same archive share one page-cache copy. The
+// returned release function unmaps; after it runs, every slice or string
+// aliasing the region is invalid.
+func mmapFile(f *os.File, size int) (data []byte, release func() error, err error) {
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

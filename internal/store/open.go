@@ -1,0 +1,81 @@
+package store
+
+import (
+	"math"
+	"os"
+)
+
+// Mapped is an archive opened zero-copy: its snapshot's CSR arrays and
+// interned fragment strings may alias a read-only file mapping. Close
+// releases the mapping — and with it every aliased slice and string — so it
+// must only be called once nothing reads the archive anymore. A serving
+// process that holds the archive for its lifetime never needs to call it.
+type Mapped struct {
+	*Archive
+	release func() error
+}
+
+// Close releases the file mapping, if any. Safe to call more than once.
+func (m *Mapped) Close() error {
+	if m == nil || m.release == nil {
+		return nil
+	}
+	rel := m.release
+	m.release = nil
+	return rel()
+}
+
+// Mmapped reports whether the archive actually aliases a file mapping
+// (false when the file was a pre-v3 format, the host cannot alias, or the
+// platform has no mmap — all of which fall back to a copying decode).
+func (m *Mapped) Mmapped() bool { return m != nil && m.release != nil }
+
+// Open loads a packed snapshot with the fewest copies the file's format
+// allows. A v3 archive is mmap'd and decoded in place: checksum
+// verification and structural validation walk the mapping, but no array is
+// copied and no string bytes are duplicated, so opening costs microseconds
+// of CPU where Decode costs a full traversal of allocations — and co-located
+// replica processes opening the same file share one page-cache copy. v1/v2
+// archives (and hosts that cannot alias) decode through the copying path;
+// the mapping is released before returning, and Close is a no-op.
+func Open(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < int64(headerSize+trailerSize) || st.Size() > math.MaxInt32*256 {
+		// Too small to be an archive (or absurdly large): let the plain
+		// reader produce the typed error.
+		ar, err := ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Mapped{Archive: ar}, nil
+	}
+	data, release, err := mmapFile(f, int(st.Size()))
+	if err != nil {
+		// Filesystems without mmap support degrade to the copying path.
+		ar, err := ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Mapped{Archive: ar}, nil
+	}
+	ar, aliased, err := decodeAny(data)
+	if err != nil {
+		_ = release()
+		return nil, err
+	}
+	if !aliased {
+		// Nothing references the mapping (legacy format, or a host that
+		// cannot alias and copied instead): release it now.
+		_ = release()
+		return &Mapped{Archive: ar}, nil
+	}
+	return &Mapped{Archive: ar, release: release}, nil
+}

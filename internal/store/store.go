@@ -15,43 +15,53 @@ import (
 	"templar/internal/qfg"
 )
 
-// Format layout (all multi-byte integers little-endian; "uv" is an
-// unsigned varint as in encoding/binary):
+// Every format version shares the same 20-byte generic header and CRC
+// trailer (all multi-byte integers little-endian):
 //
 //	offset  size  field
 //	0       8     magic "TQFGSNAP"
 //	8       4     format version (uint32)
 //	12      8     total file size in bytes, trailer included (uint64)
-//	20      …     payload:
-//	              uv len + bytes   dataset name (UTF-8)
-//	              uv               obscurity level
-//	              uv               total logged queries
-//	              uv               [v2+ only] WAL sequence the snapshot
-//	                               covers (0 = no write-ahead log)
-//	              uv F             interner table size, then F times:
-//	                uv             fragment clause context
-//	                uv len + bytes fragment expression
-//	              uv V             snapshot vertex count (V ≤ F), then
-//	                V × uv         nv occurrence counts
-//	                (V+1) × uv     CSR row index
-//	                H × uv         neighbor IDs (H = rowStart[V])
-//	                H × 8          blended co-occurrence weights
-//	                               (float64 bits, preserved exactly)
-//	                H × uv         raw integer co-occurrence counts
+//	20      …     version-specific payload
 //	end−4   4     CRC-32C (Castagnoli) over everything before it
+//
+// The v1/v2 payload is varint-packed ("uv" is an unsigned varint as in
+// encoding/binary):
+//
+//	uv len + bytes   dataset name (UTF-8)
+//	uv               obscurity level
+//	uv               total logged queries
+//	uv               [v2 only] WAL sequence the snapshot covers
+//	                 (0 = no write-ahead log)
+//	uv F             interner table size, then F times:
+//	  uv             fragment clause context
+//	  uv len + bytes fragment expression
+//	uv V             snapshot vertex count (V ≤ F), then
+//	  V × uv         nv occurrence counts
+//	  (V+1) × uv     CSR row index
+//	  H × uv         neighbor IDs (H = rowStart[V])
+//	  H × 8          blended co-occurrence weights
+//	                 (float64 bits, preserved exactly)
+//	  H × uv         raw integer co-occurrence counts
+//
+// The v3 payload is a fixed 8-byte-aligned section layout designed for
+// zero-copy use straight out of an mmap'd file — see v3.go for the exact
+// table. Decode reads every version; Encode writes v3.
 //
 // The declared-size field makes truncation detectable as such (ErrTruncated)
 // instead of surfacing as a checksum mismatch; co-occurrence weights travel
 // as raw IEEE-754 bits so a loaded snapshot scores bit-identically.
 //
-// Version history: v1 had no WAL sequence field; v2 (current) adds it so a
-// snapshot names the exact write-ahead-log position it covers and boot
-// replay becomes a filter (apply records with seq > WalSeq). Decode reads
-// both; v1 files carry WalSeq 0.
+// Version history: v1 had no WAL sequence field; v2 added it so a snapshot
+// names the exact write-ahead-log position it covers and boot replay becomes
+// a filter (apply records with seq > WalSeq); v3 (current) switches the
+// payload from varint packing to fixed-width aligned sections so the CSR
+// arrays and interned strings can be used in place, without per-array
+// allocation and copying (see Open). v1 files carry WalSeq 0.
 const (
 	magic = "TQFGSNAP"
 	// Version is the current format version written by Encode.
-	Version = 2
+	Version = 3
 	// minVersion is the oldest format version Decode still reads.
 	minVersion = 1
 
@@ -109,19 +119,28 @@ func Encode(dataset string, snap *qfg.Snapshot) []byte {
 // EncodeAt packs a snapshot that covers the write-ahead log up to and
 // including sequence walSeq.
 func EncodeAt(dataset string, snap *qfg.Snapshot, walSeq uint64) []byte {
+	return encodeV3At(dataset, snap, walSeq)
+}
+
+// encodeLegacyAt writes the varint-packed v1/v2 payload. Encode no longer
+// emits it, but the compat tests keep proving Decode reads archives written
+// by earlier builds, so the writer side stays exercisable.
+func encodeLegacyAt(dataset string, snap *qfg.Snapshot, walSeq uint64, version uint32) []byte {
 	parts := snap.Parts()
 	frags := snap.Interner().Fragments()
 
 	buf := make([]byte, 0, 1<<16)
 	buf = append(buf, magic...)
-	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
 	sizeAt := len(buf)
 	buf = binary.LittleEndian.AppendUint64(buf, 0) // total size, patched below
 
 	buf = appendString(buf, dataset)
 	buf = binary.AppendUvarint(buf, uint64(parts.Obscurity))
 	buf = binary.AppendUvarint(buf, uint64(parts.Queries))
-	buf = binary.AppendUvarint(buf, walSeq)
+	if version >= 2 {
+		buf = binary.AppendUvarint(buf, walSeq)
+	}
 
 	buf = binary.AppendUvarint(buf, uint64(len(frags)))
 	for _, f := range frags {
@@ -150,36 +169,55 @@ func EncodeAt(dataset string, snap *qfg.Snapshot, walSeq uint64) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 }
 
-// Decode unpacks a snapshot file of any supported version (v1 or v2).
-// Corrupt input of every kind returns a typed error (see ErrBadMagic and
-// friends) — never a panic — so a serving layer can fall back to re-mining
-// the log.
+// Decode unpacks a snapshot file of any supported version (v1–v3). Corrupt
+// input of every kind returns a typed error (see ErrBadMagic and friends) —
+// never a panic — so a serving layer can fall back to re-mining the log.
+//
+// For v3 input the returned archive's arrays and interned strings may alias
+// data (zero copy); the caller must not mutate or recycle the buffer while
+// the archive is in use. v1/v2 input always decodes into fresh memory.
 func Decode(data []byte) (*Archive, error) {
+	a, _, err := decodeAny(data)
+	return a, err
+}
+
+// decodeAny verifies the generic header and trailer, then dispatches on the
+// format version. aliased reports whether the archive references data.
+func decodeAny(data []byte) (a *Archive, aliased bool, err error) {
 	if len(data) < len(magic) {
-		return nil, ErrTruncated
+		return nil, false, ErrTruncated
 	}
 	if string(data[:len(magic)]) != magic {
-		return nil, ErrBadMagic
+		return nil, false, ErrBadMagic
 	}
 	if len(data) < headerSize+trailerSize {
-		return nil, ErrTruncated
+		return nil, false, ErrTruncated
 	}
 	version := binary.LittleEndian.Uint32(data[len(magic):])
 	if version < minVersion || version > Version {
-		return nil, &UnsupportedVersionError{Version: version}
+		return nil, false, &UnsupportedVersionError{Version: version}
 	}
 	declared := binary.LittleEndian.Uint64(data[len(magic)+4:])
 	if uint64(len(data)) < declared {
-		return nil, ErrTruncated
+		return nil, false, ErrTruncated
 	}
 	if uint64(len(data)) > declared {
-		return nil, fmt.Errorf("%w: %d trailing bytes past declared size", ErrCorrupt, uint64(len(data))-declared)
+		return nil, false, fmt.Errorf("%w: %d trailing bytes past declared size", ErrCorrupt, uint64(len(data))-declared)
 	}
 	body, trailer := data[:len(data)-trailerSize], data[len(data)-trailerSize:]
 	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
-		return nil, ErrChecksum
+		return nil, false, ErrChecksum
 	}
+	if version >= 3 {
+		return decodeV3(body)
+	}
+	a, err = decodeLegacy(body, version)
+	return a, false, err
+}
 
+// decodeLegacy walks the varint-packed v1/v2 payload with a bounds-checked
+// cursor, copying every array into fresh memory.
+func decodeLegacy(body []byte, version uint32) (*Archive, error) {
 	d := &decoder{data: body, off: headerSize}
 	dataset := d.string("dataset name")
 	obscurity := fragment.Obscurity(d.uvarint("obscurity"))
@@ -218,17 +256,20 @@ func Decode(data []byte) (*Archive, error) {
 			half = 0
 		}
 	}
-	parts.ColID = make([]uint32, 0, half)
-	for i := 0; i < half; i++ {
-		parts.ColID = append(parts.ColID, d.uint32("neighbor ID"))
+	// The row index's final entry IS the encoded half-edge count, so each
+	// array is sized exactly once — no append-path regrowth on graphs whose
+	// varint widths skew away from the guess a capacity heuristic would make.
+	parts.ColID = make([]uint32, half)
+	for i := range parts.ColID {
+		parts.ColID[i] = d.uint32("neighbor ID")
 	}
-	parts.Co = make([]float64, 0, half)
-	for i := 0; i < half; i++ {
-		parts.Co = append(parts.Co, d.float64("co-occurrence weight"))
+	parts.Co = make([]float64, half)
+	for i := range parts.Co {
+		parts.Co[i] = d.float64("co-occurrence weight")
 	}
-	parts.NECount = make([]int, 0, half)
-	for i := 0; i < half; i++ {
-		parts.NECount = append(parts.NECount, d.int("co-occurrence count"))
+	parts.NECount = make([]int, half)
+	for i := range parts.NECount {
+		parts.NECount[i] = d.int("co-occurrence count")
 	}
 	if d.err == nil && d.off != len(d.data) {
 		d.fail("payload end", ErrCorrupt)

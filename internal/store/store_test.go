@@ -175,13 +175,34 @@ func TestWalSeqRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDecodeV2Compat proves the current decoder still reads the varint v2
+// format earlier builds wrote: a legacy-encoded archive must decode to the
+// same snapshot, bit for bit, as the v3 encoding of the same state.
+func TestDecodeV2Compat(t *testing.T) {
+	snap := smallSnapshot(t)
+	v2 := encodeLegacyAt("tiny", snap, 42, 2)
+	ar, err := Decode(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Dataset != "tiny" || ar.WalSeq != 42 {
+		t.Fatalf("v2 archive decoded to dataset %q WalSeq %d", ar.Dataset, ar.WalSeq)
+	}
+	if !partsEqual(ar.Snapshot.Parts(), snap.Parts()) {
+		t.Fatal("v2 archive diverged from the snapshot it was packed from")
+	}
+	if got, want := ar.Snapshot.Interner().Fragments(), snap.Interner().Fragments(); !reflect.DeepEqual(got, want) {
+		t.Fatal("v2 interner table diverged")
+	}
+}
+
 // TestDecodeV1Compat proves the current decoder still reads the v1 format:
-// a byte-exact v1 archive is reconstructed from a v2 one by stripping the
-// WAL-sequence field and rewriting the version, and must decode to the
+// a byte-exact v1 archive is reconstructed from a legacy v2 one by stripping
+// the WAL-sequence field and rewriting the version, and must decode to the
 // same snapshot with WalSeq 0.
 func TestDecodeV1Compat(t *testing.T) {
 	snap := smallSnapshot(t)
-	v2 := EncodeAt("tiny", snap, 42)
+	v2 := encodeLegacyAt("tiny", snap, 42, 2)
 
 	// Find the walSeq field: it follows the dataset name, obscurity and
 	// query-count fields of the payload.

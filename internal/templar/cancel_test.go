@@ -100,8 +100,31 @@ func TestMapKeywordsCancelsMidEnumeration(t *testing.T) {
 }
 
 // TestInferJoinsCancelsMidSearch proves cancellation aborts the Steiner
-// search between Dijkstra sweeps.
+// search between Dijkstra sweeps. The sanity call and the canceled call
+// use different bags: inference results are memoized per bag, so reusing
+// the warm bag would answer from the cache without ever searching.
 func TestInferJoinsCancelsMidSearch(t *testing.T) {
+	sys := masSystem(t)
+
+	if _, err := sys.InferJoins(context.Background(), []string{"publication", "domain"}, &CallOptions{TopK: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	bag := []string{"publication", "domain", "author", "conference"}
+	ctx := &countingCtx{Context: context.Background(), after: 2}
+	paths, err := sys.InferJoins(ctx, bag, &CallOptions{TopK: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if paths != nil {
+		t.Fatalf("canceled call still returned %d paths", len(paths))
+	}
+}
+
+// TestInferJoinsCanceledCacheHit pins the cache-era contract: even when
+// the bag's answer is memoized, an already-canceled request aborts
+// instead of being handed a result it can no longer use.
+func TestInferJoinsCanceledCacheHit(t *testing.T) {
 	sys := masSystem(t)
 	bag := []string{"publication", "domain", "author", "conference"}
 
@@ -109,7 +132,8 @@ func TestInferJoinsCancelsMidSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ctx := &countingCtx{Context: context.Background(), after: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
 	paths, err := sys.InferJoins(ctx, bag, &CallOptions{TopK: 3})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)

@@ -247,10 +247,17 @@ func (o *CallOptions) nlidbOpts() nlidb.CallOptions {
 
 // MapKeywords executes MAPKEYWORDS (Φ = MAPKEYWORDS(D, S, M)): it returns
 // keyword-mapping configurations ranked from most to least likely,
-// trimmed to opts.TopK when set. ctx cancellation aborts the
-// configuration enumeration mid-flight.
+// trimmed to opts.TopK when set. The trim is pushed into the mapper, which
+// then runs a bounded top-k selection over the configuration enumeration
+// instead of materializing and sorting the whole cartesian product; the
+// result is identical to sorting everything and slicing. ctx cancellation
+// aborts the enumeration mid-flight.
 func (s *System) MapKeywords(ctx context.Context, keywords []keyword.Keyword, opts *CallOptions) ([]keyword.Configuration, error) {
-	configs, err := s.mapper.MapKeywordsCtx(ctx, keywords, opts.keywordOpts())
+	kco := opts.keywordOpts()
+	if opts != nil {
+		kco.TopK = opts.TopK
+	}
+	configs, err := s.mapper.MapKeywordsCtx(ctx, keywords, kco)
 	if err != nil {
 		return nil, err
 	}

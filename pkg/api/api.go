@@ -414,6 +414,10 @@ type Metrics struct {
 	// ClientErrors / ServerErrors count 4xx and 5xx responses.
 	ClientErrors int64 `json:"client_errors"`
 	ServerErrors int64 `json:"server_errors"`
+	// EncodeFailures counts responses whose body failed to marshal and
+	// were degraded to a 500 problem document. Always a server-side bug;
+	// nonzero values deserve a look at the server log.
+	EncodeFailures int64 `json:"encode_failures,omitempty"`
 	// AvgLatencyMillis is the mean wall-clock request latency.
 	AvgLatencyMillis float64 `json:"avg_latency_ms"`
 }

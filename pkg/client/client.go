@@ -26,7 +26,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -46,9 +45,49 @@ type Client struct {
 	maxWait time.Duration
 	jitter  func(d time.Duration) time.Duration
 	sleep   func(ctx context.Context, d time.Duration) error
+	// rng drives the default backoff jitter. Per-client state: drawing
+	// from the process-global math/rand source would couple every Client
+	// (and any other library using it) to one contended lock, and a
+	// program seeding the global source for reproducibility would
+	// accidentally put all its HTTP retries in lockstep too.
+	rng        jitterRand
+	jitterSeed uint64
 	// redirects counts redirects the transport followed — e.g. appends a
 	// follower replica bounced to its primary with 307 not_primary.
 	redirects atomic.Int64
+}
+
+// clientSeq distinguishes default jitter seeds of clients created in the
+// same clock tick.
+var clientSeq atomic.Uint64
+
+// jitterRand is a goroutine-safe xorshift64* generator (the same
+// recurrence as internal/xrand, behind an atomic CAS loop so concurrent
+// retriers never block each other). Not cryptographic — it only spreads
+// retry delays.
+type jitterRand struct{ s atomic.Uint64 }
+
+// seed initializes the state; zero (which would trap xorshift at zero
+// forever) is remapped to a fixed odd constant.
+func (r *jitterRand) seed(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.s.Store(s)
+}
+
+// next returns the next 64 pseudo-random bits.
+func (r *jitterRand) next() uint64 {
+	for {
+		old := r.s.Load()
+		s := old
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		if r.s.CompareAndSwap(old, s) {
+			return s * 0x2545F4914F6CDD1D
+		}
+	}
 }
 
 // Option configures a Client.
@@ -80,16 +119,24 @@ func WithJitter(f func(d time.Duration) time.Duration) Option {
 	return func(c *Client) { c.jitter = f }
 }
 
+// WithJitterSeed pins the client's private jitter source to a
+// deterministic seed, making the exact backoff schedule reproducible
+// (load-test harnesses, failure-injection tests). Zero — the default —
+// picks a per-client seed from the wall clock.
+func WithJitterSeed(seed uint64) Option {
+	return func(c *Client) { c.jitterSeed = seed }
+}
+
 // equalJitter is the default backoff spread: uniform in [d/2, d], keeping
 // at least half the exponential delay so pressure still backs off while
-// desynchronizing simultaneous retriers. It uses the process-global,
-// goroutine-safe math/rand source.
-func equalJitter(d time.Duration) time.Duration {
+// desynchronizing simultaneous retriers. It draws from the client's own
+// seeded source, never from process-global state.
+func (c *Client) equalJitter(d time.Duration) time.Duration {
 	if d <= 1 {
 		return d
 	}
 	half := d / 2
-	return half + time.Duration(rand.Int63n(int64(d-half)+1))
+	return half + time.Duration(c.rng.next()%uint64(d-half+1))
 }
 
 // New builds a Client for a server base URL like "http://host:8080".
@@ -104,14 +151,21 @@ func New(base string, opts ...Option) (*Client, error) {
 		retries: 2,
 		backoff: 100 * time.Millisecond,
 		maxWait: 2 * time.Second,
-		jitter:  equalJitter,
 		sleep:   sleepCtx,
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	seed := c.jitterSeed
+	if seed == 0 {
+		// Per-client wall-clock seed, perturbed by a process-wide counter
+		// so two clients created in the same nanosecond (coarse clocks,
+		// tight loops) still diverge.
+		seed = uint64(time.Now().UnixNano()) ^ (clientSeq.Add(1) << 48)
+	}
+	c.rng.seed(seed)
 	if c.jitter == nil {
-		c.jitter = equalJitter
+		c.jitter = c.equalJitter
 	}
 	// Count the redirects the transport follows without disturbing the
 	// caller's redirect policy. The http.Client is shallow-copied first so

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -446,5 +447,148 @@ func TestNewValidatesBaseURL(t *testing.T) {
 	}
 	if _, err := New("http://localhost:8080/"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// xorshiftStarRef is the reference xorshift64* recurrence (the same one
+// internal/xrand pins), reimplemented here so the test derives expected
+// jitter independently of the client's jitterRand.
+func xorshiftStarRef(s *uint64) uint64 {
+	x := *s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// TestSeededJitterExactSchedule pins the full jittered backoff schedule
+// for a known seed: with WithJitterSeed the delays are exactly
+// half + ref()%span for each exponential step, reproducible run to run.
+func TestSeededJitterExactSchedule(t *testing.T) {
+	const seed = 0xDEADBEEFCAFE
+	h := &flaky{fails: 4, status: http.StatusServiceUnavailable, body: api.HealthResponse{Status: "ok"}}
+	c, delays := newTestClient(t, h,
+		WithRetries(4),
+		WithBackoff(100*time.Millisecond, 300*time.Millisecond),
+		WithJitterSeed(seed))
+
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s := uint64(seed)
+	schedule := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond, 300 * time.Millisecond}
+	want := make([]time.Duration, len(schedule))
+	for i, d := range schedule {
+		half := d / 2
+		want[i] = half + time.Duration(xorshiftStarRef(&s)%uint64(d-half+1))
+	}
+	if len(*delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", *delays, want)
+	}
+	for i, d := range *delays {
+		if d != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v (full: %v vs %v)", i, d, want[i], *delays, want)
+		}
+	}
+	for _, d := range *delays {
+		if d < 50*time.Millisecond || d > 300*time.Millisecond {
+			t.Fatalf("delay %v escaped [d/2, d]", d)
+		}
+	}
+}
+
+// TestSeededJitterReproducible proves two clients with the same seed
+// sleep identically, and two clients with different seeds do not.
+func TestSeededJitterReproducible(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		h := &flaky{fails: 1 << 30, status: http.StatusServiceUnavailable}
+		c, delays := newTestClient(t, h, WithRetries(8), WithBackoff(time.Second, time.Second), WithJitterSeed(seed))
+		if _, err := c.Health(context.Background()); err == nil {
+			t.Fatal("expected exhausted retries")
+		}
+		return *delays
+	}
+	a, b, other := run(42), run(42), run(43)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("recorded %d/%d delays", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical schedules: %v", a)
+	}
+}
+
+// TestJitterRandZeroSeed pins the zero-seed remap: seeding with 0 must
+// not trap the generator (xorshift of 0 is 0 forever) and must match the
+// documented fallback constant.
+func TestJitterRandZeroSeed(t *testing.T) {
+	var r jitterRand
+	r.seed(0)
+	s := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 16; i++ {
+		if got, want := r.next(), xorshiftStarRef(&s); got != want {
+			t.Fatalf("draw %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+// TestDefaultSeedsDiverge: clients built without WithJitterSeed must not
+// share a schedule even when constructed back to back.
+func TestDefaultSeedsDiverge(t *testing.T) {
+	ca, err := New("http://localhost:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := New("http://localhost:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 8; i++ {
+		if ca.rng.next() != cb.rng.next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two default-seeded clients drew identical jitter streams")
+	}
+}
+
+// TestJitterRandConcurrent hammers one generator from many goroutines:
+// the CAS loop must never deadlock, and every draw must be nonzero (the
+// only way to draw 0 from xorshift64* is the trapped zero state).
+func TestJitterRandConcurrent(t *testing.T) {
+	var r jitterRand
+	r.seed(7)
+	var wg sync.WaitGroup
+	var zeros atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if r.next() == 0 {
+					zeros.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if zeros.Load() != 0 {
+		t.Fatalf("drew zero %d times; generator state collapsed", zeros.Load())
 	}
 }
